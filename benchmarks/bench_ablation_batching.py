@@ -1,0 +1,59 @@
+"""Extension ablation — batched decode: amortizing the weight fetch.
+
+The paper shows decode is weight-fetch bound (Fig. 9). The direct
+corollary: serving several sequences per step amortizes that fetch.
+This bench sweeps the batch size and reports per-token latency and
+throughput for MEADOW and the GEMM baseline.
+"""
+
+from repro import ExecutionPlan, OPT_125M, zcu102_config
+from repro.analysis import banner, format_table
+from repro.models import decode_workload
+from repro.sim import WorkloadSimulator
+
+BATCHES = [1, 2, 4, 8, 16]
+CTX = 576
+
+
+def test_ablation_batched_decode(benchmark, emit, planner):
+    cfg = zcu102_config(12.0)
+
+    def run():
+        meadow = WorkloadSimulator(OPT_125M, cfg, ExecutionPlan.meadow(), planner)
+        gemm = WorkloadSimulator(OPT_125M, cfg, ExecutionPlan.gemm_baseline())
+        rows = []
+        stats = {}
+        for b in BATCHES:
+            wl = decode_workload(OPT_125M, CTX, batch=b)
+            rm = meadow.simulate(wl)
+            rg = gemm.simulate(wl)
+            stats[b] = (rm.latency_s / b, rg.latency_s / b)
+            rows.append(
+                [
+                    b,
+                    f"{rg.latency_ms / b:.2f}",
+                    f"{rm.latency_ms / b:.2f}",
+                    f"{b / rm.latency_s:.1f}",
+                    f"{rg.latency_s / rm.latency_s:.2f}x",
+                ]
+            )
+        return rows, stats
+
+    rows, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "{}\n{}\n\nper-token decode cost falls as the (packed) weight fetch amortizes,\nsaturating once per-sequence KV traffic dominates. Note MEADOW's edge\nnarrows with batch: batching amortizes the same weight fetches packing\nshrinks, so the two optimizations partially overlap.".format(
+        banner(f"Ablation  Batched decode (OPT-125M @12 Gbps, ctx {CTX})"),
+        format_table(
+            ["batch", "GEMM ms/tok", "MEADOW ms/tok", "MEADOW tok/s", "speedup"],
+            rows,
+        ),
+    )
+    emit("ablation_batching", text)
+
+    # Per-token latency strictly improves with batch for both systems.
+    meadow_curve = [stats[b][0] for b in BATCHES]
+    assert all(a > b for a, b in zip(meadow_curve, meadow_curve[1:]))
+    # MEADOW keeps an edge at every batch size, but it narrows as
+    # batching amortizes the weight fetches packing was shrinking.
+    advantages = [stats[b][1] / stats[b][0] for b in BATCHES]
+    assert all(a > 1.1 for a in advantages)
+    assert advantages[0] > advantages[-1]

@@ -1,0 +1,54 @@
+"""Extension ablation — energy of the four systems (the "low power" lens).
+
+The paper evaluates latency; energy is the other half of the low-power
+story. Using the per-event energy ledger, this bench compares GEMM, CTA,
+FlightLLM and MEADOW on prefill and decode, and reports where the joules
+go.
+"""
+
+from repro import ExecutionPlan, OPT_125M, zcu102_config
+from repro.analysis import banner, energy_comparison, format_table
+from repro.models import decode_workload, prefill_workload
+
+PLANS = [
+    ExecutionPlan.gemm_baseline(),
+    ExecutionPlan.cta(),
+    ExecutionPlan.flightllm(),
+    ExecutionPlan.meadow(),
+]
+
+
+def test_ablation_energy(benchmark, emit, planner):
+    cfg = zcu102_config(12.0)
+
+    def run():
+        return (
+            energy_comparison(OPT_125M, cfg, PLANS, prefill_workload(OPT_125M, 512)),
+            energy_comparison(OPT_125M, cfg, PLANS, decode_workload(OPT_125M, 576)),
+        )
+
+    prefill, decode = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def rows(comp):
+        return [
+            [
+                name,
+                f"{comp.total_uj[name]:.0f}",
+                f"{comp.dram_uj[name]:.0f}",
+                f"{comp.dram_share(name):.0%}",
+            ]
+            for name in ("gemm", "cta", "flightllm", "meadow")
+        ]
+
+    text = "{}\n\nprefill 512 tokens:\n{}\n\ndecode (64th token, ctx 576):\n{}".format(
+        banner("Ablation  Energy per inference pass (OPT-125M @12 Gbps, uJ)"),
+        format_table(["system", "total (uJ)", "DRAM (uJ)", "DRAM share"], rows(prefill)),
+        format_table(["system", "total (uJ)", "DRAM (uJ)", "DRAM share"], rows(decode)),
+    )
+    emit("ablation_energy", text)
+
+    # MEADOW saves energy in both phases (less DRAM traffic), and DRAM
+    # dominates every system's energy — the premise of the paper.
+    for comp in (prefill, decode):
+        assert comp.total_uj["meadow"] < comp.total_uj["gemm"]
+        assert comp.dram_share("gemm") > 0.5

@@ -1,0 +1,29 @@
+"""Fidelity suite — every standing paper-band check in one report.
+
+Machine-checkable form of EXPERIMENTS.md: each row is a paper claim, its
+citation, the accepted band, and the value this reproduction measures.
+"""
+
+from repro.analysis import banner, format_table, paper_fidelity_suite, run_fidelity_suite
+
+
+def test_fidelity_suite(benchmark, emit, planner):
+    results = benchmark.pedantic(
+        run_fidelity_suite, args=(paper_fidelity_suite(planner),), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            r.check.name,
+            r.check.citation,
+            f"{r.check.lo:.2f}-{r.check.hi:.2f}",
+            f"{r.value:.2f}",
+            "OK" if r.in_band else "OUT",
+        ]
+        for r in results
+    ]
+    text = "{}\n{}".format(
+        banner("Fidelity  Paper claims vs measured values"),
+        format_table(["claim", "paper", "band", "measured", "verdict"], rows),
+    )
+    emit("fidelity_suite", text)
+    assert all(r.in_band for r in results)

@@ -1,0 +1,81 @@
+"""Fig. 12 — dataflow design-space study and rooflines.
+
+(a) the optimal dataflow (GEMM vs TPHS) for the Q+SM(QK^T)xV ops over a
+(bandwidth x PE-count) grid, with the winning per-layer latency;
+(b) roofline placements for the four corner configurations.
+"""
+
+from repro import ExecutionPlan, MeadowEngine, OPT_125M, dataflow_grid
+from repro.analysis import banner, format_table
+from repro.hardware import scaled_pe_config
+from repro.models import prefill_workload
+from repro.sim import WorkloadSimulator, roofline_curve, workload_roofline
+
+BANDWIDTHS = [1, 6, 25, 51]
+PE_COUNTS = [14, 36, 48, 96]
+CORNERS = [(1.0, 14), (1.0, 96), (51.0, 14), (51.0, 96)]
+
+
+def test_fig12a_dataflow_grid(benchmark, emit, planner):
+    grid = benchmark.pedantic(
+        dataflow_grid,
+        args=(OPT_125M, BANDWIDTHS, PE_COUNTS),
+        kwargs=dict(n_tokens=512, planner=planner),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for bw in BANDWIDTHS:
+        row = [f"{bw}"]
+        for pes in PE_COUNTS:
+            d = grid[(bw, pes)]
+            best_ms = min(d.gemm_cycles, d.tphs_cycles) / 1e5  # cycles -> ms @100MHz
+            row.append(f"{d.best.upper()} {best_ms:.2f}ms")
+        rows.append(row)
+    text = "{}\n{}\n\npaper pattern: TPHS at low bandwidth, GEMM at high-bandwidth corners".format(
+        banner("Fig. 12a  Optimal attention dataflow per (BW, #PE), OPT-125M prefill 512"),
+        format_table(["BW (Gbps) \\ PEs"] + [str(p) for p in PE_COUNTS], rows),
+    )
+    emit("fig12a_dataflow_grid", text)
+
+    assert all(grid[(1, p)].best == "tphs" for p in PE_COUNTS)
+    assert grid[(51, 14)].best == "gemm"
+
+
+def test_fig12b_rooflines(benchmark, emit, planner):
+    def run():
+        out = {}
+        for bw, pes in CORNERS:
+            cfg = scaled_pe_config(pes, bw)
+            sim = WorkloadSimulator(OPT_125M, cfg, ExecutionPlan.meadow(), planner)
+            report = sim.simulate(prefill_workload(OPT_125M, 512))
+            out[(bw, pes)] = (workload_roofline(report), roofline_curve(cfg, [0.1, 1, 10, 100, 1000]))
+        return out
+
+    corners = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            f"(BW {int(bw)}, PE {pes})",
+            f"{pt.operational_intensity:.1f}",
+            f"{pt.attainable_gmacs:.1f}",
+            f"{pt.achieved_gmacs:.1f}",
+            pt.bound,
+        ]
+        for (bw, pes), (pt, _) in corners.items()
+    ]
+    curve_rows = []
+    for (bw, pes), (_, curve) in corners.items():
+        for oi, gmacs in curve:
+            curve_rows.append([f"(BW {int(bw)}, PE {pes})", oi, f"{gmacs:.2f}"])
+    text = "{}\n{}\n\nRoofline series (attainable GMAC/s at sampled OI):\n{}".format(
+        banner("Fig. 12b  Roofline placement of MEADOW prefill at the four corners"),
+        format_table(
+            ["corner", "OI (MAC/B)", "roof (GMAC/s)", "achieved", "bound"], rows
+        ),
+        format_table(["corner", "OI", "attainable GMAC/s"], curve_rows),
+    )
+    emit("fig12b_rooflines", text)
+
+    assert corners[(1.0, 96)][0].bound == "memory"
+    # More PEs raise the compute roof; more bandwidth raises the slope.
+    assert corners[(51.0, 96)][0].attainable_gmacs >= corners[(1.0, 96)][0].attainable_gmacs

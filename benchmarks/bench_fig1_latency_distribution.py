@@ -1,0 +1,71 @@
+"""Fig. 1b/1c — prefill & decode latency distribution of the GEMM baseline.
+
+Paper setting: OPT-125M on the ZCU102 at 12 Gbps. Fig. 1b shows the
+prefill latency split (fetch / compute / store) per decoder op; Fig. 1c
+shows that during decode the weight/input fetch dominates and compute and
+store are negligible.
+"""
+
+from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
+from repro.analysis import banner, breakdown_rows, format_breakdown_bar, format_table
+
+
+def _distribution_text(report, title):
+    rows = breakdown_rows(report, layer=0)
+    table = format_table(
+        ["op", "dataflow", "weight_fetch", "input_fetch", "compute", "store", "total"],
+        [
+            [
+                r["op"],
+                r["dataflow"],
+                r["weight_fetch"],
+                r["input_fetch"],
+                r["compute"],
+                r["store"],
+                r["total"],
+            ]
+            for r in rows
+        ],
+    )
+    bars = "\n".join(
+        format_breakdown_bar(
+            r["op"],
+            {
+                "weight_fetch": r["weight_fetch"],
+                "input_fetch": r["input_fetch"],
+                "compute": r["compute"],
+                "store": r["store"],
+            },
+        )
+        for r in rows
+        if r["total"] > 0
+    )
+    return f"{banner(title)}\n(cycles, one decoder layer)\n{table}\n\n{bars}"
+
+
+def test_fig1b_prefill_distribution(benchmark, emit):
+    engine = MeadowEngine(
+        OPT_125M, zcu102_config(12.0), ExecutionPlan.gemm_baseline()
+    )
+    report = benchmark(engine.prefill, 512)
+    emit(
+        "fig1b_prefill_distribution",
+        _distribution_text(report, "Fig. 1b  GEMM prefill latency distribution (OPT-125M, 512 tok, 12 Gbps)"),
+    )
+    bd = report.layer_breakdown(0)
+    assert bd.fetch > bd.store  # fetch-heavy, as the figure shows
+
+
+def test_fig1c_decode_distribution(benchmark, emit):
+    engine = MeadowEngine(
+        OPT_125M, zcu102_config(12.0), ExecutionPlan.gemm_baseline()
+    )
+    report = benchmark(engine.decode, 576)
+    emit(
+        "fig1c_decode_distribution",
+        _distribution_text(report, "Fig. 1c  GEMM decode latency distribution (OPT-125M, ctx 576, 12 Gbps)"),
+    )
+    bd = report.layer_breakdown(0)
+    # "During decode, compute and storage latency is negligible compared
+    # to the weight and input fetch latency."
+    assert bd.fetch > 10 * (bd.compute + bd.store)

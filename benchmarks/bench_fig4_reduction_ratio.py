@@ -1,0 +1,58 @@
+"""Fig. 4a — reduction ratio across decoder layers, OPT-125M vs OPT-1.3B.
+
+The paper reports ratios "in the order of 10^2 to 10^3", averaged across
+decoder layers. We regenerate the per-layer series on the calibrated
+synthetic weights (geometric mean across the six matrices of each layer).
+"""
+
+import pytest
+
+from repro import OPT_125M, OPT_1_3B
+from repro.analysis import banner, format_table
+from repro.packing import model_reduction_ratio_table
+from repro.utils import geomean
+
+
+@pytest.mark.parametrize("model", [OPT_125M], ids=["opt-125m"])
+def test_fig4a_reduction_ratios_125m(benchmark, emit, model):
+    table = benchmark.pedantic(
+        model_reduction_ratio_table, args=(model,), rounds=1, iterations=1
+    )
+    text = "{}\n{}".format(
+        banner(f"Fig. 4a  Reduction ratio per decoder layer ({model.name})"),
+        format_table(
+            ["layer", "reduction ratio"],
+            [[layer, f"{ratio:.0f}"] for layer, ratio in table],
+        ),
+    )
+    overall = geomean(ratio for _, ratio in table)
+    text += f"\n\nmodel geomean = {overall:.0f}  (paper band: 1e2 - 1e3)"
+    emit("fig4a_reduction_ratio_opt125m", text)
+    assert 100 <= overall <= 2000
+
+
+def test_fig4a_reduction_ratios_13b_sampled(benchmark, emit):
+    """OPT-1.3B, sampled at four depths (full per-layer scan is slow)."""
+    model = OPT_1_3B
+    from repro.packing import layer_reduction_ratios
+
+    def run():
+        layers = [0, 8, 16, 23]
+        return [
+            (layer, geomean(layer_reduction_ratios(model, layer).values()))
+            for layer in layers
+        ]
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "{}\n{}".format(
+        banner("Fig. 4a  Reduction ratio at sampled depths (opt-1.3b)"),
+        format_table(
+            ["layer", "reduction ratio"],
+            [[layer, f"{ratio:.0f}"] for layer, ratio in table],
+        ),
+    )
+    emit("fig4a_reduction_ratio_opt13b", text)
+    ratios = [r for _, r in table]
+    assert all(50 <= r <= 20000 for r in ratios)
+    # Redundancy decays with depth on both models.
+    assert ratios[0] > ratios[-1]

@@ -1,0 +1,65 @@
+"""Fig. 7a/7b — TBT of MEADOW vs the GEMM baseline across bandwidths.
+
+Paper setting: prefill fixed at 512 tokens; TBT measured for the 64th
+and 512th generated token. Headline: 1.4-1.46x (125M) and 1.4-1.52x
+(1.3B) lower TBT at 12 Gbps, similar at 1 Gbps.
+"""
+
+from repro import ExecutionPlan, OPT_125M, OPT_1_3B, zcu102_config
+from repro.analysis import banner, format_table, speedup, tbt_sweep
+
+BANDWIDTHS = [1, 6, 12, 25, 51]
+TOKEN_INDICES = [64, 512]
+
+
+def _run(model, planner):
+    plans = [ExecutionPlan.gemm_baseline(), ExecutionPlan.meadow()]
+    return tbt_sweep(
+        model,
+        zcu102_config(12.0),
+        plans,
+        BANDWIDTHS,
+        TOKEN_INDICES,
+        prefill_tokens=512,
+        planner=planner,
+    )
+
+
+def _render(model, points):
+    gains = speedup(points, "gemm", "meadow")
+    by_key = {(p.plan, p.bandwidth_gbps, p.tokens): p.latency_ms for p in points}
+    rows = [
+        [
+            bw,
+            f"{idx}th",
+            f"{by_key[('gemm', bw, idx)]:.1f}",
+            f"{by_key[('meadow', bw, idx)]:.1f}",
+            f"{gains[(bw, idx)]:.2f}x",
+        ]
+        for bw in BANDWIDTHS
+        for idx in TOKEN_INDICES
+    ]
+    return "{}\n{}".format(
+        banner(f"Fig. 7  TBT vs DRAM bandwidth ({model.name}, prefill 512)"),
+        format_table(
+            ["BW (Gbps)", "token", "GEMM (ms)", "MEADOW (ms)", "speedup"], rows
+        ),
+    )
+
+
+def test_fig7a_tbt_opt125m(benchmark, emit, planner):
+    points = benchmark.pedantic(_run, args=(OPT_125M, planner), rounds=1, iterations=1)
+    emit("fig7a_tbt_opt125m", _render(OPT_125M, points))
+    gains = speedup(points, "gemm", "meadow")
+    for bw in (1, 12):
+        for idx in TOKEN_INDICES:
+            assert 1.25 <= gains[(bw, idx)] <= 1.8  # paper: 1.4-1.47x
+
+
+def test_fig7b_tbt_opt13b(benchmark, emit, planner):
+    points = benchmark.pedantic(_run, args=(OPT_1_3B, planner), rounds=1, iterations=1)
+    emit("fig7b_tbt_opt13b", _render(OPT_1_3B, points))
+    gains = speedup(points, "gemm", "meadow")
+    for bw in (1, 12):
+        for idx in TOKEN_INDICES:
+            assert 1.3 <= gains[(bw, idx)] <= 1.9  # paper: 1.4-1.53x

@@ -1,0 +1,49 @@
+"""Fig. 9a/9b — decode latency split, GEMM vs MEADOW, at 12 and 1 Gbps.
+
+One OPT-125M decoder layer predicting the 64th token with a 512-token
+prefill. Weight fetch dominates both systems; MEADOW's win comes from
+weight packing shrinking exactly that component.
+"""
+
+import pytest
+
+from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
+from repro.analysis import banner, format_breakdown_bar, format_table
+
+CTX = 512 + 64
+
+
+@pytest.mark.parametrize("bw", [12.0, 1.0], ids=["12gbps", "1gbps"])
+def test_fig9_decode_split(benchmark, emit, planner, bw):
+    def run():
+        gemm = MeadowEngine(
+            OPT_125M, zcu102_config(bw), ExecutionPlan.gemm_baseline()
+        ).decode(CTX)
+        meadow = MeadowEngine(OPT_125M, zcu102_config(bw), planner=planner).decode(CTX)
+        return gemm, meadow
+
+    gemm, meadow = benchmark.pedantic(run, rounds=1, iterations=1)
+    splits = {}
+    for name, report in (("GEMM", gemm), ("MEADOW", meadow)):
+        bd = report.layer_breakdown(0)
+        splits[name] = {
+            "weight_fetch": bd.weight_fetch,
+            "input_fetch": bd.input_fetch,
+            "compute": bd.compute,
+            "store": bd.store,
+        }
+    rows = [[name] + [f"{v:.3g}" for v in split.values()] for name, split in splits.items()]
+    text = "{}\n{}\n\n{}\n{}".format(
+        banner(f"Fig. 9  Decode latency split, one decoder layer @ {bw:g} Gbps (64th token)"),
+        format_table(["system", "weight_fetch", "input_fetch", "compute", "store"], rows),
+        format_breakdown_bar("GEMM", splits["GEMM"]),
+        format_breakdown_bar("MEADOW", splits["MEADOW"]),
+    )
+    emit(f"fig9_decode_split_{int(bw)}gbps", text)
+
+    # Weight fetch dominates decode in both systems...
+    for split in splits.values():
+        assert split["weight_fetch"] > split["compute"]
+        assert split["weight_fetch"] > 50 * split["store"]
+    # ...and packing shrinks it.
+    assert splits["MEADOW"]["weight_fetch"] < splits["GEMM"]["weight_fetch"] / 1.3

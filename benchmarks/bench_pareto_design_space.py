@@ -1,0 +1,47 @@
+"""Extension — Pareto frontier of the (PE, bandwidth) design space.
+
+Combines the Fig. 12 latency sweep with the resource model: which builds
+are worth making? Points are (LUT cost, prefill latency); the frontier
+is the set no other build beats on both axes.
+"""
+
+from repro import OPT_125M
+from repro.analysis import banner, design_space, format_table, pareto_frontier
+from repro.hardware import ZCU102_PART
+
+PE_COUNTS = [14, 36, 48, 96]
+BANDWIDTHS = [1.0, 6.0, 25.0, 51.0]
+
+
+def test_pareto_design_space(benchmark, emit, planner):
+    points = benchmark.pedantic(
+        design_space,
+        args=(OPT_125M, PE_COUNTS, BANDWIDTHS),
+        kwargs=dict(prompt_tokens=512, planner=planner, part=ZCU102_PART),
+        rounds=1,
+        iterations=1,
+    )
+    frontier = pareto_frontier(points)
+    frontier_keys = {(p.n_pes, p.bandwidth_gbps) for p in frontier}
+    rows = [
+        [
+            p.n_pes,
+            f"{p.bandwidth_gbps:g}",
+            f"{p.luts:,}",
+            f"{p.latency_s * 1e3:.1f}",
+            "*" if (p.n_pes, p.bandwidth_gbps) in frontier_keys else "",
+        ]
+        for p in sorted(points, key=lambda q: (q.luts, q.latency_s))
+    ]
+    text = "{}\n{}\n\n* = Pareto-optimal (no build is cheaper AND faster)".format(
+        banner("Design space  LUT cost vs MEADOW prefill latency (OPT-125M, 512 tok)"),
+        format_table(["PEs", "BW (Gbps)", "LUTs", "TTFT (ms)", "Pareto"], rows),
+    )
+    emit("pareto_design_space", text)
+
+    assert frontier, "frontier cannot be empty"
+    # The cheapest build always survives; at fixed PEs, higher bandwidth
+    # dominates lower, so every frontier point uses the top bandwidth of
+    # its fabric size.
+    assert min(p.luts for p in points) == frontier[0].luts
+    assert all(p.bandwidth_gbps == max(BANDWIDTHS) for p in frontier)

@@ -1,0 +1,44 @@
+"""Extension — sensitivity of the conclusions to the weight calibration.
+
+The synthetic weights substitute for unavailable OPT checkpoints; this
+bench sweeps their distribution width (the one calibrated knob) across
+a 4x plausibility bracket and shows the qualitative conclusion — MEADOW
+beats GEMM on decode, driven by packing — holds everywhere, with the
+magnitude moving smoothly.
+"""
+
+from repro.analysis import banner, format_table
+from repro.analysis.sensitivity import core_scale_sensitivity, decode_gain_model
+
+
+def test_sensitivity_to_weight_calibration(benchmark, emit):
+    points = benchmark.pedantic(core_scale_sensitivity, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{p.core_scale:.1f}",
+            f"{p.n_unique:,}",
+            f"{p.compression:.2f}x",
+            f"{p.implied_decode_gain:.2f}x",
+        ]
+        for p in points
+    ]
+    text = (
+        "{}\n{}\n\ncalibrated point: core scale 1.0 (paper-matched chunk stats).\n"
+        "Conclusion (packing-driven decode win) holds across the 4x bracket;\n"
+        "only the magnitude moves."
+    ).format(
+        banner("Sensitivity  Packing vs synthetic weight distribution width (MLP1 shape)"),
+        format_table(
+            ["core scale", "unique chunks", "compression", "implied decode gain"],
+            rows,
+        ),
+    )
+    emit("sensitivity_weight_calibration", text)
+
+    # Compression decays smoothly with distribution width...
+    comps = [p.compression for p in points]
+    assert all(a >= b for a, b in zip(comps, comps[1:]))
+    # ...but the win never vanishes within the bracket.
+    assert all(p.implied_decode_gain > 1.2 for p in points)
+    # And the Amdahl model is sane at the endpoints.
+    assert decode_gain_model(1.0) == 1.0

@@ -1,0 +1,71 @@
+"""Library performance — throughput of the reproduction's own kernels.
+
+Unlike the figure benches (which report *simulated* cycles once), these
+use pytest-benchmark's repeated timing to track the wall-clock speed of
+the library's hot paths: the vectorized bit packer, the WILU fast parse,
+a full workload simulation, and a functional forward pass. Regressions
+here make every other bench slower.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ExecutionPlan, OPT_125M, zcu102_config
+from repro.functional import TinyTransformer, quantize_static
+from repro.models import TransformerConfig, prefill_workload
+from repro.packing import pack_weights, spread_mode_table, pack_ids, unpack_ids_fast
+from repro.quant import WeightProfile, generate_int8_weights
+from repro.sim import WorkloadSimulator
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generate_int8_weights((1024, 768), WeightProfile("m", 1.2), seed=7)
+
+
+def test_perf_pack_weights(benchmark, matrix):
+    """Full pack (encode + reindex + bitstream) of a 0.75 MB matrix."""
+    packed = benchmark(pack_weights, matrix)
+    assert packed.compression_ratio > 1.0
+    mb_per_s = matrix.size / 1e6 / benchmark.stats["mean"]
+    print(f"\npacking throughput: {mb_per_s:.1f} MB/s")
+
+
+def test_perf_unpack_fast(benchmark, matrix):
+    """Vectorized WILU parse of the packed stream."""
+    packed = pack_weights(matrix)
+    ids = benchmark(unpack_ids_fast, packed.stream)
+    assert ids.size == packed.stream.n_ids
+
+
+def test_perf_pack_ids_bitstream(benchmark):
+    """Bit-level packet construction over one million IDs."""
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 2048, size=1_000_000)
+    table = spread_mode_table(11, 8)
+    stream = benchmark(pack_ids, ids, 8, table)
+    assert stream.total_bits > 0
+
+
+def test_perf_workload_simulation(benchmark, planner):
+    """One full OPT-125M prefill simulation (12 layers, all ops)."""
+    sim = WorkloadSimulator(
+        OPT_125M, zcu102_config(12.0), ExecutionPlan.meadow(), planner
+    )
+    wl = prefill_workload(OPT_125M, 512)
+    report = benchmark(sim.simulate, wl)
+    assert report.total_cycles > 0
+
+
+def test_perf_functional_forward(benchmark):
+    """Functional int8 forward pass of a small decoder."""
+    tiny = TransformerConfig("tiny-perf", 2, 64, 4, 128, max_seq_len=64)
+    model = TinyTransformer(tiny, seed=0)
+    x = quantize_static(np.random.default_rng(1).normal(0, 0.5, size=(16, 64)), 0.05)
+
+    def run():
+        model.reset()
+        return model.forward(x)
+
+    out = benchmark(run)
+    assert out.shape == (16, 64)

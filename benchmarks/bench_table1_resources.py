@@ -1,0 +1,63 @@
+"""Table 1 + Sec. 6.1 — hardware build: resources and the sub-10 W budget.
+
+The paper reports the ZCU102 implementation at 150K LUTs, 845 BRAMs and
+2034 DSPs inside a sub-10 W envelope. This bench reproduces the resource
+estimate from the Table 1 parameters and checks average power for the
+headline workloads.
+"""
+
+from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
+from repro.analysis import banner, format_table
+from repro.hardware import (
+    PowerModel,
+    ZCU102,
+    ZCU102_PART,
+    ZCU104_PART,
+    estimate_resources,
+)
+from repro.packing import PackingPlanner
+
+
+def test_table1_resources_and_power(benchmark, emit, planner: PackingPlanner):
+    def run():
+        est = estimate_resources(ZCU102)
+        power = PowerModel(ZCU102)
+        reports = {}
+        for name, fn in (
+            ("prefill 512 @12Gbps", lambda e: e.prefill(512)),
+            ("decode ctx 576 @12Gbps", lambda e: e.decode(576)),
+        ):
+            engine = MeadowEngine(OPT_125M, zcu102_config(12.0), planner=planner)
+            report = fn(engine)
+            reports[name] = power.report(report.energy, report.latency_s)
+        return est, reports
+
+    est, reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    resource_rows = [
+        ["LUTs", f"{est.luts:,}", "150,000", f"{est.luts / 150_000:.2f}"],
+        ["DSPs", f"{est.dsps:,}", "2,034", f"{est.dsps / 2034:.2f}"],
+        ["BRAM tiles", str(est.bram_tiles), "845", f"{est.bram_tiles / 845:.2f}"],
+    ]
+    power_rows = [
+        [name, f"{r.static_w:.2f}", f"{r.dynamic_w:.2f}", f"{r.total_w:.2f}",
+         "yes" if r.within_budget(10.0) else "NO"]
+        for name, r in reports.items()
+    ]
+    fit = est.utilization(ZCU102_PART)
+    text = "{}\n{}\n\nZCU102 part utilization: LUT {:.0%}, DSP {:.0%}, BRAM {:.0%} (fits: {})\nZCU104 fits: {}\n\n{}".format(
+        banner("Table 1 / Sec. 6.1  Resource estimate and power budget"),
+        format_table(["resource", "estimated", "paper", "ratio"], resource_rows),
+        fit["luts"], fit["dsps"], fit["bram"],
+        est.fits(ZCU102_PART),
+        estimate_resources(ZCU102).fits(ZCU104_PART),
+        format_table(
+            ["workload", "static (W)", "dynamic (W)", "total (W)", "sub-10W"],
+            power_rows,
+        ),
+    )
+    emit("table1_resources_power", text)
+
+    assert est.dsps == 2034
+    assert abs(est.luts - 150_000) / 150_000 < 0.10
+    assert all(r.within_budget(10.0) for r in reports.values())

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the figure-regeneration benchmarks.
+
+Every benchmark prints the rows/series of one paper figure or table and
+writes the same text under ``benchmarks/results/`` so the artifacts
+survive the run. Latency numbers come from the performance simulator;
+wall-clock timings reported by pytest-benchmark measure the simulator
+itself (useful, but not the paper's metric).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.packing import PackingPlanner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def planner() -> PackingPlanner:
+    """One planner for the whole bench session (stats computed once)."""
+    return PackingPlanner(depth_buckets=2)
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a figure's text and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

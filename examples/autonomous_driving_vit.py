@@ -1,0 +1,70 @@
+"""Scenario: ViT perception on an autonomous-driving edge module.
+
+The paper's other motivating application (Sec. 1, Sec. 6.6): vision
+transformers on the same low-power fabric. A perception stack must hold a
+frame budget — e.g. 10 FPS leaves 100 ms per frame for the backbone.
+This example checks which (model, bandwidth) points meet the budget with
+and without MEADOW.
+
+Usage::
+
+    python examples/autonomous_driving_vit.py [--budget-ms 100]
+"""
+
+import argparse
+
+from repro import DEIT_B, DEIT_S, ExecutionPlan, MeadowEngine, zcu102_config
+from repro.analysis import format_table
+from repro.packing import PackingPlanner
+
+BANDWIDTHS = [1, 2, 6, 12]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget-ms", type=float, default=100.0,
+                        help="per-frame latency budget in milliseconds")
+    args = parser.parse_args()
+
+    planner = PackingPlanner()
+    rows = []
+    for model in (DEIT_S, DEIT_B):
+        for bw in BANDWIDTHS:
+            cfg = zcu102_config(bw)
+            meadow = MeadowEngine(model, cfg, planner=planner).vit_inference()
+            gemm = MeadowEngine(model, cfg, ExecutionPlan.gemm_baseline()).vit_inference()
+            rows.append(
+                [
+                    model.name,
+                    bw,
+                    f"{gemm.latency_ms:.1f}",
+                    "yes" if gemm.latency_ms <= args.budget_ms else "NO",
+                    f"{meadow.latency_ms:.1f}",
+                    "yes" if meadow.latency_ms <= args.budget_ms else "NO",
+                    f"{gemm.latency_s / meadow.latency_s:.2f}x",
+                ]
+            )
+
+    print(f"Frame budget: {args.budget_ms:g} ms per inference (224x224, 197 tokens)\n")
+    print(
+        format_table(
+            [
+                "model",
+                "BW (Gbps)",
+                "GEMM (ms)",
+                "in budget",
+                "MEADOW (ms)",
+                "in budget",
+                "speedup",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nMEADOW extends the feasible operating region toward lower "
+        "bandwidths — the regime battery/thermal limits push edge modules into."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Scenario: serving several chat sessions from one edge box.
+
+Decode is weight-fetch bound (Fig. 9), so batching sequences amortizes
+the dominant cost. This example sweeps the batch size and shows the
+per-token latency / aggregate throughput tradeoff for MEADOW vs the
+GEMM baseline — and how the advantage composes with GQA.
+
+Usage::
+
+    python examples/batched_serving.py
+"""
+
+from repro import ExecutionPlan, OPT_125M, zcu102_config
+from repro.analysis import format_table
+from repro.models import decode_workload, with_gqa
+from repro.packing import PackingPlanner
+from repro.sim import WorkloadSimulator
+
+BATCHES = [1, 2, 4, 8, 16]
+CTX = 576
+
+
+def main() -> None:
+    cfg = zcu102_config(12.0)
+    planner = PackingPlanner()
+    meadow = WorkloadSimulator(OPT_125M, cfg, ExecutionPlan.meadow(), planner)
+    gemm = WorkloadSimulator(OPT_125M, cfg, ExecutionPlan.gemm_baseline())
+
+    rows = []
+    for b in BATCHES:
+        wl = decode_workload(OPT_125M, CTX, batch=b)
+        rm, rg = meadow.simulate(wl), gemm.simulate(wl)
+        rows.append(
+            [
+                b,
+                f"{rg.latency_ms / b:.2f}",
+                f"{rm.latency_ms / b:.2f}",
+                f"{b / rm.latency_s:.0f}",
+                f"{rg.latency_s / rm.latency_s:.2f}x",
+            ]
+        )
+    print(f"Batched decode, {OPT_125M.name} @12 Gbps, ctx {CTX}:\n")
+    print(
+        format_table(
+            ["batch", "GEMM ms/tok", "MEADOW ms/tok", "MEADOW tok/s", "gain"], rows
+        )
+    )
+
+    gqa_model = with_gqa(OPT_125M, 2)
+    gqa = WorkloadSimulator(gqa_model, cfg, ExecutionPlan.meadow())
+    rows2 = []
+    for b in BATCHES:
+        wl = decode_workload(gqa_model, CTX, batch=b)
+        r = gqa.simulate(wl)
+        rows2.append([b, f"{r.latency_ms / b:.2f}", f"{b / r.latency_s:.0f}"])
+    print(
+        "\nWith GQA (2 KV heads) the per-sequence KV traffic shrinks 6x,\n"
+        "so batching keeps paying off further:\n"
+    )
+    print(format_table(["batch", "MEADOW+GQA ms/tok", "tok/s"], rows2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Design-space exploration for a custom edge FPGA (Sec. 6.5).
+
+Given a candidate fabric (PE count, DRAM bandwidth), which dataflow
+should run the attention ops, and where does the workload sit on the
+roofline? This example reproduces the Fig. 12 methodology on a
+user-chosen grid.
+
+Usage::
+
+    python examples/design_space_exploration.py --model opt-125m --tokens 512
+"""
+
+import argparse
+
+from repro import ExecutionPlan, dataflow_grid, get_model
+from repro.analysis import format_table
+from repro.hardware import scaled_pe_config
+from repro.models import prefill_workload
+from repro.packing import PackingPlanner
+from repro.sim import WorkloadSimulator, workload_roofline
+
+BANDWIDTHS = [1.0, 6.0, 25.0, 51.0]
+PE_COUNTS = [14, 36, 48, 96]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="opt-125m")
+    parser.add_argument("--tokens", type=int, default=512)
+    args = parser.parse_args()
+
+    model = get_model(args.model)
+    planner = PackingPlanner()
+
+    grid = dataflow_grid(model, BANDWIDTHS, PE_COUNTS, args.tokens, planner)
+    rows = []
+    for bw in BANDWIDTHS:
+        row = [f"{bw:g}"]
+        for pes in PE_COUNTS:
+            d = grid[(bw, pes)]
+            ms = min(d.gemm_cycles, d.tphs_cycles) / 1e5
+            row.append(f"{d.best.upper():>4} {ms:6.2f}ms")
+        rows.append(row)
+    print(f"Optimal attention dataflow, {model.name}, prefill {args.tokens} tokens:\n")
+    print(format_table(["BW \\ PEs"] + [str(p) for p in PE_COUNTS], rows))
+
+    print("\nRoofline placement of full MEADOW prefill at each corner:\n")
+    corner_rows = []
+    for bw in (BANDWIDTHS[0], BANDWIDTHS[-1]):
+        for pes in (PE_COUNTS[0], PE_COUNTS[-1]):
+            cfg = scaled_pe_config(pes, bw)
+            sim = WorkloadSimulator(model, cfg, ExecutionPlan.meadow(), planner)
+            pt = workload_roofline(sim.simulate(prefill_workload(model, args.tokens)))
+            corner_rows.append(
+                [
+                    f"BW {bw:g}, PE {pes}",
+                    f"{pt.operational_intensity:.1f}",
+                    f"{pt.attainable_gmacs:.1f}",
+                    f"{pt.achieved_gmacs:.1f}",
+                    pt.bound,
+                ]
+            )
+    print(
+        format_table(
+            ["corner", "OI (MAC/B)", "roof (GMAC/s)", "achieved", "bound"],
+            corner_rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Metadata lives in ``pyproject.toml`` (PEP 621); this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Analysis utilities: sweep drivers and table renderers for the
+benchmark harness that regenerates every figure and table of the paper.
+"""
+
+from .ablations import (
+    EnergyComparison,
+    chunk_size_sweep,
+    energy_comparison,
+    mode_count_sweep,
+    packet_size_sweep,
+)
+from .fidelity import (
+    FidelityCheck,
+    FidelityResult,
+    paper_fidelity_suite,
+    run_fidelity_suite,
+)
+from .pareto import DesignPoint, design_space, pareto_frontier
+from .sensitivity import (
+    SensitivityPoint,
+    core_scale_sensitivity,
+    decode_gain_model,
+)
+from .report import banner, format_breakdown_bar, format_table
+from .sweep import SweepPoint, breakdown_rows, speedup, tbt_sweep, ttft_sweep
+
+__all__ = [
+    "banner",
+    "format_breakdown_bar",
+    "format_table",
+    "SweepPoint",
+    "ttft_sweep",
+    "tbt_sweep",
+    "breakdown_rows",
+    "speedup",
+    "EnergyComparison",
+    "chunk_size_sweep",
+    "packet_size_sweep",
+    "mode_count_sweep",
+    "energy_comparison",
+    "FidelityCheck",
+    "FidelityResult",
+    "paper_fidelity_suite",
+    "run_fidelity_suite",
+    "DesignPoint",
+    "design_space",
+    "pareto_frontier",
+    "SensitivityPoint",
+    "core_scale_sensitivity",
+    "decode_gain_model",
+]

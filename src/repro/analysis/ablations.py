@@ -1,0 +1,102 @@
+"""Ablation drivers for the design choices DESIGN.md calls out.
+
+Beyond the paper's Fig. 10 packing-level ablation, these sweeps answer
+the follow-up questions a reviewer would ask:
+
+* how sensitive is packing to the chunk size ``C`` and packet size ``P``?
+* how much does the mode-alphabet size buy?
+* what do the dataflow/packing choices cost in *energy*, not just time?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.plan import ExecutionPlan
+from ..hardware import HardwareConfig
+from ..models import TransformerConfig, Workload
+from ..packing import PackingConfig, PackingLevel, packed_size_bits
+from ..sim.layer_sim import WorkloadSimulator
+
+__all__ = [
+    "chunk_size_sweep",
+    "packet_size_sweep",
+    "mode_count_sweep",
+    "EnergyComparison",
+    "energy_comparison",
+]
+
+
+def chunk_size_sweep(
+    w: np.ndarray, chunk_sizes: Sequence[int] = (1, 2, 4, 8)
+) -> Dict[int, float]:
+    """Compression ratio of frequency-aware packing per chunk size.
+
+    Larger chunks amortize IDs over more weights but explode the unique
+    matrix; the sweet spot for int8 LLM weights sits at small ``C``.
+    """
+    raw = w.size * 8
+    out = {}
+    for c in chunk_sizes:
+        bits = packed_size_bits(w, PackingConfig(chunk_size=c))
+        out[c] = raw / bits
+    return out
+
+
+def packet_size_sweep(
+    w: np.ndarray, packet_sizes: Sequence[int] = (2, 4, 8, 16, 32)
+) -> Dict[int, float]:
+    """Compression ratio per packet size.
+
+    Small packets adapt precision finely but pay more mode fields; large
+    packets dilute a single large ID over many neighbours.
+    """
+    raw = w.size * 8
+    return {
+        p: raw / packed_size_bits(w, PackingConfig(packet_size=p))
+        for p in packet_sizes
+    }
+
+
+def mode_count_sweep(
+    w: np.ndarray, mode_counts: Sequence[int] = (1, 2, 4, 8, 16)
+) -> Dict[int, float]:
+    """Compression ratio per mode-alphabet size (1 mode == naive)."""
+    raw = w.size * 8
+    out = {}
+    for n in mode_counts:
+        level = PackingLevel.NAIVE if n == 1 else PackingLevel.REINDEX
+        bits = packed_size_bits(w, PackingConfig(level=level, n_modes=n))
+        out[n] = raw / bits
+    return out
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Energy of several systems on one workload (microjoules)."""
+
+    total_uj: Dict[str, float]
+    dram_uj: Dict[str, float]
+
+    def dram_share(self, system: str) -> float:
+        """Fraction of a system's energy spent on DRAM traffic."""
+        return self.dram_uj[system] / self.total_uj[system]
+
+
+def energy_comparison(
+    model: TransformerConfig,
+    config: HardwareConfig,
+    plans: Sequence[ExecutionPlan],
+    workload: Workload,
+) -> EnergyComparison:
+    """Per-system energy ledger for one workload (extension bench)."""
+    totals: Dict[str, float] = {}
+    dram: Dict[str, float] = {}
+    for plan in plans:
+        report = WorkloadSimulator(model, config, plan).simulate(workload)
+        totals[plan.name] = report.energy.total_uj
+        dram[plan.name] = report.energy.breakdown_uj()["dram"]
+    return EnergyComparison(total_uj=totals, dram_uj=dram)

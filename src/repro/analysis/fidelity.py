@@ -1,0 +1,130 @@
+"""Programmatic fidelity checks: paper-reported bands vs. measured values.
+
+EXPERIMENTS.md narrates the comparison; this module makes it executable.
+Each :class:`FidelityCheck` carries a paper citation, the band the paper
+reports, and a thunk computing the reproduction's value. Running the
+suite yields a machine-checkable fidelity report — the closest thing a
+model-based reproduction has to a regression oracle against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.meadow import MeadowEngine
+from ..core.plan import ExecutionPlan
+from ..hardware import zcu102_config
+from ..models import DEIT_S, OPT_125M
+from ..packing import PackingPlanner, packing_ablation
+from ..quant import WeightProfile, generate_int8_weights
+
+__all__ = ["FidelityCheck", "FidelityResult", "paper_fidelity_suite", "run_fidelity_suite"]
+
+
+@dataclass(frozen=True)
+class FidelityCheck:
+    """One paper claim with an executable measurement."""
+
+    name: str
+    citation: str
+    lo: float
+    hi: float
+    measure: Callable[[], float]
+
+
+@dataclass(frozen=True)
+class FidelityResult:
+    """Outcome of one check."""
+
+    check: FidelityCheck
+    value: float
+
+    @property
+    def in_band(self) -> bool:
+        """Whether the measured value falls inside the accepted band."""
+        return self.check.lo <= self.value <= self.check.hi
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        verdict = "OK " if self.in_band else "OUT"
+        return (
+            f"[{verdict}] {self.check.name}: {self.value:.2f} "
+            f"(band {self.check.lo:.2f}-{self.check.hi:.2f}; {self.check.citation})"
+        )
+
+
+def _prefill_gain(bw: float, tokens: int, planner: PackingPlanner) -> float:
+    cfg = zcu102_config(bw)
+    meadow = MeadowEngine(OPT_125M, cfg, planner=planner).prefill(tokens)
+    gemm = MeadowEngine(OPT_125M, cfg, ExecutionPlan.gemm_baseline()).prefill(tokens)
+    return gemm.latency_s / meadow.latency_s
+
+
+def _decode_gain(bw: float, ctx: int, planner: PackingPlanner) -> float:
+    cfg = zcu102_config(bw)
+    meadow = MeadowEngine(OPT_125M, cfg, planner=planner).decode(ctx)
+    gemm = MeadowEngine(OPT_125M, cfg, ExecutionPlan.gemm_baseline()).decode(ctx)
+    return gemm.latency_s / meadow.latency_s
+
+
+def _vit_gain(bw: float, planner: PackingPlanner) -> float:
+    cfg = zcu102_config(bw)
+    meadow = MeadowEngine(DEIT_S, cfg, planner=planner).vit_inference()
+    gemm = MeadowEngine(DEIT_S, cfg, ExecutionPlan.gemm_baseline()).vit_inference()
+    return gemm.latency_s / meadow.latency_s
+
+
+def _mlp1_reindex_gain() -> float:
+    w = generate_int8_weights((3072, 768), WeightProfile("mlp1", 1.0, 5e-4), seed=1)
+    return packing_ablation(w).reindex_gain
+
+
+def paper_fidelity_suite(planner: Optional[PackingPlanner] = None) -> List[FidelityCheck]:
+    """The standing fidelity checks (bands widened ~15% around paper)."""
+    p = planner or PackingPlanner(depth_buckets=2)
+    return [
+        FidelityCheck(
+            "prefill speedup @12Gbps, 512 tok",
+            "Fig. 6a: 1.5-1.7x",
+            1.35,
+            1.9,
+            lambda: _prefill_gain(12.0, 512, p),
+        ),
+        FidelityCheck(
+            "prefill speedup @1Gbps, 512 tok",
+            "Fig. 6a: up to 2.5x",
+            1.8,
+            2.8,
+            lambda: _prefill_gain(1.0, 512, p),
+        ),
+        FidelityCheck(
+            "decode speedup @12Gbps, 64th tok",
+            "Fig. 7a: 1.4-1.46x",
+            1.25,
+            1.8,
+            lambda: _decode_gain(12.0, 576, p),
+        ),
+        FidelityCheck(
+            "ViT speedup @6Gbps (DeiT-S)",
+            "Fig. 13: 1.5-1.6x",
+            1.35,
+            1.85,
+            lambda: _vit_gain(6.0, p),
+        ),
+        FidelityCheck(
+            "MLP1 freq-aware packing gain",
+            "Fig. 10a: 2.63x",
+            2.1,
+            3.2,
+            _mlp1_reindex_gain,
+        ),
+    ]
+
+
+def run_fidelity_suite(
+    checks: Optional[List[FidelityCheck]] = None,
+) -> List[FidelityResult]:
+    """Execute every check and return the results."""
+    suite = checks if checks is not None else paper_fidelity_suite()
+    return [FidelityResult(check=c, value=float(c.measure())) for c in suite]

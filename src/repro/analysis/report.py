@@ -1,0 +1,56 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_breakdown_bar", "banner"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_breakdown_bar(
+    label: str, parts: Dict[str, float], width: int = 50
+) -> str:
+    """Render one stacked bar as proportional character runs."""
+    total = sum(parts.values())
+    if total <= 0:
+        return f"{label:<24} (empty)"
+    symbols = {"weight_fetch": "W", "input_fetch": "I", "compute": "C", "store": "S"}
+    bar = ""
+    for key, value in parts.items():
+        n = int(round(width * value / total))
+        bar += symbols.get(key, "?") * n
+    return f"{label:<24} |{bar:<{width}}| total={total:.3g}"
+
+
+def banner(title: str) -> str:
+    """Section banner used between benchmark outputs."""
+    line = "=" * max(60, len(title) + 4)
+    return f"\n{line}\n  {title}\n{line}"

@@ -1,0 +1,110 @@
+"""Parameter sweep drivers shared by the benchmark harness.
+
+Each figure of the paper's evaluation is a sweep over DRAM bandwidth,
+token counts, PE counts or packing levels; these helpers run the
+simulator over those grids and return flat, printable records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.plan import ExecutionPlan
+from ..hardware import HardwareConfig
+from ..models import TransformerConfig
+from ..packing import PackingPlanner
+from ..sim.breakdown import StageReport
+from ..sim.metrics import tbt, ttft
+
+__all__ = [
+    "SweepPoint",
+    "ttft_sweep",
+    "tbt_sweep",
+    "breakdown_rows",
+    "speedup",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (plan, bandwidth, tokens) measurement."""
+
+    plan: str
+    bandwidth_gbps: float
+    tokens: int
+    latency_s: float
+
+    @property
+    def latency_ms(self) -> float:
+        """Latency in milliseconds."""
+        return self.latency_s * 1e3
+
+
+def ttft_sweep(
+    model: TransformerConfig,
+    base_config: HardwareConfig,
+    plans: Sequence[ExecutionPlan],
+    bandwidths_gbps: Sequence[float],
+    token_counts: Sequence[int],
+    planner: Optional[PackingPlanner] = None,
+) -> List[SweepPoint]:
+    """TTFT grid over (plan, bandwidth, prompt length) — Figs. 6a/6b."""
+    shared_planner = planner or PackingPlanner()
+    points = []
+    for plan in plans:
+        p = shared_planner if plan.packing is not None else None
+        for bw in bandwidths_gbps:
+            config = base_config.with_bandwidth(bw)
+            for tokens in token_counts:
+                report = ttft(model, config, plan, tokens, planner=p)
+                points.append(SweepPoint(plan.name, bw, tokens, report.latency_s))
+    return points
+
+
+def tbt_sweep(
+    model: TransformerConfig,
+    base_config: HardwareConfig,
+    plans: Sequence[ExecutionPlan],
+    bandwidths_gbps: Sequence[float],
+    token_indices: Sequence[int],
+    prefill_tokens: int = 512,
+    planner: Optional[PackingPlanner] = None,
+) -> List[SweepPoint]:
+    """TBT grid over (plan, bandwidth, generated-token index) — Figs. 7a/7b."""
+    shared_planner = planner or PackingPlanner()
+    points = []
+    for plan in plans:
+        p = shared_planner if plan.packing is not None else None
+        for bw in bandwidths_gbps:
+            config = base_config.with_bandwidth(bw)
+            for idx in token_indices:
+                report = tbt(model, config, plan, idx, prefill_tokens, planner=p)
+                points.append(SweepPoint(plan.name, bw, idx, report.latency_s))
+    return points
+
+
+def breakdown_rows(report: StageReport, layer: int = 0) -> List[Dict[str, object]]:
+    """Per-op fetch/compute/store rows of one layer (Figs. 1, 8, 9)."""
+    rows: List[Dict[str, object]] = []
+    for op in report.layer_ops[layer]:
+        bd = op.breakdown
+        rows.append(
+            {
+                "op": op.kind.value,
+                "dataflow": op.dataflow,
+                "weight_fetch": bd.weight_fetch,
+                "input_fetch": bd.input_fetch,
+                "compute": bd.compute,
+                "store": bd.store,
+                "total": op.total(report.config.double_buffered),
+            }
+        )
+    return rows
+
+
+def speedup(points: List[SweepPoint], baseline: str, system: str) -> Dict[tuple, float]:
+    """Pointwise ``baseline / system`` latency ratios keyed by (bw, tokens)."""
+    base = {(p.bandwidth_gbps, p.tokens): p.latency_s for p in points if p.plan == baseline}
+    sys_ = {(p.bandwidth_gbps, p.tokens): p.latency_s for p in points if p.plan == system}
+    return {key: base[key] / sys_[key] for key in base if key in sys_}

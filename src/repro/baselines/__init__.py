@@ -1,0 +1,30 @@
+"""Baseline systems the paper compares against (Table 2).
+
+All baselines run on the *same* simulated fabric with W8A8 precision;
+they differ only in dataflow, packing and sparsity policy — exactly the
+paper's controlled comparison:
+
+* :func:`gemm_baseline` — every layer in GEMM mode, raw weights. The
+  reference all speedups are quoted against (Figs. 6-9, 13).
+* :func:`cta` — CTA (Wang et al., HPCA 2023): compressed token attention;
+  all-GEMM, no weight packing.
+* :func:`flightllm` — FlightLLM (Zeng et al., FPGA 2024): N:M sparse
+  weights, all-GEMM, decode-time attention intermediates on chip, no
+  weight packing.
+"""
+
+from ..core.plan import ExecutionPlan, SparsityConfig
+from .comparison import SystemComparison, compare_systems
+
+gemm_baseline = ExecutionPlan.gemm_baseline
+cta = ExecutionPlan.cta
+flightllm = ExecutionPlan.flightllm
+
+__all__ = [
+    "gemm_baseline",
+    "cta",
+    "flightllm",
+    "SparsityConfig",
+    "SystemComparison",
+    "compare_systems",
+]

@@ -1,0 +1,85 @@
+"""Side-by-side system comparison used by the prior-work benches.
+
+Runs a set of execution plans through identical workloads and reports
+TTFT / TBT / end-to-end latency per system, mirroring the structure of
+the paper's Fig. 11 and the Sec. 6.4 end-to-end claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.plan import ExecutionPlan
+from ..hardware import HardwareConfig
+from ..models import TransformerConfig
+from ..packing import PackingPlanner
+from ..sim.metrics import end_to_end, tbt, ttft
+
+__all__ = ["SystemComparison", "compare_systems"]
+
+
+@dataclass(frozen=True)
+class SystemComparison:
+    """Latencies (seconds) of several systems under one workload setting."""
+
+    prefill_tokens: int
+    decode_token_index: int
+    generated_tokens: int
+    ttft_s: Dict[str, float]
+    tbt_s: Dict[str, float]
+    end_to_end_s: Dict[str, float]
+
+    def speedup_over(self, reference: str, metric: str = "end_to_end") -> Dict[str, float]:
+        """Per-system speedup relative to ``reference`` for a metric."""
+        table = {
+            "ttft": self.ttft_s,
+            "tbt": self.tbt_s,
+            "end_to_end": self.end_to_end_s,
+        }[metric]
+        ref = table[reference]
+        return {name: ref / value for name, value in table.items()}
+
+
+def compare_systems(
+    model: TransformerConfig,
+    config: HardwareConfig,
+    plans: Sequence[ExecutionPlan],
+    prefill_tokens: int = 512,
+    decode_token_index: int = 64,
+    generated_tokens: int = 64,
+    planner: Optional[PackingPlanner] = None,
+) -> SystemComparison:
+    """Evaluate every plan on the same (model, config, workload) triple."""
+    ttfts: Dict[str, float] = {}
+    tbts: Dict[str, float] = {}
+    e2es: Dict[str, float] = {}
+    for plan in plans:
+        plan_planner = planner if plan.packing is not None else None
+        ttfts[plan.name] = ttft(
+            model, config, plan, prefill_tokens, planner=plan_planner
+        ).latency_s
+        tbts[plan.name] = tbt(
+            model,
+            config,
+            plan,
+            decode_token_index,
+            prefill_tokens=prefill_tokens,
+            planner=plan_planner,
+        ).latency_s
+        e2es[plan.name] = end_to_end(
+            model,
+            config,
+            plan,
+            prefill_tokens,
+            generated_tokens,
+            planner=plan_planner,
+        ).total_s
+    return SystemComparison(
+        prefill_tokens=prefill_tokens,
+        decode_token_index=decode_token_index,
+        generated_tokens=generated_tokens,
+        ttft_s=ttfts,
+        tbt_s=tbts,
+        end_to_end_s=e2es,
+    )

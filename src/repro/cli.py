@@ -1,0 +1,232 @@
+"""Command-line interface: run the paper's measurements from a shell.
+
+Examples::
+
+    python -m repro ttft --model opt-125m --bandwidth 12 --tokens 512
+    python -m repro tbt --model opt-1.3b --bandwidth 1 --token-index 64
+    python -m repro sweep --model opt-125m --bandwidths 1 6 12
+    python -m repro pack-stats --model opt-125m --layer 0
+    python -m repro grid --model opt-125m
+    python -m repro resources --pes 96
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table, speedup, ttft_sweep
+from .baselines import cta, flightllm, gemm_baseline
+from .core import ExecutionPlan, MeadowEngine, dataflow_grid
+from .hardware import zcu102_config
+from .hardware.power import PowerModel
+from .hardware.resources import ZCU102_PART, ZCU104_PART, estimate_resources
+from .models import get_model
+from .packing import PackingPlanner, layer_reduction_ratios
+
+__all__ = ["main", "build_parser"]
+
+_PLANS = {
+    "meadow": ExecutionPlan.meadow,
+    "gemm": gemm_baseline,
+    "cta": cta,
+    "flightllm": flightllm,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MEADOW reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="opt-125m")
+        p.add_argument("--bandwidth", type=float, default=12.0)
+        p.add_argument("--plan", choices=sorted(_PLANS), default="meadow")
+
+    p = sub.add_parser("ttft", help="prefill latency (time to first token)")
+    common(p)
+    p.add_argument("--tokens", type=int, default=512)
+
+    p = sub.add_parser("tbt", help="decode latency (time between tokens)")
+    common(p)
+    p.add_argument("--token-index", type=int, default=64)
+    p.add_argument("--prefill", type=int, default=512)
+
+    p = sub.add_parser("sweep", help="TTFT sweep, MEADOW vs GEMM")
+    p.add_argument("--model", default="opt-125m")
+    p.add_argument("--bandwidths", type=float, nargs="+", default=[1, 6, 12])
+    p.add_argument("--tokens", type=int, nargs="+", default=[64, 512])
+
+    p = sub.add_parser("pack-stats", help="reduction ratios of one layer")
+    p.add_argument("--model", default="opt-125m")
+    p.add_argument("--layer", type=int, default=0)
+
+    p = sub.add_parser("grid", help="GEMM vs TPHS dataflow choice grid")
+    p.add_argument("--model", default="opt-125m")
+    p.add_argument("--tokens", type=int, default=512)
+    p.add_argument("--bandwidths", type=float, nargs="+", default=[1, 6, 25, 51])
+    p.add_argument("--pes", type=int, nargs="+", default=[14, 36, 48, 96])
+
+    p = sub.add_parser("resources", help="FPGA resource + power estimate")
+    p.add_argument("--pes", type=int, default=96)
+    p.add_argument("--bandwidth", type=float, default=12.0)
+
+    p = sub.add_parser("pareto", help="Pareto frontier of the design space")
+    p.add_argument("--model", default="opt-125m")
+    p.add_argument("--tokens", type=int, default=512)
+    p.add_argument("--pes", type=int, nargs="+", default=[14, 36, 48, 96])
+    p.add_argument("--bandwidths", type=float, nargs="+", default=[1, 6, 25, 51])
+
+    p = sub.add_parser("fidelity", help="run the paper fidelity suite")
+
+    p = sub.add_parser("trace", help="op timeline of one prefill pass")
+    common(p)
+    p.add_argument("--tokens", type=int, default=512)
+    p.add_argument("--layer", type=int, default=0)
+    return parser
+
+
+def _cmd_ttft(args: argparse.Namespace) -> str:
+    model = get_model(args.model)
+    engine = MeadowEngine(model, zcu102_config(args.bandwidth), _PLANS[args.plan]())
+    report = engine.prefill(args.tokens)
+    return (
+        f"TTFT {model.name} plan={args.plan} tokens={args.tokens} "
+        f"@{args.bandwidth:g} Gbps: {report.latency_ms:.2f} ms"
+    )
+
+
+def _cmd_tbt(args: argparse.Namespace) -> str:
+    model = get_model(args.model)
+    engine = MeadowEngine(model, zcu102_config(args.bandwidth), _PLANS[args.plan]())
+    report = engine.decode(args.prefill + args.token_index)
+    return (
+        f"TBT {model.name} plan={args.plan} token#{args.token_index} "
+        f"(prefill {args.prefill}) @{args.bandwidth:g} Gbps: {report.latency_ms:.2f} ms"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    model = get_model(args.model)
+    plans = [ExecutionPlan.gemm_baseline(), ExecutionPlan.meadow()]
+    points = ttft_sweep(
+        model, zcu102_config(12.0), plans, args.bandwidths, args.tokens,
+        planner=PackingPlanner(),
+    )
+    gains = speedup(points, "gemm", "meadow")
+    rows = [
+        [bw, t, f"{gains[(bw, t)]:.2f}x"]
+        for bw in args.bandwidths
+        for t in args.tokens
+    ]
+    return format_table(["BW (Gbps)", "tokens", "MEADOW speedup"], rows)
+
+
+def _cmd_pack_stats(args: argparse.Namespace) -> str:
+    model = get_model(args.model)
+    ratios = layer_reduction_ratios(model, args.layer)
+    rows = [[kind.value, f"{ratio:.0f}"] for kind, ratio in ratios.items()]
+    return format_table([f"layer {args.layer} matrix", "reduction ratio"], rows)
+
+
+def _cmd_grid(args: argparse.Namespace) -> str:
+    model = get_model(args.model)
+    grid = dataflow_grid(model, args.bandwidths, args.pes, args.tokens)
+    rows = []
+    for bw in args.bandwidths:
+        row = [f"{bw:g}"]
+        for pes in args.pes:
+            d = grid[(bw, pes)]
+            row.append(f"{d.best.upper()} ({d.advantage:.2f}x)")
+        rows.append(row)
+    return format_table(["BW \\ PEs"] + [str(p) for p in args.pes], rows)
+
+
+def _cmd_resources(args: argparse.Namespace) -> str:
+    config = zcu102_config(args.bandwidth).with_total_pes(args.pes)
+    est = estimate_resources(config)
+    power = PowerModel(config)
+    lines = [
+        f"build: {config.n_parallel_pe} parallel + {config.n_broadcast_pe} broadcasting PEs",
+        f"estimate: {est.luts:,} LUT, {est.dsps:,} DSP, {est.bram_tiles} BRAM tiles",
+        f"static power: {power.static_power_w(est):.2f} W",
+    ]
+    for part in (ZCU102_PART, ZCU104_PART):
+        util = est.utilization(part)
+        verdict = "fits" if est.fits(part) else "DOES NOT FIT"
+        lines.append(
+            f"{part.name}: {verdict} "
+            f"(LUT {util['luts']:.0%}, DSP {util['dsps']:.0%}, BRAM {util['bram']:.0%})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_pareto(args: argparse.Namespace) -> str:
+    from .analysis import design_space, pareto_frontier
+    from .hardware.resources import ZCU102_PART
+
+    model = get_model(args.model)
+    points = design_space(
+        model,
+        args.pes,
+        args.bandwidths,
+        prompt_tokens=args.tokens,
+        planner=PackingPlanner(),
+        part=ZCU102_PART,
+    )
+    frontier = {(p.n_pes, p.bandwidth_gbps) for p in pareto_frontier(points)}
+    rows = [
+        [
+            p.n_pes,
+            f"{p.bandwidth_gbps:g}",
+            f"{p.luts:,}",
+            f"{p.latency_s * 1e3:.1f}",
+            "*" if (p.n_pes, p.bandwidth_gbps) in frontier else "",
+        ]
+        for p in sorted(points, key=lambda q: (q.luts, q.latency_s))
+    ]
+    return format_table(["PEs", "BW (Gbps)", "LUTs", "TTFT (ms)", "Pareto"], rows)
+
+
+def _cmd_fidelity(_args: argparse.Namespace) -> str:
+    from .analysis import run_fidelity_suite
+
+    return "\n".join(r.describe() for r in run_fidelity_suite())
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from .sim import build_trace, render_gantt
+
+    model = get_model(args.model)
+    engine = MeadowEngine(model, zcu102_config(args.bandwidth), _PLANS[args.plan]())
+    events = build_trace(engine.prefill(args.tokens))
+    layer_events = [ev for ev in events if ev.layer == args.layer]
+    return render_gantt(layer_events, width=70)
+
+
+_COMMANDS = {
+    "ttft": _cmd_ttft,
+    "tbt": _cmd_tbt,
+    "sweep": _cmd_sweep,
+    "pack-stats": _cmd_pack_stats,
+    "grid": _cmd_grid,
+    "resources": _cmd_resources,
+    "pareto": _cmd_pareto,
+    "fidelity": _cmd_fidelity,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

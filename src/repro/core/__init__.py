@@ -1,0 +1,29 @@
+"""Core framework: execution plans, the dataflow selector, and the
+:class:`MeadowEngine` facade implementing the paper's primary
+contribution (TPHS dataflow + weight packing on a hybrid fabric).
+"""
+
+from .autotuner import TuneResult, tune_packing, tuned_plan
+from .meadow import MeadowEngine, PackingSummary
+from .plan import DataflowMode, ExecutionPlan, SparsityConfig
+from .selector import (
+    DataflowDecision,
+    attention_block_cycles,
+    choose_dataflow,
+    dataflow_grid,
+)
+
+__all__ = [
+    "MeadowEngine",
+    "PackingSummary",
+    "DataflowMode",
+    "ExecutionPlan",
+    "SparsityConfig",
+    "DataflowDecision",
+    "attention_block_cycles",
+    "choose_dataflow",
+    "dataflow_grid",
+    "TuneResult",
+    "tune_packing",
+    "tuned_plan",
+]

@@ -1,0 +1,78 @@
+"""Packing autotuner: pick the chunk/packet/mode configuration per model.
+
+The paper fixes chunk size, packet size and the mode alphabet; this
+extension searches that space against measured packed sizes (and,
+optionally, simulated TBT) to find the best configuration per model —
+the step a deployment engineer runs once per checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..hardware import HardwareConfig
+from ..models import TransformerConfig
+from ..packing import PackingConfig, PackingLevel, PackingPlanner
+from .plan import ExecutionPlan
+
+__all__ = ["TuneResult", "tune_packing", "DEFAULT_CHUNK_SIZES", "DEFAULT_PACKET_SIZES"]
+
+DEFAULT_CHUNK_SIZES: Tuple[int, ...] = (1, 2, 4)
+DEFAULT_PACKET_SIZES: Tuple[int, ...] = (4, 8, 16)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one autotuning run."""
+
+    best: PackingConfig
+    best_compression: float
+    trials: List[Tuple[PackingConfig, float]]
+
+    @property
+    def n_trials(self) -> int:
+        """Configurations evaluated."""
+        return len(self.trials)
+
+
+def tune_packing(
+    model: TransformerConfig,
+    chunk_sizes: Sequence[int] = DEFAULT_CHUNK_SIZES,
+    packet_sizes: Sequence[int] = DEFAULT_PACKET_SIZES,
+    optimize_modes: Sequence[bool] = (False, True),
+    level: PackingLevel = PackingLevel.REINDEX,
+    depth_buckets: int = 1,
+) -> TuneResult:
+    """Grid-search packing knobs, maximizing whole-model compression.
+
+    Uses one representative depth bucket per trial (packing statistics
+    are stable across depth for ranking purposes) so the search stays
+    cheap; re-rank with ``depth_buckets>1`` for a finer finish.
+    """
+    if not chunk_sizes or not packet_sizes:
+        raise ConfigError("need at least one chunk size and one packet size")
+    trials: List[Tuple[PackingConfig, float]] = []
+    for c in chunk_sizes:
+        for p in packet_sizes:
+            for opt in optimize_modes:
+                cfg = PackingConfig(
+                    chunk_size=c, packet_size=p, level=level, optimize_modes=opt
+                )
+                planner = PackingPlanner(config=cfg, depth_buckets=depth_buckets)
+                compression = planner.model_compression(model)
+                trials.append((cfg, compression))
+    trials.sort(key=lambda t: -t[1])
+    best_cfg, best_val = trials[0]
+    return TuneResult(best=best_cfg, best_compression=best_val, trials=trials)
+
+
+def tuned_plan(
+    model: TransformerConfig,
+    config: Optional[HardwareConfig] = None,
+    **tune_kwargs: object,
+) -> Tuple[ExecutionPlan, TuneResult]:
+    """Autotune packing and return a ready-to-run MEADOW plan."""
+    result = tune_packing(model, **tune_kwargs)  # type: ignore[arg-type]
+    return ExecutionPlan.meadow(packing=result.best), result

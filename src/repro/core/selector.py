@@ -1,0 +1,111 @@
+"""Dataflow selection: GEMM vs TPHS for the attention ops (Sec. 6.5).
+
+The right dataflow for ``Q + SM(QK^T) x V`` depends on the platform:
+GEMM keeps the whole PE array busy but round-trips intermediates through
+DRAM; TPHS eliminates that traffic but its lane parallelism is bounded by
+the PE mix. High bandwidth favours GEMM, constrained bandwidth favours
+TPHS — the paper's Fig. 12a table. This module evaluates both mappings
+of the attention block and picks the faster one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ScheduleError
+from ..hardware import HardwareConfig, scaled_pe_config
+from ..models import (
+    OpKind,
+    TPHS_ELIGIBLE_OPS,
+    TransformerConfig,
+    prefill_workload,
+)
+from ..packing import PackingPlanner
+from ..sim.gemm_executor import gemm_op_latency, vector_op_latency
+from ..sim.tphs_executor import tphs_block_latency
+
+__all__ = ["DataflowDecision", "attention_block_cycles", "choose_dataflow", "dataflow_grid"]
+
+
+@dataclass(frozen=True)
+class DataflowDecision:
+    """Outcome of comparing both dataflows on one configuration."""
+
+    gemm_cycles: float
+    tphs_cycles: float
+    best: str  # "gemm" or "tphs"
+
+    @property
+    def advantage(self) -> float:
+        """Speedup of the winner over the loser (>= 1)."""
+        lo = min(self.gemm_cycles, self.tphs_cycles)
+        hi = max(self.gemm_cycles, self.tphs_cycles)
+        return hi / lo if lo > 0 else float("inf")
+
+
+def attention_block_cycles(
+    config: HardwareConfig,
+    model: TransformerConfig,
+    n_tokens: int,
+    dataflow: str,
+    wq_bits: Optional[int] = None,
+) -> float:
+    """Cycles of the Q+SM(QK^T)xV block of one layer under one dataflow."""
+    workload = prefill_workload(model, n_tokens)
+    db = config.double_buffered
+    if dataflow == "tphs":
+        breakdown, _ = tphs_block_latency(
+            config, model, n_tokens, n_tokens, wq_bits=wq_bits
+        )
+        return breakdown.total(db)
+    if dataflow != "gemm":
+        raise ScheduleError(f"unknown dataflow {dataflow!r}")
+    total = 0.0
+    for op in workload.layer_ops():
+        if op.kind not in TPHS_ELIGIBLE_OPS:
+            continue
+        if op.kind is OpKind.SOFTMAX:
+            total += vector_op_latency(config, op).total(db)
+        else:
+            w_bits = wq_bits if op.kind is OpKind.Q_PROJ else None
+            total += gemm_op_latency(config, op, weight_bits_total=w_bits).total(db)
+    return total
+
+
+def choose_dataflow(
+    config: HardwareConfig,
+    model: TransformerConfig,
+    n_tokens: int,
+    planner: Optional[PackingPlanner] = None,
+) -> DataflowDecision:
+    """Pick the faster attention dataflow for one (config, workload)."""
+    wq_bits = None
+    if planner is not None:
+        wq_bits = planner.stats_for(model, OpKind.Q_PROJ, 0).effective_bits
+    gemm = attention_block_cycles(config, model, n_tokens, "gemm", wq_bits)
+    try:
+        tphs = attention_block_cycles(config, model, n_tokens, "tphs", wq_bits)
+    except ScheduleError:
+        tphs = float("inf")
+    return DataflowDecision(
+        gemm_cycles=gemm,
+        tphs_cycles=tphs,
+        best="gemm" if gemm <= tphs else "tphs",
+    )
+
+
+def dataflow_grid(
+    model: TransformerConfig,
+    bandwidths_gbps: Sequence[float],
+    pe_counts: Sequence[int],
+    n_tokens: int = 512,
+    planner: Optional[PackingPlanner] = None,
+) -> Dict[Tuple[float, int], DataflowDecision]:
+    """The Fig. 12a design-space table: best dataflow per (BW, PE) cell."""
+    grid: Dict[Tuple[float, int], DataflowDecision] = {}
+    for bw in bandwidths_gbps:
+        for pes in pe_counts:
+            config = scaled_pe_config(pes, bw)
+            grid[(bw, pes)] = choose_dataflow(config, model, n_tokens, planner)
+    return grid

@@ -1,0 +1,32 @@
+"""Exception types used across the MEADOW reproduction.
+
+A small, flat hierarchy: everything derives from :class:`ReproError` so
+callers embedding the library can catch one type, while tests can assert
+on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A hardware or model configuration is inconsistent or out of range."""
+
+
+class CapacityError(ReproError):
+    """An on-chip buffer (BRAM / register file) cannot hold a required tile."""
+
+
+class PackingError(ReproError):
+    """Weight packing or unpacking failed (malformed stream, bad mode table...)."""
+
+
+class ScheduleError(ReproError):
+    """A dataflow schedule could not be constructed for the given shapes."""
+
+
+class SimulationError(ReproError):
+    """The performance or functional simulator reached an invalid state."""

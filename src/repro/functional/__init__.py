@@ -1,0 +1,52 @@
+"""Functional int8 simulator: exact integer kernels, LUT softmax,
+attention in both execution orders, KV cache, and a complete decoder
+stack. Proves the paper's losslessness claims bit-for-bit.
+"""
+
+from .attention import AttentionParams, attention_reference, attention_tphs
+from .audit import MacCounter, attention_stream_macs, count_macs, expected_forward_macs
+from .calibration import CalibrationReport, calibrate
+from .decoder import DecoderLayerParams, TinyTransformer
+from .generation import SyntheticLmHead, greedy_generate
+from .kv_cache import KvCache
+from .ops import (
+    ACC_LIMIT,
+    ExpLut,
+    INT8_MAX,
+    gelu_int8,
+    int_matmul,
+    layernorm_int8,
+    layernorm_int8_integer,
+    lut_softmax,
+    quantize_static,
+    relu_int8,
+    requantize,
+)
+
+__all__ = [
+    "AttentionParams",
+    "attention_reference",
+    "attention_tphs",
+    "CalibrationReport",
+    "calibrate",
+    "SyntheticLmHead",
+    "greedy_generate",
+    "MacCounter",
+    "count_macs",
+    "expected_forward_macs",
+    "attention_stream_macs",
+    "DecoderLayerParams",
+    "TinyTransformer",
+    "KvCache",
+    "ExpLut",
+    "INT8_MAX",
+    "ACC_LIMIT",
+    "int_matmul",
+    "lut_softmax",
+    "layernorm_int8",
+    "layernorm_int8_integer",
+    "quantize_static",
+    "relu_int8",
+    "gelu_int8",
+    "requantize",
+]

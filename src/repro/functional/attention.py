@@ -1,0 +1,184 @@
+"""Functional multi-head attention: GEMM-ordered reference vs TPHS order.
+
+Both executors compute the *same* integer formula; they differ only in
+loop structure:
+
+* :func:`attention_reference` — batch GEMM order (all heads at once,
+  vectorized), the mathematical reference.
+* :func:`attention_tphs` — the paper's token-parallel head-sequential
+  schedule: heads outermost, token groups of ``lane_width`` flowing
+  through Q -> QK^T -> streaming MAX/EXP/DIV -> broadcast SM x V, with
+  the softmax statistics and SM x V accumulators built up *sequentially*
+  over the key/value stream exactly as the pipeline hardware does.
+
+Integer arithmetic is exact and associative here, so the two must agree
+bit for bit — the property test that pins the TPHS dataflow as a pure
+re-ordering (no approximation), mirroring the paper's losslessness claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from .kv_cache import KvCache
+from .ops import ExpLut, int_matmul, lut_softmax, requantize
+
+__all__ = ["AttentionParams", "attention_reference", "attention_tphs"]
+
+
+@dataclass
+class AttentionParams:
+    """Weights and static quantization scales of one attention layer."""
+
+    wq: np.ndarray  # [D, D] int8, rows = output features
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    n_heads: int
+    x_scale: float = 0.05
+    wq_scale: float = 0.01
+    wk_scale: float = 0.01
+    wv_scale: float = 0.01
+    wo_scale: float = 0.01
+    q_scale: float = 0.1
+    k_scale: float = 0.1
+    v_scale: float = 0.1
+    attn_scale: float = 0.05
+    out_scale: float = 0.05
+    prob_bits: int = 8
+    lut: ExpLut = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        d = self.wq.shape[0]
+        for name in ("wq", "wk", "wv", "wo"):
+            w = getattr(self, name)
+            if w.shape != (d, d) or w.dtype != np.int8:
+                raise SimulationError(f"{name} must be int8 [{d}, {d}]")
+        if d % self.n_heads:
+            raise SimulationError("d_model must divide into heads")
+        if self.lut is None:
+            # Score scale: Q and K are int8 with their own scales; the
+            # integer QK^T accumulator carries scale q_scale * k_scale.
+            self.lut = ExpLut(score_scale=self.q_scale * self.k_scale)
+
+    @property
+    def d_model(self) -> int:
+        """Model width ``D``."""
+        return self.wq.shape[0]
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head width ``HD``."""
+        return self.d_model // self.n_heads
+
+
+def _project(x: np.ndarray, w: np.ndarray, x_scale: float, w_scale: float,
+             out_scale: float) -> np.ndarray:
+    """int8 linear projection ``x @ w.T`` with static requantization."""
+    acc = int_matmul(x, np.ascontiguousarray(w.T))
+    return requantize(acc, x_scale * w_scale, out_scale)
+
+
+def _project_kv(params: AttentionParams, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    k = _project(x, params.wk, params.x_scale, params.wk_scale, params.k_scale)
+    v = _project(x, params.wv, params.x_scale, params.wv_scale, params.v_scale)
+    return k, v
+
+
+def attention_reference(
+    params: AttentionParams, x: np.ndarray, cache: KvCache
+) -> np.ndarray:
+    """GEMM-ordered attention over ``x`` (``[T, D]`` int8), updating the cache.
+
+    Returns the int8 attention output (post out-projection, scale
+    ``params.out_scale``).
+    """
+    if x.ndim != 2 or x.shape[1] != params.d_model or x.dtype != np.int8:
+        raise SimulationError(f"x must be int8 [T, {params.d_model}]")
+    q = _project(x, params.wq, params.x_scale, params.wq_scale, params.q_scale)
+    k_new, v_new = _project_kv(params, x)
+    cache.append(k_new, v_new)
+
+    hd = params.head_dim
+    t = x.shape[0]
+    attn = np.empty((t, params.d_model), dtype=np.int8)
+    for h in range(params.n_heads):
+        k_h, v_h = cache.head_slices(h)
+        q_h = q[:, h * hd : (h + 1) * hd]
+        scores = int_matmul(q_h, np.ascontiguousarray(k_h.T))
+        probs = lut_softmax(scores, params.lut, out_bits=params.prob_bits)
+        acc = probs.astype(np.int64) @ v_h.astype(np.int64)
+        attn[:, h * hd : (h + 1) * hd] = requantize(
+            acc, params.v_scale / (1 << params.prob_bits), params.attn_scale
+        )
+    return _project(attn, params.wo, params.attn_scale, params.wo_scale, params.out_scale)
+
+
+def attention_tphs(
+    params: AttentionParams,
+    x: np.ndarray,
+    cache: KvCache,
+    lane_width: int = 2,
+) -> np.ndarray:
+    """TPHS-ordered attention: heads sequential, token lanes parallel.
+
+    K/V are projected first (GEMM mode, as on the hardware), then each
+    head streams every token group through the pipeline stages with
+    *sequential* accumulation over the key/value axis.
+    """
+    if lane_width < 1:
+        raise SimulationError(f"lane_width must be >= 1, got {lane_width}")
+    if x.ndim != 2 or x.shape[1] != params.d_model or x.dtype != np.int8:
+        raise SimulationError(f"x must be int8 [T, {params.d_model}]")
+    k_new, v_new = _project_kv(params, x)
+    cache.append(k_new, v_new)
+
+    hd = params.head_dim
+    t = x.shape[0]
+    kv_len = len(cache)
+    attn = np.empty((t, params.d_model), dtype=np.int8)
+    wq_t = np.ascontiguousarray(params.wq.T)
+
+    for h in range(params.n_heads):  # heads sequential
+        k_h, v_h = cache.head_slices(h)
+        wq_h = np.ascontiguousarray(wq_t[:, h * hd : (h + 1) * hd])
+        for g0 in range(0, t, lane_width):  # token groups through the pipe
+            lanes = slice(g0, min(g0 + lane_width, t))
+            # Q stage: per-lane projection of this head's slice only.
+            q_acc = int_matmul(x[lanes], wq_h)
+            q_g = requantize(q_acc, params.x_scale * params.wq_scale, params.q_scale)
+
+            # QK^T stage: one key per cycle, scores built sequentially.
+            n_lanes = q_g.shape[0]
+            scores = np.empty((n_lanes, kv_len), dtype=np.int64)
+            for j in range(kv_len):
+                scores[:, j] = (
+                    q_g.astype(np.int64) * k_h[j].astype(np.int64)
+                ).sum(axis=1)
+
+            # MAX stage: streaming maxima.
+            row_max = scores[:, 0].copy()
+            for j in range(1, kv_len):
+                row_max = np.maximum(row_max, scores[:, j])
+            # EXP stage: LUT lookups + streaming sum.
+            exps = params.lut.lookup(row_max[:, None] - scores).astype(np.int64)
+            denom = np.zeros(n_lanes, dtype=np.int64)
+            for j in range(kv_len):
+                denom += exps[:, j]
+            # DIV stage.
+            probs = np.minimum(
+                (exps << params.prob_bits) // denom[:, None],
+                (1 << params.prob_bits) - 1,
+            )
+
+            # SM x V stage: broadcast accumulate, one value-row per cycle.
+            acc = np.zeros((n_lanes, hd), dtype=np.int64)
+            for j in range(kv_len):
+                acc += probs[:, j, None] * v_h[j].astype(np.int64)
+            attn[lanes, h * hd : (h + 1) * hd] = requantize(
+                acc, params.v_scale / (1 << params.prob_bits), params.attn_scale
+            )
+    return _project(attn, params.wo, params.attn_scale, params.wo_scale, params.out_scale)

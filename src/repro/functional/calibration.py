@@ -1,0 +1,93 @@
+"""Static-scale calibration for the functional simulator.
+
+SmoothQuant-style W8A8 deployment fixes every requantization scale ahead
+of time from a calibration set. The functional simulator ships with
+heuristic scales; this module runs a calibration pass over sample
+activations, observes the pre-requantization dynamic range at every
+interface, and rewrites the scales so the int8 range is actually used.
+
+Scales stay *static* afterwards — the property the exactness tests rely
+on (TPHS vs GEMM equality holds for any fixed scales; calibration just
+makes the numerics healthy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import SimulationError
+from .decoder import TinyTransformer
+from .ops import INT8_MAX, int_matmul
+
+__all__ = ["CalibrationReport", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Observed ranges and the scales chosen from them."""
+
+    observed_absmax: Dict[str, float]
+    chosen_scales: Dict[str, float]
+
+    def scale_for(self, key: str) -> float:
+        """Scale chosen for one interface (e.g. ``'layer0.q'``)."""
+        return self.chosen_scales[key]
+
+
+def _absmax_scale(absmax: float, percentile_headroom: float) -> float:
+    """Scale mapping the observed range onto the int8 grid."""
+    effective = max(absmax, 1e-8) * percentile_headroom
+    return effective / INT8_MAX
+
+
+def calibrate(
+    model: TinyTransformer,
+    samples: List[np.ndarray],
+    percentile_headroom: float = 1.05,
+) -> CalibrationReport:
+    """Calibrate the q/k/v requantization scales of every layer.
+
+    Args:
+        model: functional transformer to calibrate in place.
+        samples: list of int8 prompts (``[T, D]``) drawn from the target
+            distribution.
+        percentile_headroom: multiplicative slack above the observed
+            absmax (guards against clipping on unseen data).
+
+    Returns:
+        The observed ranges and chosen scales, keyed ``layer{i}.{q,k,v}``.
+    """
+    if not samples:
+        raise SimulationError("calibration needs at least one sample")
+    if percentile_headroom < 1.0:
+        raise SimulationError("headroom must be >= 1.0")
+
+    observed: Dict[str, float] = {}
+    chosen: Dict[str, float] = {}
+    for i, layer in enumerate(model.layers):
+        attn = layer.attention
+        for name, w, w_scale in (
+            ("q", attn.wq, attn.wq_scale),
+            ("k", attn.wk, attn.wk_scale),
+            ("v", attn.wv, attn.wv_scale),
+        ):
+            absmax = 0.0
+            for x in samples:
+                if x.dtype != np.int8 or x.ndim != 2:
+                    raise SimulationError("samples must be int8 [T, D]")
+                acc = int_matmul(x, np.ascontiguousarray(w.T))
+                absmax = max(absmax, float(np.abs(acc).max()) * attn.x_scale * w_scale)
+            key = f"layer{i}.{name}"
+            observed[key] = absmax
+            chosen[key] = _absmax_scale(absmax, percentile_headroom)
+        attn.q_scale = chosen[f"layer{i}.q"]
+        attn.k_scale = chosen[f"layer{i}.k"]
+        attn.v_scale = chosen[f"layer{i}.v"]
+        # The EXP LUT granularity follows the QK^T accumulator scale.
+        from .ops import ExpLut
+
+        attn.lut = ExpLut(score_scale=attn.q_scale * attn.k_scale)
+    return CalibrationReport(observed_absmax=observed, chosen_scales=chosen)

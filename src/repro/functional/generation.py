@@ -1,0 +1,77 @@
+"""Greedy token generation on the functional stack.
+
+The functional decoder works on activations; this module closes the loop
+with a synthetic embedding table and LM head so generation produces
+actual token IDs. There is no trained tokenizer offline — the vocabulary
+is synthetic — but the *mechanics* (embed, decode step, argmax, feed
+back) exercise the exact code paths a deployment would, and the
+generation-equivalence test (TPHS vs GEMM produce identical token
+sequences) is the end-to-end form of the paper's losslessness claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import SimulationError
+from .decoder import TinyTransformer
+from .ops import int_matmul, quantize_static
+
+__all__ = ["SyntheticLmHead", "greedy_generate"]
+
+
+@dataclass
+class SyntheticLmHead:
+    """Embedding table + tied LM head over a synthetic vocabulary."""
+
+    vocab_size: int
+    d_model: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 2:
+            raise SimulationError(f"vocab must have >= 2 tokens, got {self.vocab_size}")
+        rng = np.random.default_rng(self.seed)
+        table = rng.normal(0, 0.4, size=(self.vocab_size, self.d_model))
+        self.embedding = quantize_static(table, 0.05)
+
+    def embed(self, token_ids: np.ndarray) -> np.ndarray:
+        """int8 embeddings (``[T, D]``) for a token-ID sequence."""
+        ids = np.asarray(token_ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise SimulationError("token id out of vocabulary")
+        return self.embedding[ids]
+
+    def logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Integer logits via the tied embedding (``hidden @ E^T``)."""
+        if hidden.dtype != np.int8:
+            raise SimulationError("hidden states must be int8")
+        return int_matmul(hidden, np.ascontiguousarray(self.embedding.T))
+
+    def greedy_token(self, hidden: np.ndarray) -> int:
+        """Argmax token for the last position (ties break to lowest ID)."""
+        return int(np.argmax(self.logits(hidden[-1:])[0]))
+
+
+def greedy_generate(
+    model: TinyTransformer,
+    head: SyntheticLmHead,
+    prompt_ids: List[int],
+    n_new: int,
+) -> List[int]:
+    """Greedy decoding: prefill the prompt, then generate ``n_new`` IDs."""
+    if not prompt_ids:
+        raise SimulationError("prompt must contain at least one token")
+    if n_new < 0:
+        raise SimulationError(f"n_new must be non-negative, got {n_new}")
+    model.reset()
+    hidden = model.forward(head.embed(np.array(prompt_ids)))
+    generated: List[int] = []
+    for _ in range(n_new):
+        token = head.greedy_token(hidden)
+        generated.append(token)
+        hidden = model.forward(head.embed(np.array([token])))
+    return generated

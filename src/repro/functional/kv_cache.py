@@ -1,0 +1,63 @@
+"""KV cache for the functional decode path.
+
+The cache stores int8 K/V projections per layer, organized ``[T, D]``
+with heads packed along the feature axis (head ``h`` owns columns
+``h*HD : (h+1)*HD``) — matching the per-head ``K_H``/``V_H`` slices the
+TPHS dataflow streams from DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["KvCache"]
+
+
+@dataclass
+class KvCache:
+    """Append-only K/V store of one attention layer."""
+
+    d_model: int
+    n_heads: int
+    k: np.ndarray = field(init=False)
+    v: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.d_model <= 0 or self.n_heads <= 0:
+            raise SimulationError("d_model and n_heads must be positive")
+        if self.d_model % self.n_heads:
+            raise SimulationError("d_model must divide evenly into heads")
+        self.k = np.zeros((0, self.d_model), dtype=np.int8)
+        self.v = np.zeros((0, self.d_model), dtype=np.int8)
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head feature width."""
+        return self.d_model // self.n_heads
+
+    def __len__(self) -> int:
+        return self.k.shape[0]
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Append newly projected K/V rows (``[t, D]`` int8)."""
+        for name, arr in (("k", k_new), ("v", v_new)):
+            if arr.ndim != 2 or arr.shape[1] != self.d_model:
+                raise SimulationError(f"{name} rows must be [t, {self.d_model}]")
+            if arr.dtype != np.int8:
+                raise SimulationError(f"{name} rows must be int8")
+        if k_new.shape[0] != v_new.shape[0]:
+            raise SimulationError("k and v row counts must match")
+        self.k = np.concatenate([self.k, k_new], axis=0)
+        self.v = np.concatenate([self.v, v_new], axis=0)
+
+    def head_slices(self, head: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``K_H``/``V_H`` slices (``[T, HD]``) TPHS streams per head."""
+        if not (0 <= head < self.n_heads):
+            raise SimulationError(f"head {head} out of range")
+        hd = self.head_dim
+        cols = slice(head * hd, (head + 1) * hd)
+        return self.k[:, cols], self.v[:, cols]

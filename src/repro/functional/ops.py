@@ -1,0 +1,233 @@
+"""Integer functional kernels: the arithmetic the fabric actually does.
+
+Everything here is deterministic integer math (int8 operands, int32
+accumulation, static requantization scales), so the functional simulator
+can prove two of the paper's claims *exactly*:
+
+* weight packing is approximation-less — packed-then-decoded weights
+  produce bit-identical outputs;
+* the TPHS dataflow is a re-ordering, not an approximation — TPHS-ordered
+  attention equals the GEMM-ordered reference bit for bit.
+
+The softmax uses the EXP lookup table of the hardware SM module
+(Fig. 2d): exponentials of the max-subtracted scores are read from a
+quantized LUT and normalized by integer division.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = [
+    "INT8_MAX",
+    "ACC_LIMIT",
+    "quantize_static",
+    "int_matmul",
+    "requantize",
+    "ExpLut",
+    "lut_softmax",
+    "relu_int8",
+    "gelu_int8",
+    "layernorm_int8",
+]
+
+INT8_MAX = 127
+#: 32-bit accumulator headroom the PE datapath guarantees.
+ACC_LIMIT = 2**31 - 1
+
+
+def quantize_static(x: np.ndarray, scale: float) -> np.ndarray:
+    """Quantize floats to int8 with a fixed (pre-calibrated) scale."""
+    if scale <= 0:
+        raise SimulationError(f"scale must be positive, got {scale}")
+    return np.clip(np.round(x / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
+
+
+def int_matmul(x: np.ndarray, w_t: np.ndarray) -> np.ndarray:
+    """Exact integer matmul ``x @ w_t`` with 32-bit accumulator checks.
+
+    Args:
+        x: int8 activations ``[..., K]``.
+        w_t: int8 weights ``[K, N]`` (already transposed for the product).
+
+    Returns:
+        int64 accumulator values (verified to fit the 32-bit datapath).
+    """
+    if x.dtype != np.int8 or w_t.dtype != np.int8:
+        raise SimulationError("int_matmul expects int8 operands")
+    acc = x.astype(np.int64) @ w_t.astype(np.int64)
+    if acc.size and (acc.max() > ACC_LIMIT or acc.min() < -ACC_LIMIT - 1):
+        raise SimulationError("accumulator overflow: reduction exceeds 32-bit range")
+    return acc
+
+
+def requantize(acc: np.ndarray, in_scale: float, out_scale: float) -> np.ndarray:
+    """Requantize int32-range accumulators to int8 at a static scale.
+
+    ``in_scale`` is the product of the operand scales; ``out_scale`` the
+    calibrated scale of the output tensor.
+    """
+    if in_scale <= 0 or out_scale <= 0:
+        raise SimulationError("requantize scales must be positive")
+    return np.clip(
+        np.round(acc * (in_scale / out_scale)), -INT8_MAX, INT8_MAX
+    ).astype(np.int8)
+
+
+@dataclass(frozen=True)
+class ExpLut:
+    """The SM module's EXP lookup table.
+
+    Maps max-subtracted integer scores ``z in [-depth+1, 0]`` (in units
+    of ``score_scale``) to ``exp(z * score_scale)`` in unsigned fixed
+    point with ``frac_bits`` fractional bits. Scores below the table
+    depth clamp to the last entry (their true exp is ~0 anyway).
+    """
+
+    score_scale: float
+    depth: int = 256
+    frac_bits: int = 15
+
+    def __post_init__(self) -> None:
+        if self.score_scale <= 0:
+            raise SimulationError("score_scale must be positive")
+        if self.depth < 2:
+            raise SimulationError("LUT needs at least 2 entries")
+        if not (1 <= self.frac_bits <= 30):
+            raise SimulationError("frac_bits must be in [1, 30]")
+
+    @property
+    def table(self) -> np.ndarray:
+        """uint32 fixed-point LUT; index ``i`` holds exp(-i*score_scale)."""
+        idx = np.arange(self.depth, dtype=np.float64)
+        return np.round(np.exp(-idx * self.score_scale) * (1 << self.frac_bits)).astype(
+            np.uint32
+        )
+
+    def lookup(self, neg_z: np.ndarray) -> np.ndarray:
+        """Fixed-point exp for non-negative ``-z`` integer offsets."""
+        if neg_z.size and int(neg_z.min()) < 0:
+            raise SimulationError("ExpLut.lookup expects non-negative offsets")
+        clipped = np.minimum(neg_z, self.depth - 1)
+        return self.table[clipped]
+
+
+def lut_softmax(scores: np.ndarray, lut: ExpLut, out_bits: int = 8) -> np.ndarray:
+    """Numerically stable integer softmax over the last axis (Eq. 1).
+
+    Stages mirror the pipelined SM module: MAX (row maximum), EXP
+    (LUT lookup of ``x - max``), DIV (integer division by the exp sum).
+    Output probabilities are unsigned ``out_bits``-bit fixed point with
+    scale ``2^-out_bits`` (i.e. 0..2^out_bits-1 covering [0, 1)).
+    """
+    if scores.dtype.kind not in "iu":
+        raise SimulationError("lut_softmax expects integer scores")
+    if not (2 <= out_bits <= 16):
+        raise SimulationError("out_bits must be in [2, 16]")
+    z = scores.astype(np.int64)
+    row_max = z.max(axis=-1, keepdims=True)
+    exps = lut.lookup(row_max - z).astype(np.int64)  # MAX + EXP stages
+    denom = exps.sum(axis=-1, keepdims=True)
+    # DIV stage: p = exp * 2^out_bits / sum, floor division in hardware.
+    probs = (exps << out_bits) // denom
+    return np.minimum(probs, (1 << out_bits) - 1).astype(np.int32)
+
+
+def relu_int8(x: np.ndarray) -> np.ndarray:
+    """Integer ReLU (the NL module's cheapest mode)."""
+    if x.dtype != np.int8:
+        raise SimulationError("relu_int8 expects int8")
+    return np.maximum(x, 0).astype(np.int8)
+
+
+def gelu_int8(x: np.ndarray, scale: float) -> np.ndarray:
+    """LUT GeLU: 256-entry table indexed by the int8 input value.
+
+    The NL module evaluates GeLU by lookup, so quantized GeLU is an
+    exact function of the int8 input — deterministic across dataflows.
+    """
+    if x.dtype != np.int8:
+        raise SimulationError("gelu_int8 expects int8")
+    idx = np.arange(-128, 128, dtype=np.float64) * scale
+    gelu = idx * 0.5 * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (idx + 0.044715 * idx**3)))
+    table = np.clip(np.round(gelu / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return table[x.astype(np.int16) + 128]
+
+
+def layernorm_int8(
+    x: np.ndarray,
+    in_scale: float,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    out_scale: float,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Layer normalization over the last axis with int8 interfaces.
+
+    The LN module computes statistics in wide fixed point; we model that
+    as exact real arithmetic on the dequantized values followed by static
+    requantization — deterministic, hence identical across dataflows.
+    See :func:`layernorm_int8_integer` for the bit-accurate integer-only
+    variant of the LN module datapath.
+    """
+    xf = x.astype(np.float64) * in_scale
+    mean = xf.mean(axis=-1, keepdims=True)
+    var = xf.var(axis=-1, keepdims=True)
+    normed = (xf - mean) / np.sqrt(var + eps) * gamma + beta
+    return quantize_static(normed, out_scale)
+
+
+def _int_sqrt(values: np.ndarray) -> np.ndarray:
+    """Exact integer square root (``floor(sqrt(v))``) per element.
+
+    ``math.isqrt`` is exact for arbitrary integers; the hardware
+    equivalent is the classic shift-subtract restoring square root the
+    LN module can implement in a handful of cycles.
+    """
+    v = values
+    if v.size and int(v.min()) < 0:
+        raise SimulationError("integer sqrt requires non-negative inputs")
+    return np.frompyfunc(math.isqrt, 1, 1)(v.astype(object)).astype(np.int64)
+
+
+def layernorm_int8_integer(
+    x: np.ndarray,
+    gamma_q: np.ndarray,
+    beta_q: np.ndarray,
+    frac_bits: int = 12,
+) -> np.ndarray:
+    """Integer-only layer normalization (I-BERT-style LN datapath).
+
+    All arithmetic is integral: int64 sums for the mean, int64 squared
+    deviations for the variance, an exact integer square root
+    (shift-subtract in hardware), and fixed-point affine parameters
+    (``gamma_q``/``beta_q`` carry ``frac_bits`` fractional bits, so a
+    float gain ``g`` is passed as ``round(g * 2^frac_bits)``).
+
+    Deterministic and scale-free, so it preserves every cross-dataflow
+    equivalence, while modeling the LN module's integer datapath.
+    """
+    if x.dtype != np.int8:
+        raise SimulationError("layernorm_int8_integer expects int8 input")
+    if gamma_q.dtype.kind not in "iu" or beta_q.dtype.kind not in "iu":
+        raise SimulationError("gamma_q/beta_q must be integer fixed point")
+    n = x.shape[-1]
+    f = np.int64(frac_bits)
+    xi = x.astype(np.int64)
+    total = xi.sum(axis=-1, keepdims=True)
+    # Centered values scaled by n to stay integral: c = n*(x - mean).
+    centered = n * xi - total
+    sq_sum = (centered * centered).sum(axis=-1, keepdims=True)  # n^3 * var
+    # std of the *centered* values: sqrt(mean(c^2)) = n * std(x).
+    std_c = np.maximum(_int_sqrt(sq_sum // n), 1)
+    # normalized = c / std_c = (x - mean) / std, in 2^f fixed point.
+    normed = (centered << f) // std_c
+    out = (normed * gamma_q.astype(np.int64) >> (2 * f)) + (
+        beta_q.astype(np.int64) >> f
+    )
+    return np.clip(out, -INT8_MAX, INT8_MAX).astype(np.int8)

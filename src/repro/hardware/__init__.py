@@ -1,0 +1,61 @@
+"""Hardware substrate: the ZCU102-class tiled accelerator model.
+
+This package models every structural element of MEADOW's architecture
+(Fig. 2 of the paper): the hybrid parallel/broadcasting MAC PEs, the
+pipelined softmax module, LN/NL vector units, the BRAM + register-file
+memory hierarchy, the NoC, the bandwidth-limited off-chip DRAM, and a
+first-order energy ledger.
+"""
+
+from .config import ZCU102, HardwareConfig, scaled_pe_config, zcu102_config
+from .dram import DramModel
+from .energy import DEFAULT_ENERGY_COSTS, EnergyCosts, EnergyLedger
+from .memory import Bram, OnChipMemorySystem, RegisterFile
+from .noc import NocModel
+from .pe import BroadcastingMacPE, ParallelMacPE, gemm_compute_cycles
+from .power import PowerModel, PowerReport
+from .resources import (
+    FpgaPart,
+    ResourceEstimate,
+    ZCU102_PART,
+    ZCU104_PART,
+    estimate_resources,
+)
+from .softmax_unit import SoftmaxUnit, softmax_module_cycles
+from .vector_units import (
+    LayerNormUnit,
+    NonLinearUnit,
+    layernorm_cycles,
+    nonlinear_cycles,
+)
+
+__all__ = [
+    "HardwareConfig",
+    "ZCU102",
+    "zcu102_config",
+    "scaled_pe_config",
+    "DramModel",
+    "EnergyCosts",
+    "EnergyLedger",
+    "DEFAULT_ENERGY_COSTS",
+    "Bram",
+    "RegisterFile",
+    "OnChipMemorySystem",
+    "NocModel",
+    "ParallelMacPE",
+    "BroadcastingMacPE",
+    "gemm_compute_cycles",
+    "SoftmaxUnit",
+    "softmax_module_cycles",
+    "LayerNormUnit",
+    "NonLinearUnit",
+    "layernorm_cycles",
+    "nonlinear_cycles",
+    "PowerModel",
+    "PowerReport",
+    "FpgaPart",
+    "ResourceEstimate",
+    "ZCU102_PART",
+    "ZCU104_PART",
+    "estimate_resources",
+]

@@ -1,0 +1,50 @@
+"""Network-on-chip (NoC) transfer model.
+
+The NoC moves data between BRAMs, PEs, SM/LN/NL modules and — crucially for
+the TPHS dataflow — directly between the pipeline registers of adjacent
+pipeline stages (PE -> SM module -> broadcasting PE). On the ZCU102 build
+the NoC is wide relative to the sub-64-byte-per-cycle DRAM interface, so it
+is never the system bottleneck; we still model it so that configuration
+sweeps with very narrow interconnects degrade honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["NocModel"]
+
+
+@dataclass(frozen=True)
+class NocModel:
+    """Flat crossbar-style NoC with a per-link byte/cycle throughput."""
+
+    link_bytes_per_cycle: int = 64
+    hop_latency_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.link_bytes_per_cycle <= 0:
+            raise ConfigError(
+                f"link_bytes_per_cycle must be positive, got {self.link_bytes_per_cycle}"
+            )
+        if self.hop_latency_cycles < 0:
+            raise ConfigError(
+                f"hop_latency_cycles must be non-negative, got {self.hop_latency_cycles}"
+            )
+
+    def transfer_cycles(self, num_bytes: int, hops: int = 1) -> int:
+        """Cycles to move ``num_bytes`` over ``hops`` NoC links.
+
+        Transfers are cut-through: hop latency adds once per hop while the
+        payload streams at link rate.
+        """
+        if num_bytes < 0:
+            raise ValueError(f"negative byte count: {num_bytes}")
+        if hops <= 0:
+            raise ValueError(f"hops must be positive, got {hops}")
+        if num_bytes == 0:
+            return 0
+        stream = -(-num_bytes // self.link_bytes_per_cycle)
+        return stream + hops * self.hop_latency_cycles

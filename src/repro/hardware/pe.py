@@ -1,0 +1,115 @@
+"""Cycle models for MEADOW's two MAC processing-element flavours.
+
+The paper's tiled fabric (Fig. 2) mixes two PE types:
+
+* **Parallel MAC PE** — an array of ``mults_per_pe`` multipliers feeding an
+  adder tree, so one dot-product *slice* of width ``d_mult`` completes per
+  cycle. Reductions longer than ``d_mult`` take ``ceil(K / d_mult)`` cycles
+  per output element. These PEs carry the GEMM-mode layers and the
+  ``Q``/``QK^T`` stages of the TPHS pipeline.
+
+* **Broadcasting MAC PE** — the same multiplier array but with per-output
+  accumulator registers instead of the adder tree. A single input element
+  is broadcast across all output channels each cycle, so a ``[1,T]x[T,HD]``
+  row-vector product finishes in ``T`` cycles provided ``HD`` accumulators
+  exist. These PEs carry the ``SM x V`` stage of the TPHS pipeline, where
+  softmax scores stream in one per cycle.
+
+Both PE types also operate in GEMM mode (hybrid PE, Fig. 2b); the GEMM
+executor treats a broadcasting PE as an equally capable MAC resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..utils import ceil_div
+from .config import HardwareConfig
+
+__all__ = ["ParallelMacPE", "BroadcastingMacPE", "gemm_compute_cycles"]
+
+
+@dataclass(frozen=True)
+class ParallelMacPE:
+    """Adder-tree MAC PE: one ``d_mult``-wide dot-product slice per cycle."""
+
+    d_mult: int = 64
+
+    def __post_init__(self) -> None:
+        if self.d_mult <= 0:
+            raise ConfigError(f"d_mult must be positive, got {self.d_mult}")
+
+    def cycles_per_output(self, reduce_dim: int) -> int:
+        """Cycles for one output element with a ``reduce_dim``-long reduction."""
+        if reduce_dim <= 0:
+            raise ValueError(f"reduce_dim must be positive, got {reduce_dim}")
+        return ceil_div(reduce_dim, self.d_mult)
+
+    def cycles_for_matmul(self, rows: int, reduce_dim: int, cols: int) -> int:
+        """PE-cycles for a full ``[rows, reduce_dim] x [reduce_dim, cols]``.
+
+        This is the *work* in PE-cycles on a single PE; divide by the PE
+        count (see :func:`gemm_compute_cycles`) for fabric-level cycles.
+        """
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"matmul dims must be positive, got rows={rows} cols={cols}")
+        return rows * cols * self.cycles_per_output(reduce_dim)
+
+
+@dataclass(frozen=True)
+class BroadcastingMacPE:
+    """Accumulator-register MAC PE: broadcasts one input across outputs/cycle."""
+
+    n_accumulators: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_accumulators <= 0:
+            raise ConfigError(f"n_accumulators must be positive, got {self.n_accumulators}")
+
+    def cycles_for_row_times_matrix(self, reduce_dim: int, out_dim: int) -> int:
+        """Cycles for ``[1, reduce_dim] x [reduce_dim, out_dim]``.
+
+        Each cycle consumes one input element and updates up to
+        ``n_accumulators`` output channels, so wide outputs serialize into
+        ``ceil(out_dim / n_accumulators)`` passes over the reduction.
+        """
+        if reduce_dim <= 0 or out_dim <= 0:
+            raise ValueError(
+                f"dims must be positive, got reduce_dim={reduce_dim} out_dim={out_dim}"
+            )
+        passes = ceil_div(out_dim, self.n_accumulators)
+        return reduce_dim * passes
+
+
+def gemm_compute_cycles(
+    config: HardwareConfig,
+    rows: int,
+    reduce_dim: int,
+    cols: int,
+    *,
+    use_all_pes: bool = True,
+) -> int:
+    """Fabric-level compute cycles for a tiled GEMM on the hybrid PE array.
+
+    Work is ``rows*cols*ceil(reduce_dim/d_mult)`` PE-cycles distributed over
+    the PE pool. Distribution granularity is one output element: when fewer
+    output elements than PEs exist (e.g. decode with ``rows == 1``) the
+    surplus PEs idle, which the ceiling division captures.
+
+    Args:
+        config: hardware instance (provides PE counts and ``d_mult``).
+        rows/reduce_dim/cols: GEMM shape ``[rows, reduce] x [reduce, cols]``.
+        use_all_pes: include broadcasting PEs in the pool (hybrid mode,
+            the paper's GEMM baseline uses the full fabric).
+
+    Returns:
+        Cycle count (integer, >= 1 for non-empty shapes).
+    """
+    pe = ParallelMacPE(d_mult=config.mults_per_pe)
+    n_pes = config.n_total_pe if use_all_pes else config.n_parallel_pe
+    per_output = pe.cycles_per_output(reduce_dim)
+    total_outputs = rows * cols
+    # Each PE produces whole output elements; the slowest PE bounds latency.
+    outputs_per_pe = ceil_div(total_outputs, n_pes)
+    return outputs_per_pe * per_output

@@ -1,0 +1,130 @@
+"""FPGA resource model: LUT / DSP / BRAM budgets for a config.
+
+The paper's ZCU102 build uses **150K LUTs, 845 BRAM tiles (36 Kb each)
+and 2034 DSP slices** (Sec. 6.1), packing 84 parallel + 12 broadcasting
+PEs of 64 multipliers each. This module estimates those totals from a
+:class:`HardwareConfig` so design-space sweeps (Fig. 12) can be checked
+for *feasibility* against real parts, not just priced in cycles.
+
+Cost model (coefficients fitted to the paper's reported totals):
+
+* DSP48E2 slices evaluate **two int8 multiplies each** (the standard
+  UltraScale+ packing trick); ~2/3 of the 6144 multipliers map to DSPs
+  (2034 slices), the rest to LUT fabric ("to maximize the number of PEs,
+  we utilize both LUTs and the DSP blocks").
+* A LUT-fabric int8 MAC ≈ 40 LUTs; DSP glue ≈ 2 LUTs per MAC.
+* Register files and pipeline registers are LUTRAM (paper Sec. 6.1);
+  ~0.03 LUT per byte with RAM32M packing.
+* BRAM: three 1 MB buffers = 3 x 8 Mb / 36 Kb ≈ 683 tiles, plus ~0.9
+  tiles per SM/LN/NL module (EXP/GeLU LUTs and statistics FIFOs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+from ..utils import ceil_div
+from .config import HardwareConfig
+
+__all__ = ["FpgaPart", "ResourceEstimate", "estimate_resources", "ZCU102_PART", "ZCU104_PART"]
+
+#: Fraction of multipliers that map to DSP slices (rest are LUT fabric).
+_DSP_MAPPED_FRACTION = 0.662
+#: int8 multiplies packed into one DSP48E2 slice.
+_MACS_PER_DSP = 2
+#: LUTs per LUT-fabric int8 MAC (multiplier + accumulate share).
+_LUTS_PER_SOFT_MAC = 40
+#: LUTs per DSP-mapped MAC (glue only).
+_LUTS_PER_DSP_MAC = 2
+#: LUTs per byte of LUTRAM-mapped register file (RAM32M packing).
+_LUTS_PER_RF_BYTE = 0.03
+#: LUTs per vector module (SM / LN / NL datapath + control).
+_LUTS_PER_VECTOR_MODULE = 120
+#: Fabric/NoC/control overhead multiplier.
+_OVERHEAD = 1.05
+#: BRAM tile capacity on UltraScale+ (36 Kb).
+_BRAM_TILE_BITS = 36 * 1024
+#: BRAM tiles per vector module (EXP LUT / statistics FIFOs).
+_BRAM_PER_VECTOR_MODULE = 0.9
+
+
+@dataclass(frozen=True)
+class FpgaPart:
+    """Resource envelope of one FPGA device."""
+
+    name: str
+    luts: int
+    dsps: int
+    bram_tiles: int
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.dsps, self.bram_tiles) <= 0:
+            raise ConfigError(f"part {self.name!r} resources must be positive")
+
+
+#: XCZU9EG on the ZCU102 evaluation kit.
+ZCU102_PART = FpgaPart("zcu102", luts=274_080, dsps=2_520, bram_tiles=912)
+#: XCZU7EV on the ZCU104 evaluation kit.
+ZCU104_PART = FpgaPart("zcu104", luts=230_400, dsps=1_728, bram_tiles=312)
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated fabric usage of one accelerator configuration."""
+
+    luts: int
+    dsps: int
+    bram_tiles: int
+
+    def fits(self, part: FpgaPart) -> bool:
+        """Whether this build fits the part's envelope."""
+        return (
+            self.luts <= part.luts
+            and self.dsps <= part.dsps
+            and self.bram_tiles <= part.bram_tiles
+        )
+
+    def utilization(self, part: FpgaPart) -> Dict[str, float]:
+        """Per-resource utilization fractions against a part."""
+        return {
+            "luts": self.luts / part.luts,
+            "dsps": self.dsps / part.dsps,
+            "bram": self.bram_tiles / part.bram_tiles,
+        }
+
+
+def estimate_resources(config: HardwareConfig) -> ResourceEstimate:
+    """Estimate LUT/DSP/BRAM usage of a :class:`HardwareConfig` build."""
+    n_mults = config.n_total_pe * config.mults_per_pe
+    dsp_macs = int(round(n_mults * _DSP_MAPPED_FRACTION))
+    soft_macs = n_mults - dsp_macs
+    dsp_slices = ceil_div(dsp_macs, _MACS_PER_DSP)
+
+    rf_bytes_per_pe = (
+        config.weight_rf_bytes + config.input_rf_bytes + config.output_rf_bytes
+    )
+    n_vector = (
+        config.n_softmax_units + config.n_layernorm_units + config.n_nonlinear_units
+    )
+
+    luts = (
+        soft_macs * _LUTS_PER_SOFT_MAC
+        + dsp_macs * _LUTS_PER_DSP_MAC
+        + config.n_total_pe * rf_bytes_per_pe * _LUTS_PER_RF_BYTE
+        + n_vector * _LUTS_PER_VECTOR_MODULE
+    ) * _OVERHEAD
+
+    bram_bits = 8 * (
+        config.weight_bram_bytes + config.input_bram_bytes + config.output_bram_bytes
+    )
+    bram_tiles = ceil_div(bram_bits, _BRAM_TILE_BITS) + int(
+        round(n_vector * _BRAM_PER_VECTOR_MODULE)
+    )
+
+    return ResourceEstimate(
+        luts=int(round(luts)),
+        dsps=dsp_slices,
+        bram_tiles=bram_tiles,
+    )

@@ -1,0 +1,63 @@
+"""Cycle model of MEADOW's pipelined softmax (SM) module.
+
+The SM module (Fig. 2d) evaluates the numerically stable softmax
+
+    SM(x_i) = exp(x_i - max) / sum_j exp(x_j - max)
+
+in three pipelined stages — MAX, EXP (LUT-based), DIV — each consuming one
+feature per cycle. A token with ``F`` features occupies each stage for
+``F`` cycles, so a stream of ``R`` independent rows finishes in
+``(R + stages - 1) * F`` cycles on one module (classic linear pipeline).
+
+The *functional* LUT softmax lives in :mod:`repro.functional.ops`; this
+module only accounts for time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..utils import ceil_div
+
+__all__ = ["SoftmaxUnit", "softmax_module_cycles"]
+
+#: MAX, EXP, DIV
+SOFTMAX_PIPELINE_STAGES = 3
+
+
+@dataclass(frozen=True)
+class SoftmaxUnit:
+    """One pipelined SM module processing one feature per cycle per stage."""
+
+    stages: int = SOFTMAX_PIPELINE_STAGES
+
+    def __post_init__(self) -> None:
+        if self.stages <= 0:
+            raise ConfigError(f"stages must be positive, got {self.stages}")
+
+    def cycles_for_row(self, features: int) -> int:
+        """Latency of a single row through the whole pipeline."""
+        if features <= 0:
+            raise ValueError(f"features must be positive, got {features}")
+        return self.stages * features
+
+    def cycles_for_rows(self, rows: int, features: int) -> int:
+        """Pipelined latency of ``rows`` back-to-back rows on one module."""
+        if rows <= 0:
+            raise ValueError(f"rows must be positive, got {rows}")
+        if features <= 0:
+            raise ValueError(f"features must be positive, got {features}")
+        return (rows + self.stages - 1) * features
+
+
+def softmax_module_cycles(rows: int, features: int, n_units: int) -> int:
+    """Latency of ``rows`` softmax rows spread across ``n_units`` modules.
+
+    Rows are distributed round-robin; the most loaded module bounds latency.
+    """
+    if n_units <= 0:
+        raise ConfigError(f"n_units must be positive, got {n_units}")
+    unit = SoftmaxUnit()
+    rows_per_unit = ceil_div(rows, n_units)
+    return unit.cycles_for_rows(rows_per_unit, features)

@@ -1,0 +1,62 @@
+"""Cycle models for the layer-norm (LN) and non-linear (NL) vector units.
+
+MEADOW's fabric (Fig. 2a) includes dedicated LN modules and NL modules
+(ReLU/GeLU via LUT). Both are streaming units processing one feature per
+cycle; LN needs two passes over a token (statistics, then normalize).
+These operators are small next to the GEMMs and DRAM transfers, but the
+paper's latency-distribution figures account for every layer, so we do too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..utils import ceil_div
+
+__all__ = ["LayerNormUnit", "NonLinearUnit", "layernorm_cycles", "nonlinear_cycles"]
+
+
+@dataclass(frozen=True)
+class LayerNormUnit:
+    """Two-pass streaming layer normalization, one feature per cycle."""
+
+    passes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.passes <= 0:
+            raise ConfigError(f"passes must be positive, got {self.passes}")
+
+    def cycles_for_token(self, features: int) -> int:
+        """Cycles to normalize one token of ``features`` elements."""
+        if features <= 0:
+            raise ValueError(f"features must be positive, got {features}")
+        return self.passes * features
+
+
+@dataclass(frozen=True)
+class NonLinearUnit:
+    """LUT-based elementwise activation, one element per cycle."""
+
+    def cycles_for_elements(self, elements: int) -> int:
+        """Cycles to apply the activation to ``elements`` values."""
+        if elements < 0:
+            raise ValueError(f"elements must be non-negative, got {elements}")
+        return elements
+
+
+def layernorm_cycles(tokens: int, features: int, n_units: int) -> int:
+    """Latency of layer-norming ``tokens`` rows across ``n_units`` LN units."""
+    if n_units <= 0:
+        raise ConfigError(f"n_units must be positive, got {n_units}")
+    unit = LayerNormUnit()
+    tokens_per_unit = ceil_div(tokens, n_units)
+    return tokens_per_unit * unit.cycles_for_token(features)
+
+
+def nonlinear_cycles(elements: int, n_units: int) -> int:
+    """Latency of an elementwise activation across ``n_units`` NL units."""
+    if n_units <= 0:
+        raise ConfigError(f"n_units must be positive, got {n_units}")
+    unit = NonLinearUnit()
+    return unit.cycles_for_elements(ceil_div(elements, n_units))

@@ -1,0 +1,48 @@
+"""OPT model family configurations (Zhang et al., 2022).
+
+The paper evaluates OPT-125M and OPT-1.3B (its text also mentions an
+"OPT-1.1B" once; that is the same 1.3B checkpoint family — we expose the
+canonical 1.3B shapes). OPT-350M is included as an extension point for
+intermediate-scale studies.
+"""
+
+from __future__ import annotations
+
+from .config import TransformerConfig
+
+__all__ = ["OPT_125M", "OPT_350M", "OPT_1_3B", "OPT_MODELS"]
+
+OPT_125M = TransformerConfig(
+    name="opt-125m",
+    n_layers=12,
+    d_model=768,
+    n_heads=12,
+    d_ff=3072,
+    max_seq_len=2048,
+    is_decoder=True,
+    activation="relu",
+)
+
+OPT_350M = TransformerConfig(
+    name="opt-350m",
+    n_layers=24,
+    d_model=1024,
+    n_heads=16,
+    d_ff=4096,
+    max_seq_len=2048,
+    is_decoder=True,
+    activation="relu",
+)
+
+OPT_1_3B = TransformerConfig(
+    name="opt-1.3b",
+    n_layers=24,
+    d_model=2048,
+    n_heads=32,
+    d_ff=8192,
+    max_seq_len=2048,
+    is_decoder=True,
+    activation="relu",
+)
+
+OPT_MODELS = {m.name: m for m in (OPT_125M, OPT_350M, OPT_1_3B)}

@@ -1,0 +1,72 @@
+"""Model scaling utilities: larger OPT variants and GQA derivation.
+
+Extensions beyond the paper's two evaluation models, for capacity
+studies on the same fabric:
+
+* the published OPT ladder up to 6.7B (shape-only; the simulator is
+  analytic, so size costs nothing but planner time);
+* :func:`with_gqa` — derive a grouped-query variant of any decoder,
+  shrinking the KV cache and the per-head K/V streams of the TPHS
+  dataflow (the dominant decode traffic after weight packing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigError
+from .config import TransformerConfig
+
+__all__ = ["OPT_2_7B", "OPT_6_7B", "with_gqa", "scaled_decoder"]
+
+OPT_2_7B = TransformerConfig(
+    name="opt-2.7b",
+    n_layers=32,
+    d_model=2560,
+    n_heads=32,
+    d_ff=10240,
+    max_seq_len=2048,
+)
+
+OPT_6_7B = TransformerConfig(
+    name="opt-6.7b",
+    n_layers=32,
+    d_model=4096,
+    n_heads=32,
+    d_ff=16384,
+    max_seq_len=2048,
+)
+
+
+def with_gqa(model: TransformerConfig, n_kv_heads: int) -> TransformerConfig:
+    """A grouped-query variant of a decoder model.
+
+    KV cache and K/V traffic shrink by ``n_heads / n_kv_heads``; query
+    and output projections are unchanged.
+    """
+    if not model.is_decoder:
+        raise ConfigError(f"{model.name} is not a decoder; GQA does not apply")
+    return dataclasses.replace(
+        model,
+        name=f"{model.name}-gqa{n_kv_heads}",
+        n_kv_heads=n_kv_heads,
+    )
+
+
+def scaled_decoder(
+    name: str,
+    d_model: int,
+    n_layers: int,
+    n_heads: int,
+    ff_mult: int = 4,
+    max_seq_len: int = 2048,
+) -> TransformerConfig:
+    """Build a custom OPT-style decoder (``d_ff = ff_mult * d_model``)."""
+    return TransformerConfig(
+        name=name,
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        d_ff=ff_mult * d_model,
+        max_seq_len=max_seq_len,
+    )

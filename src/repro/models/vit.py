@@ -1,0 +1,42 @@
+"""DeiT vision-transformer configurations (Touvron et al., 2021).
+
+ViTs process all tokens of an image in a single pass — operationally the
+same as an LLM prefill over ``fixed_tokens`` tokens (196 patches for a
+224x224 image at patch size 16, plus the class token). The paper's Fig. 13
+runs DeiT-S and DeiT-B through the identical MEADOW/GEMM machinery.
+"""
+
+from __future__ import annotations
+
+from .config import TransformerConfig
+
+__all__ = ["DEIT_S", "DEIT_B", "VIT_MODELS", "VIT_TOKENS"]
+
+#: 14x14 patches + 1 class token for 224x224 inputs at patch 16.
+VIT_TOKENS = 197
+
+DEIT_S = TransformerConfig(
+    name="deit-s",
+    n_layers=12,
+    d_model=384,
+    n_heads=6,
+    d_ff=1536,
+    max_seq_len=VIT_TOKENS,
+    is_decoder=False,
+    activation="gelu",
+    fixed_tokens=VIT_TOKENS,
+)
+
+DEIT_B = TransformerConfig(
+    name="deit-b",
+    n_layers=12,
+    d_model=768,
+    n_heads=12,
+    d_ff=3072,
+    max_seq_len=VIT_TOKENS,
+    is_decoder=False,
+    activation="gelu",
+    fixed_tokens=VIT_TOKENS,
+)
+
+VIT_MODELS = {m.name: m for m in (DEIT_S, DEIT_B)}

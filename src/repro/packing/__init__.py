@@ -1,0 +1,77 @@
+"""Weight packing: MEADOW's lossless weight-compression pipeline (Sec. 5).
+
+Pipeline stages: chunk decomposition -> unique matrix + encoded IDs ->
+(optional frequency-aware re-indexing) -> packet-specific bit packing ->
+WILU decode on-chip. Everything round-trips bit-exactly; the
+:class:`PackingPlanner` bridges measured packed sizes into the
+performance simulator.
+"""
+
+from .bitpack import PackedStream, pack_ids, stream_bits_only, unpack_ids, unpack_ids_fast
+from .chunking import EncodedMatrix, UniqueMatrix, encode_matrix
+from .modes import (
+    DEFAULT_N_MODES,
+    ModeTable,
+    optimal_mode_table,
+    packet_required_bits,
+    spread_mode_table,
+    uniform_mode_table,
+)
+from .pipeline import (
+    PackedWeights,
+    PackingConfig,
+    PackingLevel,
+    pack_weights,
+    packed_size_bits,
+)
+from .planner import PackingPlanner, WeightTransferStats
+from .reindex import frequency_reindex, reindex_permutation
+from .serialization import dump_model, dumps, load_model, loads
+from .stats import (
+    PackingAblation,
+    id_histogram,
+    layer_reduction_ratios,
+    model_reduction_ratio_table,
+    packing_ablation,
+    reduction_ratio,
+)
+from .wilu import WiluDecoder, mau_pack_byte, mau_unpack_byte
+
+__all__ = [
+    "EncodedMatrix",
+    "UniqueMatrix",
+    "encode_matrix",
+    "frequency_reindex",
+    "reindex_permutation",
+    "ModeTable",
+    "DEFAULT_N_MODES",
+    "uniform_mode_table",
+    "spread_mode_table",
+    "optimal_mode_table",
+    "packet_required_bits",
+    "PackedStream",
+    "pack_ids",
+    "unpack_ids",
+    "unpack_ids_fast",
+    "stream_bits_only",
+    "PackingLevel",
+    "PackingConfig",
+    "PackedWeights",
+    "pack_weights",
+    "packed_size_bits",
+    "PackingAblation",
+    "packing_ablation",
+    "reduction_ratio",
+    "id_histogram",
+    "layer_reduction_ratios",
+    "model_reduction_ratio_table",
+    "PackingPlanner",
+    "WeightTransferStats",
+    "WiluDecoder",
+    "mau_unpack_byte",
+    "mau_pack_byte",
+    "dumps",
+    "loads",
+    "dump_model",
+    "load_model",
+]

@@ -1,0 +1,218 @@
+"""Bit-exact packet packing of chunk-ID streams (Sec. 5.2, Fig. 4b).
+
+The encoded weight matrix is shipped to the accelerator as a stream of
+fixed-count packets: each packet carries ``P`` chunk IDs at a precision
+chosen per packet from a :class:`~repro.packing.modes.ModeTable`, behind
+a ``mode_bits``-wide selector field:
+
+    | mode | id_0 | id_1 | ... | id_{P-1} |     (MSB-first fields)
+
+Packing is vectorized per mode (at most 8 passes over the data); the
+sequential parser mirrors the hardware WILU walk bit-for-bit, and a
+vectorized fast parser (identical output, property-tested) keeps
+full-model round trips cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PackingError
+from ..utils import ceil_div
+from .modes import ModeTable, packet_required_bits
+
+__all__ = ["PackedStream", "pack_ids", "unpack_ids", "unpack_ids_fast", "stream_bits_only"]
+
+
+@dataclass(frozen=True)
+class PackedStream:
+    """A bit-packed chunk-ID stream plus the metadata to parse it.
+
+    ``payload`` is the byte-packed bitstream; ``total_bits`` may be less
+    than ``8 * len(payload)`` (trailing pad bits). ``packet_modes`` is
+    derived metadata (recoverable from the stream itself) kept for the
+    vectorized parser; it is *not* counted in any size accounting.
+    """
+
+    payload: np.ndarray  # uint8 bytes
+    total_bits: int
+    n_ids: int
+    packet_size: int
+    mode_table: ModeTable
+    packet_modes: np.ndarray  # int64 per packet
+
+    def __post_init__(self) -> None:
+        if self.payload.dtype != np.uint8:
+            raise PackingError(f"payload must be uint8, got {self.payload.dtype}")
+        if self.total_bits > 8 * self.payload.size:
+            raise PackingError("total_bits exceeds payload size")
+        if self.packet_size < 1:
+            raise PackingError(f"packet_size must be >= 1, got {self.packet_size}")
+
+    @property
+    def n_packets(self) -> int:
+        """Packet count (last packet possibly padded)."""
+        return ceil_div(self.n_ids, self.packet_size) if self.n_ids else 0
+
+    @property
+    def mode_field_bits(self) -> int:
+        """Total bits spent on mode selector fields."""
+        return self.n_packets * self.mode_table.mode_bits
+
+    @property
+    def value_field_bits(self) -> int:
+        """Total bits spent on ID payload fields."""
+        return self.total_bits - self.mode_field_bits
+
+
+def _padded_ids(ids: np.ndarray, packet_size: int) -> np.ndarray:
+    """IDs reshaped to ``[n_packets, P]`` with zero-padded tail."""
+    n_packets = ceil_div(ids.size, packet_size)
+    padded = np.zeros(n_packets * packet_size, dtype=np.int64)
+    padded[: ids.size] = ids
+    return padded.reshape(n_packets, packet_size)
+
+
+def stream_bits_only(ids: np.ndarray, packet_size: int, mode_table: ModeTable) -> int:
+    """Wire bits of the packed stream without materializing it.
+
+    Fast path used by the performance planner on full-size models.
+    """
+    if ids.size == 0:
+        return 0
+    required = packet_required_bits(ids, packet_size)
+    precisions = np.asarray(mode_table.precision_for_bits(required))
+    return int(np.sum(precisions) * packet_size + required.size * mode_table.mode_bits)
+
+
+def pack_ids(ids: np.ndarray, packet_size: int, mode_table: ModeTable) -> PackedStream:
+    """Pack a flat ID stream into the packet bitstream."""
+    if ids.ndim != 1:
+        raise PackingError(f"ids must be flat, got shape {ids.shape}")
+    if ids.size and int(ids.min()) < 0:
+        raise PackingError("ids must be non-negative")
+    if ids.size == 0:
+        return PackedStream(
+            payload=np.zeros(0, dtype=np.uint8),
+            total_bits=0,
+            n_ids=0,
+            packet_size=packet_size,
+            mode_table=mode_table,
+            packet_modes=np.zeros(0, dtype=np.int64),
+        )
+
+    required = packet_required_bits(ids, packet_size)
+    modes = np.asarray(mode_table.mode_for_bits(required), dtype=np.int64)
+    table = np.asarray(mode_table.precisions, dtype=np.int64)
+    precisions = table[modes]
+    mode_bits = mode_table.mode_bits
+
+    bits_per_packet = mode_bits + packet_size * precisions
+    offsets = np.concatenate([[0], np.cumsum(bits_per_packet)[:-1]])
+    total_bits = int(bits_per_packet.sum())
+
+    grid = _padded_ids(ids, packet_size)
+    bitarr = np.zeros(total_bits, dtype=np.uint8)
+
+    for mode in np.unique(modes):
+        sel = np.flatnonzero(modes == mode)
+        prec = int(table[mode])
+        base = offsets[sel]
+        if mode_bits:
+            pos = base[:, None] + np.arange(mode_bits)
+            field = (int(mode) >> np.arange(mode_bits - 1, -1, -1)) & 1
+            bitarr[pos.ravel()] = np.broadcast_to(field, pos.shape).ravel()
+        shifts = np.arange(prec - 1, -1, -1, dtype=np.int64)
+        vals = grid[sel]  # [S, P]
+        valbits = ((vals[:, :, None] >> shifts) & 1).astype(np.uint8)  # [S, P, prec]
+        pos = (
+            base[:, None, None]
+            + mode_bits
+            + (np.arange(packet_size, dtype=np.int64) * prec)[None, :, None]
+            + np.arange(prec, dtype=np.int64)[None, None, :]
+        )
+        bitarr[pos.ravel()] = valbits.ravel()
+
+    return PackedStream(
+        payload=np.packbits(bitarr),
+        total_bits=total_bits,
+        n_ids=ids.size,
+        packet_size=packet_size,
+        mode_table=mode_table,
+        packet_modes=modes,
+    )
+
+
+def unpack_ids(stream: PackedStream) -> np.ndarray:
+    """Sequential bit-exact parse — the faithful WILU walk.
+
+    Reads the mode field of each packet, widens the cursor by the selected
+    precision, and extracts each ID MSB-first. Quadratic-free but Python-
+    loop over packets; use :func:`unpack_ids_fast` for full-size matrices.
+    """
+    if stream.n_ids == 0:
+        return np.zeros(0, dtype=np.int64)
+    bits = np.unpackbits(stream.payload)[: stream.total_bits].astype(np.int64)
+    mode_bits = stream.mode_table.mode_bits
+    table = stream.mode_table.precisions
+    out = np.empty(stream.n_packets * stream.packet_size, dtype=np.int64)
+    cursor = 0
+    write = 0
+    for _ in range(stream.n_packets):
+        if mode_bits:
+            mode = 0
+            for _ in range(mode_bits):
+                mode = (mode << 1) | int(bits[cursor])
+                cursor += 1
+        else:
+            mode = 0
+        if mode >= len(table):
+            raise PackingError(f"mode field {mode} outside table of {len(table)} entries")
+        prec = table[mode]
+        for _ in range(stream.packet_size):
+            val = 0
+            for _ in range(prec):
+                val = (val << 1) | int(bits[cursor])
+                cursor += 1
+            out[write] = val
+            write += 1
+    if cursor != stream.total_bits:
+        raise PackingError(
+            f"stream mis-parse: consumed {cursor} of {stream.total_bits} bits"
+        )
+    return out[: stream.n_ids]
+
+
+def unpack_ids_fast(stream: PackedStream) -> np.ndarray:
+    """Vectorized parse using the stored per-packet modes.
+
+    Produces exactly the IDs of :func:`unpack_ids`; the equivalence is
+    property-tested. The hardware WILU recovers modes from the stream
+    itself — this helper just skips re-deriving what we already kept.
+    """
+    if stream.n_ids == 0:
+        return np.zeros(0, dtype=np.int64)
+    bits = np.unpackbits(stream.payload)[: stream.total_bits].astype(np.int64)
+    table = np.asarray(stream.mode_table.precisions, dtype=np.int64)
+    mode_bits = stream.mode_table.mode_bits
+    precisions = table[stream.packet_modes]
+    bits_per_packet = mode_bits + stream.packet_size * precisions
+    offsets = np.concatenate([[0], np.cumsum(bits_per_packet)[:-1]])
+
+    out = np.empty((stream.n_packets, stream.packet_size), dtype=np.int64)
+    for mode in np.unique(stream.packet_modes):
+        sel = np.flatnonzero(stream.packet_modes == mode)
+        prec = int(table[mode])
+        base = offsets[sel]
+        pos = (
+            base[:, None, None]
+            + mode_bits
+            + (np.arange(stream.packet_size, dtype=np.int64) * prec)[None, :, None]
+            + np.arange(prec, dtype=np.int64)[None, None, :]
+        )
+        chunk_bits = bits[pos]  # [S, P, prec]
+        weights = (np.int64(1) << np.arange(prec - 1, -1, -1, dtype=np.int64))
+        out[sel] = (chunk_bits * weights).sum(axis=2)
+    return out.reshape(-1)[: stream.n_ids]

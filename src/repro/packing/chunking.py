@@ -1,0 +1,193 @@
+"""Chunk decomposition and unique-matrix construction (Fig. 4a, Opt. 1).
+
+A quantized weight matrix ``W`` of shape ``[N, M]`` (reduction dimension
+``M`` last) is cut along ``M`` into chunks of ``C`` elements. The distinct
+chunks form the **Unique Matrix**; ``W`` is then representable as a grid
+of chunk IDs (**Encoded W**). The paper measures reduction ratios
+(total chunks / unique chunks) of 10^2–10^3 on OPT decoders — that
+redundancy is what every later packing stage exploits.
+
+Two ID-assignment orders are supported:
+
+* ``"sorted"`` (default) — IDs follow the byte-wise sort order of the
+  chunk values. This is the natural hardware-friendly choice (the encoder
+  can binary-search a sorted unique matrix) and reproduces the paper's
+  Fig. 10b: frequent chunks carry IDs scattered across the whole range,
+  which is exactly why frequency-aware reindexing (Sec. 5.3) buys so much
+  on top of packet-specific precision.
+* ``"first_occurrence"`` — IDs in row-major first-appearance order, as in
+  the worked example of Fig. 4a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import PackingError
+from ..utils import bits_for_count, ceil_div
+
+__all__ = ["UniqueMatrix", "EncodedMatrix", "encode_matrix"]
+
+#: Chunk sizes with a fast integer-key path (chunk fits in a uint64 key).
+_MAX_FAST_CHUNK = 8
+
+
+@dataclass(frozen=True)
+class UniqueMatrix:
+    """The deduplicated chunk dictionary of one weight matrix."""
+
+    chunks: np.ndarray  # [U, C] int8
+    counts: np.ndarray  # [U] int64 occurrences in the encoded matrix
+
+    def __post_init__(self) -> None:
+        if self.chunks.ndim != 2:
+            raise PackingError(f"unique chunks must be 2-D, got shape {self.chunks.shape}")
+        if self.chunks.dtype != np.int8:
+            raise PackingError(f"unique chunks must be int8, got {self.chunks.dtype}")
+        if self.counts.shape != (self.chunks.shape[0],):
+            raise PackingError("counts must align with unique chunks")
+
+    @property
+    def n_unique(self) -> int:
+        """Number of distinct chunks ``U``."""
+        return self.chunks.shape[0]
+
+    @property
+    def chunk_size(self) -> int:
+        """Elements per chunk ``C``."""
+        return self.chunks.shape[1]
+
+    @property
+    def id_bits(self) -> int:
+        """Bits needed for a chunk ID (``ceil(log2(U))``, min 1)."""
+        return bits_for_count(self.n_unique)
+
+    def storage_bits(self, weight_bits: int = 8) -> int:
+        """Bits to transfer the unique matrix itself to the accelerator."""
+        return self.n_unique * self.chunk_size * weight_bits
+
+
+@dataclass(frozen=True)
+class EncodedMatrix:
+    """A weight matrix expressed as chunk IDs over a unique matrix."""
+
+    ids: np.ndarray  # flat [n_chunks] row-major chunk IDs
+    unique: UniqueMatrix
+    shape: Tuple[int, int]  # original [N, M]
+    pad_elements: int  # zeros appended to the last chunk of each row
+
+    def __post_init__(self) -> None:
+        if self.ids.ndim != 1:
+            raise PackingError(f"ids must be flat, got shape {self.ids.shape}")
+        if self.ids.size and int(self.ids.max()) >= self.unique.n_unique:
+            raise PackingError("chunk ID out of range of the unique matrix")
+        if self.pad_elements < 0:
+            raise PackingError(f"negative padding: {self.pad_elements}")
+
+    @property
+    def chunk_size(self) -> int:
+        """Elements per chunk ``C``."""
+        return self.unique.chunk_size
+
+    @property
+    def n_chunks(self) -> int:
+        """Total chunk count ``N*ceil(M/C)``."""
+        return self.ids.size
+
+    @property
+    def id_bits(self) -> int:
+        """Bits of the homogeneous (naive) ID encoding."""
+        return self.unique.id_bits
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Total chunks over unique chunks — the paper's redundancy metric."""
+        return self.n_chunks / self.unique.n_unique
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the original int8 weight matrix exactly."""
+        n, m = self.shape
+        c = self.chunk_size
+        padded_m = ceil_div(m, c) * c
+        flat = self.unique.chunks[self.ids].reshape(n, padded_m)
+        return np.ascontiguousarray(flat[:, :m])
+
+
+def _chunk_view(w: np.ndarray, chunk_size: int) -> Tuple[np.ndarray, int]:
+    """Reshape ``w`` into ``[n_chunks, C]`` with zero padding if needed."""
+    if w.ndim != 2:
+        raise PackingError(f"expected a 2-D weight matrix, got shape {w.shape}")
+    if w.dtype != np.int8:
+        raise PackingError(f"weight packing operates on int8 matrices, got {w.dtype}")
+    if chunk_size <= 0:
+        raise PackingError(f"chunk_size must be positive, got {chunk_size}")
+    n, m = w.shape
+    pad = (-m) % chunk_size
+    if pad:
+        w = np.concatenate([w, np.zeros((n, pad), dtype=np.int8)], axis=1)
+    return w.reshape(-1, chunk_size), n * pad
+
+
+def _chunks_to_keys(chunks: np.ndarray) -> np.ndarray:
+    """Bijectively map each chunk row to a uint64 key (C <= 8).
+
+    Bytes are biased by 0x80 so the key order equals *signed*
+    lexicographic order of the chunk values: the sorted unique matrix then
+    places the frequent near-zero chunks mid-range, which is the ID
+    distribution the paper's Fig. 10b histogram shows.
+    """
+    c = chunks.shape[1]
+    if c > _MAX_FAST_CHUNK:
+        raise PackingError(
+            f"chunk_size {c} exceeds the uint64 fast path ({_MAX_FAST_CHUNK}); "
+            "use a smaller chunk"
+        )
+    as_bytes = (chunks.view(np.uint8) ^ np.uint8(0x80)).astype(np.uint64)
+    keys = np.zeros(chunks.shape[0], dtype=np.uint64)
+    for j in range(c):
+        keys = (keys << np.uint64(8)) | as_bytes[:, j]
+    return keys
+
+
+def encode_matrix(
+    w: np.ndarray, chunk_size: int = 2, id_order: str = "sorted"
+) -> EncodedMatrix:
+    """Decompose ``w`` into its unique matrix and chunk-ID encoding.
+
+    Args:
+        w: int8 weight matrix ``[N, M]`` (reduction dimension last).
+        chunk_size: elements per chunk ``C`` (1..8).
+        id_order: ``"sorted"`` (byte-order of chunk values, default) or
+            ``"first_occurrence"`` (row-major first appearance).
+
+    Returns:
+        :class:`EncodedMatrix` whose ``decode()`` reproduces ``w`` exactly.
+    """
+    if id_order not in ("sorted", "first_occurrence"):
+        raise PackingError(f"unknown id_order {id_order!r}")
+    chunks, _pad_total = _chunk_view(w, chunk_size)
+    keys = _chunks_to_keys(chunks)
+    _sorted_keys, first_pos, inverse, counts = np.unique(
+        keys, return_index=True, return_inverse=True, return_counts=True
+    )
+    if id_order == "first_occurrence":
+        rank = np.argsort(first_pos, kind="stable")
+        remap = np.empty_like(rank)
+        remap[rank] = np.arange(rank.size)
+        ids = remap[inverse].astype(np.int64)
+        unique_chunks = chunks[first_pos[rank]]
+        unique_counts = counts[rank]
+    else:
+        ids = inverse.astype(np.int64)
+        unique_chunks = chunks[first_pos]
+        unique_counts = counts
+    unique = UniqueMatrix(
+        chunks=np.ascontiguousarray(unique_chunks),
+        counts=unique_counts.astype(np.int64),
+    )
+    n, m = w.shape
+    pad = (-m) % chunk_size
+    return EncodedMatrix(ids=ids, unique=unique, shape=(n, m), pad_elements=pad * n)

@@ -1,0 +1,183 @@
+"""Packet mode tables: the precision alphabet of packet-specific encoding.
+
+Each transferred packet groups ``P`` chunk IDs and prepends a small
+**mode** field selecting the bit width of every ID in the packet
+(Sec. 5.2 / Fig. 5b: a 3-bit mode drives the mode-aware unpacking
+module). A packet's precision is the smallest table entry covering its
+largest ID.
+
+The paper fixes its mode table implicitly; we expose it and additionally
+provide a dynamic-programming *optimal* table (an extension documented in
+DESIGN.md): given the per-packet required-bits histogram, choose the
+``k``-entry table minimizing total transferred bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import PackingError
+from ..utils import bits_for_count
+
+__all__ = [
+    "ModeTable",
+    "uniform_mode_table",
+    "spread_mode_table",
+    "optimal_mode_table",
+    "packet_required_bits",
+]
+
+#: Hardware mode fields are small; 8 modes (3 bits) matches Fig. 5b.
+DEFAULT_N_MODES = 8
+
+
+@dataclass(frozen=True)
+class ModeTable:
+    """An ascending tuple of selectable packet precisions (in bits)."""
+
+    precisions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.precisions:
+            raise PackingError("mode table must contain at least one precision")
+        if list(self.precisions) != sorted(set(self.precisions)):
+            raise PackingError(f"precisions must be strictly ascending, got {self.precisions}")
+        if self.precisions[0] < 1:
+            raise PackingError(f"precisions must be >= 1, got {self.precisions}")
+
+    @property
+    def n_modes(self) -> int:
+        """Number of selectable precisions."""
+        return len(self.precisions)
+
+    @property
+    def mode_bits(self) -> int:
+        """Bits of the per-packet mode field (0 when only one mode exists)."""
+        return 0 if self.n_modes == 1 else math.ceil(math.log2(self.n_modes))
+
+    @property
+    def max_precision(self) -> int:
+        """Largest representable precision."""
+        return self.precisions[-1]
+
+    def mode_for_bits(self, required_bits: np.ndarray | int) -> np.ndarray | int:
+        """Mode index (smallest covering precision) for required bit widths."""
+        table = np.asarray(self.precisions)
+        idx = np.searchsorted(table, required_bits, side="left")
+        if np.any(np.asarray(idx) >= self.n_modes):
+            raise PackingError(
+                f"required bits exceed mode table maximum {self.max_precision}"
+            )
+        return idx
+
+    def precision_for_bits(self, required_bits: np.ndarray | int) -> np.ndarray | int:
+        """Selected packet precision for required bit widths."""
+        table = np.asarray(self.precisions)
+        return table[self.mode_for_bits(required_bits)]
+
+    def header_bits(self) -> int:
+        """Bits to ship the table itself (5 bits per entry, <=32-bit widths)."""
+        return 5 * self.n_modes
+
+
+def uniform_mode_table(id_bits: int) -> ModeTable:
+    """The single-precision table used by naive packing (no mode field)."""
+    if id_bits < 1:
+        raise PackingError(f"id_bits must be >= 1, got {id_bits}")
+    return ModeTable((id_bits,))
+
+
+def spread_mode_table(id_bits: int, n_modes: int = DEFAULT_N_MODES) -> ModeTable:
+    """Evenly spread precisions ``1..id_bits`` over ``n_modes`` entries.
+
+    Always includes ``id_bits`` so every packet is representable.
+    """
+    if id_bits < 1:
+        raise PackingError(f"id_bits must be >= 1, got {id_bits}")
+    if n_modes < 1:
+        raise PackingError(f"n_modes must be >= 1, got {n_modes}")
+    if n_modes >= id_bits:
+        return ModeTable(tuple(range(1, id_bits + 1)))
+    points = np.linspace(1, id_bits, n_modes)
+    precisions = sorted(set(int(round(p)) for p in points) | {id_bits})
+    return ModeTable(tuple(precisions))
+
+
+def packet_required_bits(ids: np.ndarray, packet_size: int) -> np.ndarray:
+    """Per-packet required precision: bits of the packet's largest ID.
+
+    The trailing partial packet (if any) is padded with ID 0, which never
+    raises its required precision.
+    """
+    if packet_size < 1:
+        raise PackingError(f"packet_size must be >= 1, got {packet_size}")
+    if ids.ndim != 1:
+        raise PackingError(f"ids must be flat, got shape {ids.shape}")
+    n = ids.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    n_packets = -(-n // packet_size)
+    padded = np.zeros(n_packets * packet_size, dtype=np.int64)
+    padded[:n] = ids
+    maxima = padded.reshape(n_packets, packet_size).max(axis=1)
+    # bits_for_max_value, vectorized: ID 0 still needs one bit on the wire.
+    with np.errstate(divide="ignore"):
+        bits = np.where(maxima > 0, np.floor(np.log2(np.maximum(maxima, 1))).astype(np.int64) + 1, 1)
+    return bits
+
+
+def optimal_mode_table(
+    ids: np.ndarray,
+    packet_size: int,
+    n_modes: int = DEFAULT_N_MODES,
+    id_bits: int | None = None,
+) -> ModeTable:
+    """DP-optimal mode table for a concrete ID stream (extension).
+
+    Minimizes ``sum_packets packet_size * precision(packet)`` over all
+    ascending precision tables with at most ``n_modes`` entries whose
+    maximum covers ``id_bits``. The per-packet mode field has fixed width,
+    so it does not affect the optimization.
+
+    Complexity ``O(B^2 * n_modes)`` with ``B = id_bits`` — microseconds.
+    """
+    required = packet_required_bits(ids, packet_size)
+    max_bits = int(id_bits if id_bits is not None else bits_for_count(int(ids.max()) + 1))
+    if required.size and int(required.max()) > max_bits:
+        raise PackingError("ids exceed the declared id_bits")
+    hist = np.bincount(required, minlength=max_bits + 1).astype(np.float64)
+    cum = np.cumsum(hist)
+
+    inf = math.inf
+    # dp[k][j]: min cost when precision j is the largest chosen so far and
+    # k modes are used; costs counted for all packets needing <= j bits.
+    dp = [[inf] * (max_bits + 1) for _ in range(n_modes + 1)]
+    parent: dict[tuple[int, int], int] = {}
+    for j in range(1, max_bits + 1):
+        dp[1][j] = cum[j] * j
+    for k in range(2, n_modes + 1):
+        for j in range(1, max_bits + 1):
+            best, arg = dp[k - 1][j], -1
+            for i in range(1, j):
+                cand = dp[k - 1][i] + (cum[j] - cum[i]) * j
+                if cand < best:
+                    best, arg = cand, i
+            dp[k][j] = best
+            if arg >= 0:
+                parent[(k, j)] = arg
+
+    # Walk back from (n_modes, max_bits); a missing parent entry means the
+    # value was carried from (k-1, j) without adding a precision.
+    best_k = min(range(1, n_modes + 1), key=lambda k: dp[k][max_bits])
+    precisions = [max_bits]
+    k, j = best_k, max_bits
+    while k > 1:
+        if (k, j) in parent:
+            j = parent[(k, j)]
+            precisions.append(j)
+        k -= 1
+    return ModeTable(tuple(sorted(set(precisions))))

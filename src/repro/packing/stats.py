@@ -1,0 +1,122 @@
+"""Packing statistics: reduction ratios, ID histograms, ablation reports.
+
+These feed three paper artifacts directly:
+
+* Fig. 4a — reduction ratio per decoder layer (OPT-125M vs OPT-1.3B);
+* Fig. 10a — weight-fetch latency of the three packing levels;
+* Fig. 10b/c — chunk-ID histograms before/after frequency re-indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..models import OpKind, TransformerConfig
+from ..quant.synthetic import layer_weight_specs, generate_int8_weights, stable_seed
+from ..utils import geomean
+from .chunking import encode_matrix
+from .pipeline import PackingConfig, PackingLevel, packed_size_bits
+from .reindex import frequency_reindex
+
+__all__ = [
+    "reduction_ratio",
+    "id_histogram",
+    "PackingAblation",
+    "packing_ablation",
+    "layer_reduction_ratios",
+    "model_reduction_ratio_table",
+]
+
+
+def reduction_ratio(w: np.ndarray, chunk_size: int = 2) -> float:
+    """Total chunks over unique chunks for one matrix (Sec. 5.1)."""
+    return encode_matrix(w, chunk_size).reduction_ratio
+
+
+def id_histogram(
+    w: np.ndarray, chunk_size: int = 2, reindexed: bool = False, bins: int = 64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of chunk-ID occurrences (Fig. 10b/c).
+
+    Returns ``(bin_edges, counts)`` where counts sum occurrences of each
+    ID value range in the encoded matrix.
+    """
+    encoded = encode_matrix(w, chunk_size)
+    if reindexed:
+        encoded = frequency_reindex(encoded)
+    counts, edges = np.histogram(encoded.ids, bins=bins)
+    return edges, counts
+
+
+@dataclass(frozen=True)
+class PackingAblation:
+    """Bits and relative gains of the three packing levels for one matrix."""
+
+    raw_bits: int
+    naive_bits: int
+    packet_bits: int
+    reindex_bits: int
+    n_unique: int
+    id_bits: int
+
+    @property
+    def naive_gain(self) -> float:
+        """Raw over naive-packed bits (paper: ~1.4x on OPT-125M MLP1)."""
+        return self.raw_bits / self.naive_bits
+
+    @property
+    def packet_gain(self) -> float:
+        """Raw over packet-specific bits (paper: ~1.54x)."""
+        return self.raw_bits / self.packet_bits
+
+    @property
+    def reindex_gain(self) -> float:
+        """Raw over frequency-reindexed bits (paper: ~2.63x)."""
+        return self.raw_bits / self.reindex_bits
+
+
+def packing_ablation(
+    w: np.ndarray, chunk_size: int = 2, packet_size: int = 8, n_modes: int = 8
+) -> PackingAblation:
+    """Run all three packing levels on one matrix (Fig. 10a)."""
+    encoded = encode_matrix(w, chunk_size)
+    sizes = {}
+    for level in PackingLevel:
+        cfg = PackingConfig(
+            chunk_size=chunk_size, packet_size=packet_size, level=level, n_modes=n_modes
+        )
+        sizes[level] = packed_size_bits(w, cfg)
+    return PackingAblation(
+        raw_bits=w.size * 8,
+        naive_bits=sizes[PackingLevel.NAIVE],
+        packet_bits=sizes[PackingLevel.PACKET],
+        reindex_bits=sizes[PackingLevel.REINDEX],
+        n_unique=encoded.unique.n_unique,
+        id_bits=encoded.id_bits,
+    )
+
+
+def layer_reduction_ratios(
+    model: TransformerConfig, layer_index: int, chunk_size: int = 2, base_seed: int = 0
+) -> Dict[OpKind, float]:
+    """Reduction ratio of every weight matrix in one layer."""
+    out: Dict[OpKind, float] = {}
+    for kind, shape, profile in layer_weight_specs(model, layer_index):
+        seed = stable_seed(model.name, kind.value, layer_index, base_seed)
+        w = generate_int8_weights(shape, profile, seed=seed)
+        out[kind] = reduction_ratio(w, chunk_size)
+    return out
+
+
+def model_reduction_ratio_table(
+    model: TransformerConfig, chunk_size: int = 2, base_seed: int = 0
+) -> List[Tuple[int, float]]:
+    """Per-layer geometric-mean reduction ratio (the Fig. 4a series)."""
+    table = []
+    for layer in range(model.n_layers):
+        ratios = layer_reduction_ratios(model, layer, chunk_size, base_seed)
+        table.append((layer, geomean(ratios.values())))
+    return table

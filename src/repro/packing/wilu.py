@@ -1,0 +1,111 @@
+"""Weight-unpacking and Index Look-Up (WILU) module model (Sec. 5.4).
+
+The WILU sits between the weight BRAM and the PE register files: it
+parses packed packets (mode-aware unpacking, MAU — Fig. 5b), then looks
+every recovered chunk ID up in the on-chip reindexed unique matrix to
+emit raw int8 weight values.
+
+Two fidelity levels are provided:
+
+* :func:`mau_unpack_byte` — the exact Fig. 5b datapath: one 8-bit packed
+  word splits into 1/2/4-bit fields for modes 0/1/2 via bit-plane
+  (strided) gathering. Kept as a faithful standalone model with its own
+  bijectivity tests.
+* :class:`WiluDecoder` — the full-stream decoder used by the library,
+  driving the general packet parser of :mod:`repro.packing.bitpack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import PackingError
+from ..utils import ceil_div
+from .bitpack import PackedStream, unpack_ids, unpack_ids_fast
+from .chunking import UniqueMatrix
+
+__all__ = ["mau_unpack_byte", "mau_pack_byte", "WiluDecoder"]
+
+#: Fig. 5b field widths per mode for one 8-bit packed word.
+_MAU_WIDTHS = {0: 1, 1: 2, 2: 4}
+
+
+def mau_unpack_byte(word: int, mode: int) -> List[int]:
+    """Split one packed 8-bit word into mode-selected fields (Fig. 5b).
+
+    Mode 0 yields eight 1-bit values, mode 1 four 2-bit values, mode 2
+    two 4-bit values. Fields are assembled from *strided* bit positions
+    (value ``j`` takes bits ``d_{j}, d_{j+n}, d_{j+2n}, ...`` with ``n``
+    the value count), matching the figure's wiring.
+    """
+    if not (0 <= word <= 0xFF):
+        raise PackingError(f"word must be an 8-bit value, got {word}")
+    if mode not in _MAU_WIDTHS:
+        raise PackingError(f"MAU mode must be 0, 1 or 2, got {mode}")
+    width = _MAU_WIDTHS[mode]
+    n_values = 8 // width
+    bits = [(word >> i) & 1 for i in range(8)]  # d0..d7
+    values = []
+    for j in range(n_values):
+        val = 0
+        for k in range(width - 1, -1, -1):
+            val = (val << 1) | bits[j + k * n_values]
+        values.append(val)
+    return values
+
+
+def mau_pack_byte(values: List[int], mode: int) -> int:
+    """Inverse of :func:`mau_unpack_byte` (used by its bijectivity tests)."""
+    if mode not in _MAU_WIDTHS:
+        raise PackingError(f"MAU mode must be 0, 1 or 2, got {mode}")
+    width = _MAU_WIDTHS[mode]
+    n_values = 8 // width
+    if len(values) != n_values:
+        raise PackingError(f"mode {mode} packs {n_values} values, got {len(values)}")
+    word = 0
+    for j, val in enumerate(values):
+        if not (0 <= val < (1 << width)):
+            raise PackingError(f"value {val} exceeds {width}-bit field")
+        for k in range(width):
+            bit = (val >> k) & 1
+            word |= bit << (j + k * n_values)
+    return word
+
+
+@dataclass(frozen=True)
+class WiluDecoder:
+    """Full WILU: packet parse + unique-matrix lookup -> int8 weights."""
+
+    unique: UniqueMatrix
+
+    def decode_ids(self, stream: PackedStream, fast: bool = True) -> np.ndarray:
+        """Recover the flat chunk-ID sequence from a packed stream."""
+        ids = unpack_ids_fast(stream) if fast else unpack_ids(stream)
+        if ids.size and int(ids.max()) >= self.unique.n_unique:
+            raise PackingError(
+                f"decoded ID {int(ids.max())} outside unique matrix of "
+                f"{self.unique.n_unique} chunks"
+            )
+        return ids
+
+    def decode_matrix(
+        self,
+        stream: PackedStream,
+        shape: Tuple[int, int],
+        fast: bool = True,
+    ) -> np.ndarray:
+        """Reconstruct the original ``[N, M]`` int8 weight matrix exactly."""
+        n, m = shape
+        c = self.unique.chunk_size
+        chunks_per_row = ceil_div(m, c)
+        ids = self.decode_ids(stream, fast=fast)
+        expected = n * chunks_per_row
+        if ids.size != expected:
+            raise PackingError(
+                f"stream carries {ids.size} chunks but shape {shape} needs {expected}"
+            )
+        flat = self.unique.chunks[ids].reshape(n, chunks_per_row * c)
+        return np.ascontiguousarray(flat[:, :m])

@@ -1,0 +1,41 @@
+"""Quantization substrate: W8A8 fake quantization, SmoothQuant migration,
+and the calibrated synthetic int8 weight generator that substitutes for
+the unavailable OPT/DeiT checkpoints (see DESIGN.md, substitution table).
+"""
+
+from .fake_quant import (
+    QuantizedTensor,
+    absmax_scale,
+    dequantize,
+    quantize,
+    quantize_per_channel,
+)
+from .smoothquant import SmoothedPair, smooth, smooth_scales, w8a8_matmul_error
+from .synthetic import (
+    WeightProfile,
+    generate_int8_weights,
+    generate_layer_weights,
+    layer_weight_specs,
+    profile_for_op,
+    stable_seed,
+    weight_shape_for_op,
+)
+
+__all__ = [
+    "QuantizedTensor",
+    "absmax_scale",
+    "quantize",
+    "quantize_per_channel",
+    "dequantize",
+    "SmoothedPair",
+    "smooth",
+    "smooth_scales",
+    "w8a8_matmul_error",
+    "WeightProfile",
+    "generate_int8_weights",
+    "generate_layer_weights",
+    "layer_weight_specs",
+    "profile_for_op",
+    "stable_seed",
+    "weight_shape_for_op",
+]

@@ -1,0 +1,141 @@
+"""GEMM-mode op latency model.
+
+In GEMM mode (the execution pattern of every prior work the paper
+compares against, and of MEADOW's own K/V/Proj/MLP layers), an op's
+operands are fetched from off-chip DRAM into BRAM, tiles stream through
+the PE register files, and results store back to DRAM. Latency therefore
+has four components: weight fetch, activation fetch, compute, store.
+
+Vector ops (layer norm, softmax, activation) run on their dedicated
+units but follow the same DRAM round-trip pattern in GEMM mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError
+from ..hardware import (
+    DramModel,
+    EnergyLedger,
+    HardwareConfig,
+    gemm_compute_cycles,
+    layernorm_cycles,
+    nonlinear_cycles,
+    softmax_module_cycles,
+)
+from ..models import LayerOp, OpKind
+from .breakdown import LatencyBreakdown
+
+__all__ = ["gemm_op_latency", "vector_op_latency", "matmul_compute_cycles"]
+
+
+def matmul_compute_cycles(
+    config: HardwareConfig,
+    op: LayerOp,
+    compute_scale: float = 1.0,
+) -> float:
+    """Compute cycles of a (possibly batched) matmul op on the PE fabric.
+
+    ``compute_scale`` < 1 models sparse execution (e.g. N:M sparsity
+    skips a fixed fraction of MACs).
+    """
+    if not op.is_matmul:
+        raise SimulationError(f"{op.kind} is not a matmul op")
+    per_instance = gemm_compute_cycles(config, op.rows, op.reduce, op.cols)
+    return op.batch * per_instance * compute_scale
+
+
+def gemm_op_latency(
+    config: HardwareConfig,
+    op: LayerOp,
+    weight_bits_total: Optional[int] = None,
+    fetch_input: bool = True,
+    store_output: bool = True,
+    compute_scale: float = 1.0,
+    weight_refetch: float = 1.0,
+    input_refetch: float = 1.0,
+    energy: Optional[EnergyLedger] = None,
+) -> LatencyBreakdown:
+    """Latency of one matmul op executed in GEMM mode.
+
+    Args:
+        config: hardware instance.
+        op: the op (must be a matmul).
+        weight_bits_total: total weight bits actually transferred
+            (packed size); ``None`` means raw ``weight_elements *
+            weight_bits``.
+        fetch_input: whether activations come from DRAM (False when an
+            upstream op left them in BRAM).
+        store_output: whether results go back to DRAM.
+        compute_scale: MAC-thinning factor for sparse baselines.
+        weight_refetch/input_refetch: traffic multipliers from the tiled
+            schedule when an operand cannot stay BRAM-resident (see
+            :mod:`repro.sim.tiling`).
+        energy: optional ledger to accumulate into.
+    """
+    if weight_refetch < 1.0 or input_refetch < 1.0:
+        raise SimulationError("refetch factors must be >= 1")
+    dram = DramModel.from_config(config)
+    w_bits = 0.0
+    if op.has_weights:
+        w_bits = (
+            float(weight_bits_total)
+            if weight_bits_total is not None
+            else float(op.weight_elements * config.weight_bits)
+        ) * weight_refetch
+    in_bits = (
+        float(op.input_elements * config.act_bits) * input_refetch
+        if fetch_input
+        else 0.0
+    )
+    out_bits = float(op.output_elements * config.act_bits) if store_output else 0.0
+
+    breakdown = LatencyBreakdown(
+        weight_fetch=dram.transfer_cycles(w_bits) if w_bits else 0.0,
+        input_fetch=dram.transfer_cycles(in_bits) if in_bits else 0.0,
+        compute=matmul_compute_cycles(config, op, compute_scale),
+        store=dram.transfer_cycles(out_bits) if out_bits else 0.0,
+    )
+    if energy is not None:
+        energy.add_macs(op.macs * compute_scale)
+        energy.add_dram_bits(w_bits + in_bits + out_bits)
+        energy.add_bram_bytes((w_bits + in_bits + out_bits) / 8.0)
+        energy.add_rf_bytes((op.input_elements + op.output_elements) * config.act_bits / 8.0)
+        energy.add_noc_bytes((op.input_elements + op.output_elements) * config.act_bits / 8.0)
+    return breakdown
+
+
+def vector_op_latency(
+    config: HardwareConfig,
+    op: LayerOp,
+    fetch_input: bool = True,
+    store_output: bool = True,
+    energy: Optional[EnergyLedger] = None,
+) -> LatencyBreakdown:
+    """Latency of a LN / softmax / activation op in GEMM (unfused) mode."""
+    dram = DramModel.from_config(config)
+    if op.kind is OpKind.SOFTMAX:
+        compute = float(
+            softmax_module_cycles(op.batch * op.rows, op.cols, config.n_softmax_units)
+        )
+    elif op.kind in (OpKind.LAYERNORM_1, OpKind.LAYERNORM_2):
+        compute = float(layernorm_cycles(op.rows, op.cols, config.n_layernorm_units))
+    elif op.kind is OpKind.ACTIVATION:
+        compute = float(nonlinear_cycles(op.rows * op.cols, config.n_nonlinear_units))
+    else:
+        raise SimulationError(f"{op.kind} is not a vector op")
+
+    in_bits = float(op.input_elements * config.act_bits) if fetch_input else 0.0
+    out_bits = float(op.output_elements * config.act_bits) if store_output else 0.0
+    breakdown = LatencyBreakdown(
+        weight_fetch=0.0,
+        input_fetch=dram.transfer_cycles(in_bits) if in_bits else 0.0,
+        compute=compute,
+        store=dram.transfer_cycles(out_bits) if out_bits else 0.0,
+    )
+    if energy is not None:
+        energy.add_dram_bits(in_bits + out_bits)
+        energy.add_bram_bytes((in_bits + out_bits) / 8.0)
+        energy.add_noc_bytes((op.input_elements + op.output_elements) * config.act_bits / 8.0)
+    return breakdown

@@ -1,0 +1,113 @@
+"""Inference-level latency metrics: TTFT, TBT, end-to-end generation.
+
+Definitions follow Sec. 6.1 of the paper:
+
+* **TTFT** (time to first token) — latency of the prefill pass.
+* **TBT** (time between tokens) — latency of generating the Nth token
+  after N-1 generated tokens, i.e. one decode pass over a context of
+  ``prefill + N`` tokens.
+* **End-to-end** — TTFT plus the sum of TBTs over the generated tokens
+  (used for the ">40% vs prior works" claim of Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.plan import ExecutionPlan
+from ..errors import ConfigError
+from ..hardware import HardwareConfig
+from ..models import TransformerConfig, decode_workload, prefill_workload
+from ..packing import PackingPlanner
+from .breakdown import StageReport
+from .layer_sim import WorkloadSimulator
+
+__all__ = ["ttft", "tbt", "GenerationLatency", "end_to_end"]
+
+
+def ttft(
+    model: TransformerConfig,
+    config: HardwareConfig,
+    plan: ExecutionPlan,
+    prompt_tokens: int,
+    planner: Optional[PackingPlanner] = None,
+) -> StageReport:
+    """Time-to-first-token report for a prompt of ``prompt_tokens``."""
+    sim = WorkloadSimulator(model, config, plan, planner)
+    return sim.simulate(prefill_workload(model, prompt_tokens))
+
+
+def tbt(
+    model: TransformerConfig,
+    config: HardwareConfig,
+    plan: ExecutionPlan,
+    token_index: int,
+    prefill_tokens: int = 512,
+    planner: Optional[PackingPlanner] = None,
+) -> StageReport:
+    """Time-between-tokens report for the ``token_index``-th generated
+    token after a ``prefill_tokens`` prefill."""
+    if token_index < 1:
+        raise ConfigError(f"token_index must be >= 1, got {token_index}")
+    sim = WorkloadSimulator(model, config, plan, planner)
+    return sim.simulate(decode_workload(model, prefill_tokens + token_index))
+
+
+@dataclass(frozen=True)
+class GenerationLatency:
+    """End-to-end latency of a full prompt + generation run."""
+
+    prefill_s: float
+    decode_s: float
+    prompt_tokens: int
+    generated_tokens: int
+
+    @property
+    def total_s(self) -> float:
+        """TTFT plus all decode steps."""
+        return self.prefill_s + self.decode_s
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Steady-state decode throughput."""
+        if self.decode_s == 0:
+            return float("inf")
+        return self.generated_tokens / self.decode_s
+
+
+def end_to_end(
+    model: TransformerConfig,
+    config: HardwareConfig,
+    plan: ExecutionPlan,
+    prompt_tokens: int,
+    generated_tokens: int,
+    sample_every: int = 32,
+    planner: Optional[PackingPlanner] = None,
+) -> GenerationLatency:
+    """TTFT + integrated TBT over a generation of ``generated_tokens``.
+
+    TBT varies slowly with context length (the KV span grows one token
+    per step), so the decode curve is sampled every ``sample_every``
+    steps and integrated piecewise — exact for ``sample_every=1``.
+    """
+    if generated_tokens < 1:
+        raise ConfigError(f"generated_tokens must be >= 1, got {generated_tokens}")
+    if sample_every < 1:
+        raise ConfigError(f"sample_every must be >= 1, got {sample_every}")
+    sim = WorkloadSimulator(model, config, plan, planner)
+    prefill_s = sim.simulate(prefill_workload(model, prompt_tokens)).latency_s
+
+    decode_s = 0.0
+    step = 1
+    while step <= generated_tokens:
+        span = min(sample_every, generated_tokens - step + 1)
+        report = sim.simulate(decode_workload(model, prompt_tokens + step))
+        decode_s += report.latency_s * span
+        step += span
+    return GenerationLatency(
+        prefill_s=prefill_s,
+        decode_s=decode_s,
+        prompt_tokens=prompt_tokens,
+        generated_tokens=generated_tokens,
+    )

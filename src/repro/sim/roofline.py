@@ -1,0 +1,85 @@
+"""Roofline model (Fig. 12b).
+
+Attainable throughput at operational intensity ``OI`` (MACs per DRAM
+byte) under a peak compute roof and a bandwidth roof:
+
+    attainable(OI) = min(peak_macs_per_s, OI * dram_bytes_per_s)
+
+The paper plots rooflines for four (bandwidth, PE) corners to justify
+the dataflow choice table of Fig. 12a: low-bandwidth configs pin the
+attention ops against the bandwidth roof, which is exactly the regime
+TPHS (which raises OI by eliminating intermediate traffic) wins in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..hardware import HardwareConfig
+from .breakdown import StageReport
+
+__all__ = ["RooflinePoint", "roofline_point", "roofline_curve", "workload_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on a config's roofline."""
+
+    operational_intensity: float  # MACs per DRAM byte
+    attainable_gmacs: float  # roofline ceiling at this OI
+    achieved_gmacs: float  # what the simulation actually achieved
+    bound: str  # "memory" or "compute"
+
+    @property
+    def roof_utilization(self) -> float:
+        """Achieved over attainable (1.0 = sitting on the roof)."""
+        if self.attainable_gmacs == 0:
+            return 0.0
+        return self.achieved_gmacs / self.attainable_gmacs
+
+
+def _peak_gmacs(config: HardwareConfig) -> float:
+    return config.peak_macs_per_cycle * config.clock_hz / 1e9
+
+
+def _bandwidth_gbytes(config: HardwareConfig) -> float:
+    return config.dram_bandwidth_gbps * config.dram_burst_efficiency / 8.0
+
+
+def roofline_point(
+    config: HardwareConfig, macs: float, dram_bytes: float, seconds: float
+) -> RooflinePoint:
+    """Place a measured workload on the config's roofline."""
+    if dram_bytes <= 0 or seconds <= 0:
+        raise ValueError("dram_bytes and seconds must be positive")
+    oi = macs / dram_bytes
+    roof = min(_peak_gmacs(config), oi * _bandwidth_gbytes(config))
+    ridge = _peak_gmacs(config) / _bandwidth_gbytes(config)
+    return RooflinePoint(
+        operational_intensity=oi,
+        attainable_gmacs=roof,
+        achieved_gmacs=macs / seconds / 1e9,
+        bound="memory" if oi < ridge else "compute",
+    )
+
+
+def roofline_curve(
+    config: HardwareConfig, oi_values: Sequence[float] | None = None
+) -> List[tuple]:
+    """(OI, attainable GMAC/s) series for plotting a config's roofline."""
+    if oi_values is None:
+        oi_values = np.logspace(-2, 4, 49)
+    bw = _bandwidth_gbytes(config)
+    peak = _peak_gmacs(config)
+    return [(float(oi), float(min(peak, oi * bw))) for oi in oi_values]
+
+
+def workload_roofline(report: StageReport) -> RooflinePoint:
+    """Roofline placement of a simulated workload report."""
+    macs = float(sum(op.macs for ops in report.layer_ops for op in ops))
+    fetch_bits, store_bits = report.traffic_bits()
+    dram_bytes = (fetch_bits + store_bits) / 8.0
+    return roofline_point(report.config, macs, dram_bytes, report.latency_s)

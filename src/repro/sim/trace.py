@@ -1,0 +1,115 @@
+"""Execution traces: per-op timelines from a simulated workload.
+
+A :class:`StageReport` prices ops; this module lays them on a timeline
+(ops of a layer execute back to back, layers in sequence) and exports the
+result as structured events, CSV, or an ASCII Gantt chart — the kind of
+artifact a performance engineer pulls when validating where the cycles
+actually went.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import asdict, dataclass
+from typing import List
+
+from ..errors import SimulationError
+from .breakdown import StageReport
+
+__all__ = ["TraceEvent", "build_trace", "trace_to_csv", "trace_to_json", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One op occurrence on the execution timeline (cycles)."""
+
+    layer: int
+    op: str
+    dataflow: str
+    start: float
+    end: float
+    weight_fetch: float
+    input_fetch: float
+    compute: float
+    store: float
+
+    @property
+    def duration(self) -> float:
+        """Op latency in cycles."""
+        return self.end - self.start
+
+
+def build_trace(report: StageReport) -> List[TraceEvent]:
+    """Lay a stage report's ops onto a sequential timeline."""
+    events: List[TraceEvent] = []
+    cursor = 0.0
+    db = report.config.double_buffered
+    for layer, ops in enumerate(report.layer_ops):
+        for op in ops:
+            duration = op.total(db)
+            bd = op.breakdown
+            events.append(
+                TraceEvent(
+                    layer=layer,
+                    op=op.kind.value,
+                    dataflow=op.dataflow,
+                    start=cursor,
+                    end=cursor + duration,
+                    weight_fetch=bd.weight_fetch,
+                    input_fetch=bd.input_fetch,
+                    compute=bd.compute,
+                    store=bd.store,
+                )
+            )
+            cursor += duration
+    return events
+
+
+def trace_to_csv(events: List[TraceEvent]) -> str:
+    """Render a trace as CSV text."""
+    out = io.StringIO()
+    cols = [
+        "layer",
+        "op",
+        "dataflow",
+        "start",
+        "end",
+        "weight_fetch",
+        "input_fetch",
+        "compute",
+        "store",
+    ]
+    out.write(",".join(cols) + "\n")
+    for ev in events:
+        row = asdict(ev)
+        out.write(",".join(str(row[c]) for c in cols) + "\n")
+    return out.getvalue()
+
+
+def trace_to_json(events: List[TraceEvent]) -> str:
+    """Render a trace as a JSON array (chrome://tracing-style fields)."""
+    return json.dumps([asdict(ev) for ev in events], indent=2)
+
+
+def render_gantt(events: List[TraceEvent], width: int = 80, max_rows: int = 40) -> str:
+    """ASCII Gantt chart of the first ``max_rows`` trace events."""
+    if not events:
+        raise SimulationError("cannot render an empty trace")
+    if width < 10:
+        raise SimulationError(f"width must be >= 10, got {width}")
+    span = events[-1].end
+    if span <= 0:
+        raise SimulationError("trace has zero duration")
+    shown = [ev for ev in events if ev.duration > 0][:max_rows]
+    label_w = max(len(f"L{ev.layer}.{ev.op}") for ev in shown) + 1
+    lines = []
+    for ev in shown:
+        begin = int(ev.start / span * width)
+        length = max(1, int(ev.duration / span * width))
+        bar = " " * begin + "#" * min(length, width - begin)
+        lines.append(f"{f'L{ev.layer}.{ev.op}':<{label_w}}|{bar:<{width}}|")
+    hidden = len([ev for ev in events if ev.duration > 0]) - len(shown)
+    if hidden > 0:
+        lines.append(f"... ({hidden} more events)")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Small numeric helpers shared by the packing, hardware and simulator layers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "ceil_div",
+    "bits_for_count",
+    "bits_for_max_value",
+    "round_up",
+    "gbps_to_bits_per_cycle",
+    "geomean",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def bits_for_count(n: int) -> int:
+    """Bits needed to represent ``n`` distinct values (IDs ``0..n-1``).
+
+    ``bits_for_count(1) == 1`` by convention: even a single unique chunk
+    still occupies one bit on the wire in our packet format.
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive count, got {n}")
+    return max(1, (n - 1).bit_length())
+
+
+def bits_for_max_value(v: int) -> int:
+    """Bits needed to represent the unsigned value ``v`` (at least 1)."""
+    if v < 0:
+        raise ValueError(f"value must be non-negative, got {v}")
+    return max(1, v.bit_length())
+
+
+def round_up(x: int, multiple: int) -> int:
+    """Round ``x`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(x, multiple) * multiple
+
+
+def gbps_to_bits_per_cycle(bandwidth_gbps: float, clock_hz: float) -> float:
+    """Convert a DRAM bandwidth in Gbit/s to bits available per core cycle."""
+    if bandwidth_gbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gbps}")
+    if clock_hz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_hz}")
+    return bandwidth_gbps * 1e9 / clock_hz
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

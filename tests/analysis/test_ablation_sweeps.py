@@ -1,0 +1,74 @@
+"""Tests for the extension ablation sweeps."""
+
+import pytest
+
+from repro.analysis import (
+    chunk_size_sweep,
+    energy_comparison,
+    mode_count_sweep,
+    packet_size_sweep,
+)
+from repro.core import ExecutionPlan
+from repro.models import prefill_workload
+from repro.quant import WeightProfile, generate_int8_weights
+
+
+@pytest.fixture(scope="module")
+def peaked_matrix():
+    return generate_int8_weights((512, 256), WeightProfile("m", 1.2), seed=4)
+
+
+class TestChunkSizeSweep:
+    def test_covers_requested_sizes(self, peaked_matrix):
+        out = chunk_size_sweep(peaked_matrix, chunk_sizes=(1, 2, 4))
+        assert set(out) == {1, 2, 4}
+
+    def test_small_chunks_win_on_int8_llm_weights(self, peaked_matrix):
+        out = chunk_size_sweep(peaked_matrix, chunk_sizes=(2, 8))
+        # C=8 chunks are nearly all unique -> compression collapses.
+        assert out[2] > out[8]
+
+    def test_all_ratios_positive(self, peaked_matrix):
+        assert all(v > 0 for v in chunk_size_sweep(peaked_matrix).values())
+
+
+class TestPacketSizeSweep:
+    def test_large_packets_dilute_precision(self, peaked_matrix):
+        # One large ID forces high precision on the whole packet, so
+        # compression degrades as packets grow.
+        out = packet_size_sweep(peaked_matrix, packet_sizes=(2, 8, 32))
+        assert out[2] > out[32]
+        assert out[8] > out[32]
+
+    def test_tiny_packets_stay_within_mode_bit_overhead(self, peaked_matrix):
+        # P=2 pays a 3-bit mode field per 2 IDs; the win over P=8 is
+        # bounded by that overhead (~20%), not unbounded.
+        out = packet_size_sweep(peaked_matrix, packet_sizes=(2, 8))
+        assert out[2] / out[8] < 1.2
+
+
+class TestModeCountSweep:
+    def test_more_modes_monotone_up_to_noise(self, peaked_matrix):
+        out = mode_count_sweep(peaked_matrix, mode_counts=(1, 2, 8))
+        assert out[8] >= out[2] >= out[1] * 0.95
+
+    def test_single_mode_equals_naive_level(self, peaked_matrix):
+        out = mode_count_sweep(peaked_matrix, mode_counts=(1,))
+        assert 1.0 < out[1] < 2.5
+
+
+class TestEnergyComparison:
+    def test_meadow_saves_energy_vs_gemm(self, small_model, zcu12, shared_planner):
+        plans = [ExecutionPlan.gemm_baseline(), ExecutionPlan.meadow()]
+        comp = energy_comparison(
+            small_model, zcu12, plans, prefill_workload(small_model, 128)
+        )
+        assert comp.total_uj["meadow"] < comp.total_uj["gemm"]
+
+    def test_dram_dominates_both_systems(self, small_model, zcu12):
+        plans = [ExecutionPlan.gemm_baseline(), ExecutionPlan.meadow()]
+        comp = energy_comparison(
+            small_model, zcu12, plans, prefill_workload(small_model, 128)
+        )
+        for name in ("gemm", "meadow"):
+            assert comp.dram_share(name) > 0.5

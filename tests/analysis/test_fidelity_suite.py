@@ -1,0 +1,42 @@
+"""Tests for the executable fidelity suite."""
+
+import pytest
+
+from repro.analysis import (
+    FidelityCheck,
+    FidelityResult,
+    paper_fidelity_suite,
+    run_fidelity_suite,
+)
+from repro.packing import PackingPlanner
+
+
+@pytest.fixture(scope="module")
+def results():
+    planner = PackingPlanner(depth_buckets=2)
+    return run_fidelity_suite(paper_fidelity_suite(planner))
+
+
+class TestFidelitySuite:
+    def test_every_standing_check_passes(self, results):
+        failures = [r.describe() for r in results if not r.in_band]
+        assert not failures, "\n".join(failures)
+
+    def test_suite_covers_core_claims(self):
+        names = [c.name for c in paper_fidelity_suite()]
+        assert any("prefill" in n for n in names)
+        assert any("decode" in n for n in names)
+        assert any("ViT" in n for n in names)
+        assert any("packing" in n for n in names)
+
+    def test_describe_mentions_citation(self, results):
+        assert all(r.check.citation in r.describe() for r in results)
+
+    def test_out_of_band_detected(self):
+        check = FidelityCheck("fake", "none", 10.0, 20.0, lambda: 1.0)
+        result = run_fidelity_suite([check])[0]
+        assert not result.in_band
+        assert "OUT" in result.describe()
+
+    def test_result_value_is_float(self, results):
+        assert all(isinstance(r.value, float) for r in results)

@@ -1,0 +1,91 @@
+"""Tests for the design-space Pareto analysis."""
+
+import pytest
+
+from repro.analysis import DesignPoint, design_space, pareto_frontier
+from repro.errors import ConfigError
+from repro.hardware import ZCU102_PART, estimate_resources, scaled_pe_config
+
+
+@pytest.fixture(scope="module")
+def points(small_model, shared_planner):
+    return design_space(
+        small_model,
+        pe_counts=[14, 48, 96],
+        bandwidths_gbps=[1.0, 12.0],
+        prompt_tokens=128,
+        planner=shared_planner,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    from repro.models import TransformerConfig
+
+    return TransformerConfig("small", 4, 256, 8, 1024, max_seq_len=1024)
+
+
+@pytest.fixture(scope="module")
+def shared_planner():
+    from repro.packing import PackingPlanner
+
+    return PackingPlanner(depth_buckets=2)
+
+
+class TestDesignSpace:
+    def test_full_grid_evaluated(self, points):
+        assert len(points) == 6
+
+    def test_latency_improves_with_bandwidth_at_fixed_pes(self, points):
+        by_key = {(p.n_pes, p.bandwidth_gbps): p for p in points}
+        for pes in (14, 48, 96):
+            assert by_key[(pes, 12.0)].latency_s < by_key[(pes, 1.0)].latency_s
+
+    def test_resources_attached(self, points):
+        for p in points:
+            assert p.resources == estimate_resources(
+                scaled_pe_config(p.n_pes, p.bandwidth_gbps)
+            )
+
+    def test_part_filter_drops_oversized_builds(self, small_model, shared_planner):
+        from repro.hardware import FpgaPart
+
+        tiny_part = FpgaPart("tiny", luts=50_000, dsps=400, bram_tiles=800)
+        pts = design_space(
+            small_model,
+            pe_counts=[14, 96],
+            bandwidths_gbps=[12.0],
+            prompt_tokens=64,
+            planner=shared_planner,
+            part=tiny_part,
+        )
+        assert {p.n_pes for p in pts} == {14}
+
+    def test_rejects_empty_grid(self, small_model):
+        with pytest.raises(ConfigError):
+            design_space(small_model, [], [12.0])
+
+
+class TestParetoFrontier:
+    def test_frontier_is_nondominated(self, points):
+        frontier = pareto_frontier(points)
+        for a in frontier:
+            assert not any(b.dominates(a) for b in points)
+
+    def test_frontier_sorted_by_cost(self, points):
+        frontier = pareto_frontier(points)
+        costs = [p.luts for p in frontier]
+        assert costs == sorted(costs)
+
+    def test_dominated_points_excluded(self, points):
+        frontier = pareto_frontier(points)
+        by_key = {(p.n_pes, p.bandwidth_gbps): p for p in points}
+        # Same PEs (same cost) at lower bandwidth is strictly dominated.
+        assert by_key[(96, 1.0)] not in frontier
+
+    def test_dominance_semantics(self):
+        a = DesignPoint(14, 1.0, latency_s=1.0, resources=estimate_resources(scaled_pe_config(14, 1.0)))
+        b = DesignPoint(14, 2.0, latency_s=2.0, resources=estimate_resources(scaled_pe_config(14, 2.0)))
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)

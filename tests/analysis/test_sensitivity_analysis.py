@@ -1,0 +1,51 @@
+"""Tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis import core_scale_sensitivity, decode_gain_model
+
+
+class TestDecodeGainModel:
+    def test_no_compression_no_gain(self):
+        assert decode_gain_model(1.0) == pytest.approx(1.0)
+
+    def test_infinite_compression_bounded_by_amdahl(self):
+        # Even free weights leave the KV-cache share of decode traffic.
+        assert decode_gain_model(1e9, weight_share=0.89) == pytest.approx(
+            1 / 0.11, rel=1e-3
+        )
+
+    def test_monotone_in_compression(self):
+        gains = [decode_gain_model(c) for c in (1.0, 1.5, 2.0, 3.0)]
+        assert gains == sorted(gains)
+
+    def test_matches_simulated_gain_at_calibrated_point(self):
+        # The full simulator measures ~1.56x at compression ~1.71x; the
+        # Amdahl model should land nearby (it ignores compute overlap).
+        assert decode_gain_model(1.71) == pytest.approx(1.56, abs=0.12)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            decode_gain_model(0.0)
+        with pytest.raises(ValueError):
+            decode_gain_model(2.0, weight_share=0.0)
+
+
+class TestCoreScaleSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return core_scale_sensitivity(core_scales=(0.7, 1.5, 3.0), shape=(512, 256))
+
+    def test_one_point_per_scale(self, points):
+        assert [p.core_scale for p in points] == [0.7, 1.5, 3.0]
+
+    def test_wider_distributions_pack_worse(self, points):
+        comps = [p.compression for p in points]
+        assert comps == sorted(comps, reverse=True)
+
+    def test_unique_chunks_grow_with_width(self, points):
+        uniques = [p.n_unique for p in points]
+        assert uniques == sorted(uniques)
+
+    def test_implied_gains_positive(self, points):
+        assert all(p.implied_decode_gain > 1.0 for p in points)

@@ -1,0 +1,83 @@
+"""Tests for the sweep drivers and table renderers."""
+
+import pytest
+
+from repro.analysis import (
+    SweepPoint,
+    banner,
+    breakdown_rows,
+    format_breakdown_bar,
+    format_table,
+    speedup,
+    tbt_sweep,
+    ttft_sweep,
+)
+from repro.core import ExecutionPlan
+from repro.models import prefill_workload
+from repro.sim import WorkloadSimulator
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def points(self, small_model, zcu12, shared_planner):
+        plans = [ExecutionPlan.gemm_baseline(), ExecutionPlan.meadow()]
+        return ttft_sweep(
+            small_model, zcu12, plans, [1, 12], [64, 128], planner=shared_planner
+        )
+
+    def test_grid_is_complete(self, points):
+        assert len(points) == 2 * 2 * 2
+        assert {p.plan for p in points} == {"gemm", "meadow"}
+
+    def test_latency_units(self, points):
+        for p in points:
+            assert p.latency_ms == pytest.approx(p.latency_s * 1e3)
+
+    def test_speedup_helper(self, points):
+        gains = speedup(points, baseline="gemm", system="meadow")
+        assert set(gains) == {(1, 64), (1, 128), (12, 64), (12, 128)}
+        assert all(g > 1.0 for g in gains.values())
+
+    def test_tbt_sweep_uses_prefill_context(self, small_model, zcu12, shared_planner):
+        points = tbt_sweep(
+            small_model,
+            zcu12,
+            [ExecutionPlan.meadow()],
+            [12],
+            [16, 64],
+            prefill_tokens=128,
+            planner=shared_planner,
+        )
+        assert len(points) == 2
+        assert points[0].latency_s < points[1].latency_s
+
+    def test_breakdown_rows_cover_layer_ops(self, small_model, zcu12, shared_planner):
+        sim = WorkloadSimulator(
+            small_model, zcu12, ExecutionPlan.meadow(), shared_planner
+        )
+        rows = breakdown_rows(sim.simulate(prefill_workload(small_model, 64)))
+        assert len(rows) == 12  # one per op slot (fused ops still listed)
+        assert {"op", "weight_fetch", "compute", "total"} <= set(rows[0])
+
+
+class TestRendering:
+    def test_format_table_aligns_columns(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["long-name", 123456.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_format_table_float_formats(self):
+        out = format_table(["v"], [[0.005], [12.3], [1e9]])
+        assert "0.005" in out and "12.30" in out and "1e+09" in out
+
+    def test_breakdown_bar_proportions(self):
+        bar = format_breakdown_bar("op", {"weight_fetch": 3.0, "compute": 1.0}, width=40)
+        assert bar.count("W") == 30
+        assert bar.count("C") == 10
+
+    def test_breakdown_bar_empty(self):
+        assert "(empty)" in format_breakdown_bar("op", {"compute": 0.0})
+
+    def test_banner_contains_title(self):
+        assert "Fig. 6" in banner("Fig. 6")

@@ -1,0 +1,69 @@
+"""Tests for the multi-system comparison harness (Fig. 11 scaffolding)."""
+
+import pytest
+
+from repro.baselines import compare_systems, cta, flightllm, gemm_baseline
+from repro.core import ExecutionPlan
+
+
+@pytest.fixture(scope="module")
+def comparison(small_model, zcu12, shared_planner):
+    plans = [gemm_baseline(), cta(), flightllm(), ExecutionPlan.meadow()]
+    return compare_systems(
+        small_model,
+        zcu12,
+        plans,
+        prefill_tokens=128,
+        decode_token_index=16,
+        generated_tokens=16,
+        planner=shared_planner,
+    )
+
+
+# Module-scoped fixtures need module-scoped versions of the session ones.
+@pytest.fixture(scope="module")
+def small_model():
+    from repro.models import TransformerConfig
+
+    return TransformerConfig("small", 4, 256, 8, 1024, max_seq_len=1024)
+
+
+@pytest.fixture(scope="module")
+def zcu12():
+    from repro import zcu102_config
+
+    return zcu102_config(12.0)
+
+
+@pytest.fixture(scope="module")
+def shared_planner():
+    from repro.packing import PackingPlanner
+
+    return PackingPlanner(depth_buckets=2)
+
+
+class TestCompareSystems:
+    def test_all_systems_present(self, comparison):
+        for table in (comparison.ttft_s, comparison.tbt_s, comparison.end_to_end_s):
+            assert set(table) == {"gemm", "cta", "flightllm", "meadow"}
+
+    def test_meadow_wins_every_metric(self, comparison):
+        for table in (comparison.ttft_s, comparison.tbt_s, comparison.end_to_end_s):
+            assert min(table, key=table.get) == "meadow"
+
+    def test_cta_beats_gemm_on_prefill(self, comparison):
+        # Token compression removes intermediate traffic during prefill.
+        assert comparison.ttft_s["cta"] < comparison.ttft_s["gemm"]
+
+    def test_flightllm_beats_gemm_on_decode(self, comparison):
+        # On-chip decode intermediates + sparse compute help decode.
+        assert comparison.tbt_s["flightllm"] <= comparison.tbt_s["gemm"]
+
+    def test_speedup_table_reference_is_one(self, comparison):
+        su = comparison.speedup_over("gemm", metric="ttft")
+        assert su["gemm"] == pytest.approx(1.0)
+        assert su["meadow"] > 1.0
+
+    def test_end_to_end_integrates_both_stages(self, comparison):
+        for name in comparison.end_to_end_s:
+            assert comparison.end_to_end_s[name] > comparison.ttft_s[name]

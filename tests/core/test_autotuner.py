@@ -1,0 +1,61 @@
+"""Tests for the packing autotuner."""
+
+import pytest
+
+from repro.core import ExecutionPlan, tune_packing, tuned_plan
+from repro.errors import ConfigError
+from repro.models import TransformerConfig
+from repro.packing import PackingLevel
+
+
+@pytest.fixture(scope="module")
+def tune_model():
+    # Small enough that the grid search stays quick.
+    return TransformerConfig("tune", 2, 128, 4, 512, max_seq_len=256)
+
+
+class TestTunePacking:
+    def test_grid_is_exhaustive(self, tune_model):
+        result = tune_packing(
+            tune_model, chunk_sizes=(1, 2), packet_sizes=(4, 8), optimize_modes=(False,)
+        )
+        assert result.n_trials == 4
+        assert result.best_compression == max(c for _, c in result.trials)
+
+    def test_trials_sorted_descending(self, tune_model):
+        result = tune_packing(
+            tune_model, chunk_sizes=(1, 2, 4), packet_sizes=(8,), optimize_modes=(False,)
+        )
+        values = [c for _, c in result.trials]
+        assert values == sorted(values, reverse=True)
+
+    def test_best_default_space_beats_naive_chunking(self, tune_model):
+        result = tune_packing(
+            tune_model, chunk_sizes=(1, 2), packet_sizes=(8,), optimize_modes=(False, True)
+        )
+        assert result.best_compression > 1.0
+        assert result.best.chunk_size in (1, 2)
+
+    def test_dp_modes_never_hurt_best(self, tune_model):
+        base = tune_packing(
+            tune_model, chunk_sizes=(2,), packet_sizes=(8,), optimize_modes=(False,)
+        )
+        opt = tune_packing(
+            tune_model, chunk_sizes=(2,), packet_sizes=(8,), optimize_modes=(True,)
+        )
+        assert opt.best_compression >= base.best_compression
+
+    def test_rejects_empty_grid(self, tune_model):
+        with pytest.raises(ConfigError):
+            tune_packing(tune_model, chunk_sizes=(), packet_sizes=(8,))
+
+
+class TestTunedPlan:
+    def test_returns_runnable_meadow_plan(self, tune_model):
+        plan, result = tuned_plan(
+            tune_model, chunk_sizes=(2,), packet_sizes=(8,), optimize_modes=(False,)
+        )
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.name == "meadow"
+        assert plan.packing == result.best
+        assert plan.packing.level is PackingLevel.REINDEX

@@ -1,0 +1,68 @@
+"""Tests for the GEMM-vs-TPHS dataflow selector (Sec. 6.5 / Fig. 12a)."""
+
+import pytest
+
+from repro.core import attention_block_cycles, choose_dataflow, dataflow_grid
+from repro.errors import ScheduleError
+from repro.hardware import scaled_pe_config, zcu102_config
+
+
+class TestAttentionBlockCycles:
+    def test_both_dataflows_positive(self, opt125m):
+        cfg = zcu102_config(12.0)
+        gemm = attention_block_cycles(cfg, opt125m, 512, "gemm")
+        tphs = attention_block_cycles(cfg, opt125m, 512, "tphs")
+        assert gemm > 0 and tphs > 0
+
+    def test_unknown_dataflow_rejected(self, opt125m):
+        with pytest.raises(ScheduleError):
+            attention_block_cycles(zcu102_config(12.0), opt125m, 64, "systolic")
+
+    def test_packed_wq_helps_both(self, opt125m):
+        cfg = zcu102_config(1.0)
+        for flow in ("gemm", "tphs"):
+            raw = attention_block_cycles(cfg, opt125m, 512, flow)
+            packed = attention_block_cycles(cfg, opt125m, 512, flow, wq_bits=10**6)
+            assert packed <= raw
+
+
+class TestChooseDataflow:
+    def test_low_bandwidth_prefers_tphs(self, opt125m):
+        decision = choose_dataflow(zcu102_config(1.0), opt125m, 512)
+        assert decision.best == "tphs"
+
+    def test_high_bandwidth_small_fabric_prefers_gemm(self, opt125m):
+        decision = choose_dataflow(scaled_pe_config(14, 51.0), opt125m, 512)
+        assert decision.best == "gemm"
+
+    def test_advantage_at_least_one(self, opt125m):
+        decision = choose_dataflow(zcu102_config(6.0), opt125m, 512)
+        assert decision.advantage >= 1.0
+
+
+class TestDataflowGrid:
+    @pytest.fixture(scope="class")
+    def grid(self, opt125m):
+        return dataflow_grid(opt125m, [1, 6, 25, 51], [14, 36, 48, 96], n_tokens=512)
+
+    def test_covers_all_cells(self, grid):
+        assert len(grid) == 16
+
+    def test_fig12a_pattern_low_bw_row_is_tphs(self, grid):
+        for pes in (14, 36, 48, 96):
+            assert grid[(1, pes)].best == "tphs"
+
+    def test_fig12a_pattern_high_bw_small_fabric_is_gemm(self, grid):
+        assert grid[(51, 14)].best == "gemm"
+        assert grid[(51, 36)].best == "gemm"
+
+    def test_latency_improves_with_bandwidth(self, grid):
+        for pes in (14, 96):
+            lat_1 = min(grid[(1, pes)].gemm_cycles, grid[(1, pes)].tphs_cycles)
+            lat_51 = min(grid[(51, pes)].gemm_cycles, grid[(51, pes)].tphs_cycles)
+            assert lat_51 < lat_1
+
+    def test_latency_improves_with_pes_at_high_bw(self, grid):
+        lat_14 = min(grid[(51, 14)].gemm_cycles, grid[(51, 14)].tphs_cycles)
+        lat_96 = min(grid[(51, 96)].gemm_cycles, grid[(51, 96)].tphs_cycles)
+        assert lat_96 < lat_14

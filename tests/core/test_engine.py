@@ -1,0 +1,68 @@
+"""Tests for the MeadowEngine facade."""
+
+import pytest
+
+from repro import DEIT_S, MeadowEngine
+from repro.core import ExecutionPlan
+from repro.errors import ConfigError
+
+
+class TestEngineBasics:
+    @pytest.fixture(scope="class")
+    def engine(self, small_model, zcu12, shared_planner):
+        return MeadowEngine(small_model, zcu12, planner=shared_planner)
+
+    def test_defaults_to_zcu102_meadow(self, small_model):
+        engine = MeadowEngine(small_model)
+        assert engine.config.dram_bandwidth_gbps == 12.0
+        assert engine.plan.name == "meadow"
+
+    def test_prefill_returns_report(self, engine):
+        report = engine.prefill(128)
+        assert report.latency_s > 0
+        assert report.plan_name == "meadow"
+
+    def test_decode_report(self, engine):
+        report = engine.decode(256)
+        assert report.workload.kv_len == 256
+
+    def test_generate_combines_stages(self, engine):
+        gen = engine.generate(64, 8)
+        assert gen.total_s == pytest.approx(gen.prefill_s + gen.decode_s)
+
+    def test_with_bandwidth_clones(self, engine):
+        slow = engine.with_bandwidth(1.0)
+        assert slow.config.dram_bandwidth_gbps == 1.0
+        assert slow.model is engine.model
+        assert slow.prefill(128).latency_s > engine.prefill(128).latency_s
+
+    def test_recommend_dataflow(self, engine):
+        decision = engine.recommend_dataflow(128)
+        assert decision.best in ("gemm", "tphs")
+
+
+class TestPackingSummary:
+    def test_summary_consistent(self, small_model, zcu12, shared_planner):
+        engine = MeadowEngine(small_model, zcu12, planner=shared_planner)
+        summary = engine.packing_summary()
+        assert summary.compression > 1.0
+        assert summary.packed_mbytes < summary.raw_mbytes
+        raw_expected = small_model.total_weight_params * 8
+        assert summary.raw_bits == raw_expected
+
+    def test_unpacked_plan_rejects_summary(self, small_model, zcu12):
+        engine = MeadowEngine(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        with pytest.raises(ConfigError):
+            engine.packing_summary()
+
+
+class TestVitPath:
+    def test_vit_inference_runs(self, shared_planner):
+        engine = MeadowEngine(DEIT_S, planner=shared_planner)
+        report = engine.vit_inference()
+        assert report.workload.n_tokens == 197
+
+    def test_llm_has_no_vit_path(self, small_model, zcu12):
+        engine = MeadowEngine(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        with pytest.raises(ConfigError):
+            engine.vit_inference()

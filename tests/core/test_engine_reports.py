@@ -1,0 +1,44 @@
+"""Tests for the engine's resource and power convenience reports."""
+
+import pytest
+
+from repro import MeadowEngine, zcu102_config
+from repro.hardware import ZCU102_PART
+
+
+class TestEngineResourceReport:
+    def test_matches_standalone_estimate(self, small_model, zcu12, shared_planner):
+        from repro.hardware import estimate_resources
+
+        engine = MeadowEngine(small_model, zcu12, planner=shared_planner)
+        assert engine.resource_estimate() == estimate_resources(zcu12)
+
+    def test_scaled_fabric_estimate(self, small_model, shared_planner):
+        cfg = zcu102_config(12.0).with_total_pes(14)
+        engine = MeadowEngine(small_model, cfg, planner=shared_planner)
+        assert engine.resource_estimate().fits(ZCU102_PART)
+
+
+class TestEnginePowerReport:
+    def test_power_from_simulated_workload(self, small_model, zcu12, shared_planner):
+        engine = MeadowEngine(small_model, zcu12, planner=shared_planner)
+        report = engine.prefill(128)
+        power = engine.power_report(report)
+        assert power.total_w == pytest.approx(power.static_w + power.dynamic_w)
+        assert power.within_budget(10.0)
+
+    def test_dynamic_power_positive(self, small_model, zcu12, shared_planner):
+        engine = MeadowEngine(small_model, zcu12, planner=shared_planner)
+        power = engine.power_report(engine.decode(128))
+        assert power.dynamic_w > 0
+
+    def test_slower_clock_region_same_energy_lower_power(
+        self, small_model, shared_planner
+    ):
+        # Same traffic at 1 Gbps takes longer, so average dynamic power
+        # drops even though the energy ledger grows slightly.
+        fast = MeadowEngine(small_model, zcu102_config(12.0), planner=shared_planner)
+        slow = MeadowEngine(small_model, zcu102_config(1.0), planner=shared_planner)
+        p_fast = fast.power_report(fast.prefill(128))
+        p_slow = slow.power_report(slow.prefill(128))
+        assert p_slow.dynamic_w < p_fast.dynamic_w

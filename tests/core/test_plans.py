@@ -1,0 +1,84 @@
+"""Tests for execution plans (Table 2 semantics)."""
+
+import pytest
+
+from repro.core import DataflowMode, ExecutionPlan, SparsityConfig
+from repro.errors import ConfigError
+from repro.packing import PackingLevel
+
+
+class TestPresets:
+    def test_meadow_matches_table2(self):
+        plan = ExecutionPlan.meadow()
+        assert plan.attention_dataflow is DataflowMode.TPHS
+        assert plan.packing is not None
+        assert plan.packing.level is PackingLevel.REINDEX
+        assert plan.sparsity is None
+        assert plan.token_keep_ratio == 1.0
+
+    def test_gemm_baseline_matches_table2(self):
+        plan = ExecutionPlan.gemm_baseline()
+        assert plan.attention_dataflow is DataflowMode.GEMM
+        assert plan.packing is None
+
+    def test_cta_matches_table2(self):
+        plan = ExecutionPlan.cta(0.7)
+        assert plan.attention_dataflow is DataflowMode.GEMM
+        assert plan.packing is None
+        assert plan.token_keep_ratio == 0.7
+        assert plan.sparsity is None
+
+    def test_flightllm_matches_table2(self):
+        plan = ExecutionPlan.flightllm()
+        assert plan.attention_dataflow is DataflowMode.GEMM
+        assert plan.packing is None
+        assert plan.sparsity is not None
+        assert plan.decode_onchip_intermediates
+
+    def test_meadow_packing_level_configurable(self):
+        plan = ExecutionPlan.meadow(packing_level=PackingLevel.NAIVE)
+        assert plan.packing.level is PackingLevel.NAIVE
+
+
+class TestSparsityConfig:
+    def test_2_4_density(self):
+        assert SparsityConfig(2, 4).density == 0.5
+
+    def test_dense_transfer_by_default(self):
+        # The paper models FlightLLM as compute-only thinning.
+        assert SparsityConfig().weight_bits_factor(8) == 1.0
+
+    def test_compressed_transfer_includes_index_bits(self):
+        s = SparsityConfig(2, 4, index_bits=2, transfer_compressed=True)
+        assert s.weight_bits_factor(8) == pytest.approx(2 * 10 / (4 * 8))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SparsityConfig(0, 4)
+        with pytest.raises(ConfigError):
+            SparsityConfig(5, 4)
+        with pytest.raises(ConfigError):
+            SparsityConfig(2, 4, index_bits=-1)
+
+
+class TestPlanValidation:
+    def test_keep_ratio_bounds(self):
+        with pytest.raises(ConfigError):
+            ExecutionPlan(name="bad", token_keep_ratio=0.0)
+        with pytest.raises(ConfigError):
+            ExecutionPlan(name="bad", token_keep_ratio=1.5)
+
+    def test_packing_and_sparsity_exclusive(self):
+        with pytest.raises(ConfigError):
+            ExecutionPlan(name="bad", sparsity=SparsityConfig())
+
+    def test_token_compression_requires_gemm_dataflow(self):
+        # TPHS fuses the attention ops, so CTA-style compression would
+        # silently do nothing; the plan rejects the combination.
+        with pytest.raises(ConfigError):
+            ExecutionPlan(
+                name="bad",
+                attention_dataflow=DataflowMode.TPHS,
+                packing=None,
+                token_keep_ratio=0.5,
+            )

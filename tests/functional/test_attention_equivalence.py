@@ -1,0 +1,106 @@
+"""The paper's central exactness claims, proven on attention.
+
+TPHS is a *schedule*, not an approximation: for identical integer inputs
+the TPHS-ordered execution must produce bit-identical outputs to the
+GEMM-ordered reference, for every lane width, in prefill and decode.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.functional import (
+    AttentionParams,
+    KvCache,
+    attention_reference,
+    attention_tphs,
+    quantize_static,
+)
+
+
+def _params(d=32, heads=4, seed=0):
+    rng = np.random.default_rng(seed)
+
+    def w():
+        return np.clip(np.round(rng.laplace(0, 4.0, size=(d, d))), -127, 127).astype(
+            np.int8
+        )
+
+    return AttentionParams(wq=w(), wk=w(), wv=w(), wo=w(), n_heads=heads)
+
+
+def _tokens(t, d=32, seed=1):
+    rng = np.random.default_rng(seed)
+    return quantize_static(rng.normal(0, 0.5, size=(t, d)), 0.05)
+
+
+class TestPrefillEquivalence:
+    @pytest.mark.parametrize("lane_width", [1, 2, 3, 8])
+    def test_tphs_equals_reference_for_any_lane_width(self, lane_width):
+        params = _params()
+        x = _tokens(7)
+        ref = attention_reference(params, x, KvCache(32, 4))
+        tphs = attention_tphs(params, x, KvCache(32, 4), lane_width=lane_width)
+        assert np.array_equal(ref, tphs)
+
+    def test_caches_identical_after_both_paths(self):
+        params = _params()
+        x = _tokens(5)
+        c1, c2 = KvCache(32, 4), KvCache(32, 4)
+        attention_reference(params, x, c1)
+        attention_tphs(params, x, c2)
+        assert np.array_equal(c1.k, c2.k)
+        assert np.array_equal(c1.v, c2.v)
+
+    @given(st.integers(1, 12), st.integers(1, 6), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_property(self, t, lane_width, seed):
+        params = _params(seed=seed)
+        x = _tokens(t, seed=seed + 100)
+        ref = attention_reference(params, x, KvCache(32, 4))
+        tphs = attention_tphs(params, x, KvCache(32, 4), lane_width=lane_width)
+        assert np.array_equal(ref, tphs)
+
+
+class TestDecodeEquivalence:
+    def test_decode_step_with_populated_cache(self):
+        params = _params()
+        prompt = _tokens(6)
+        c1, c2 = KvCache(32, 4), KvCache(32, 4)
+        attention_reference(params, prompt, c1)
+        attention_tphs(params, prompt, c2)
+        step = _tokens(1, seed=9)
+        ref = attention_reference(params, step, c1)
+        tphs = attention_tphs(params, step, c2, lane_width=1)
+        assert np.array_equal(ref, tphs)
+        assert len(c1) == len(c2) == 7
+
+    def test_multi_step_decode_stays_equal(self):
+        params = _params(seed=3)
+        c1, c2 = KvCache(32, 4), KvCache(32, 4)
+        attention_reference(params, _tokens(4), c1)
+        attention_tphs(params, _tokens(4), c2)
+        for i in range(4):
+            step = _tokens(1, seed=20 + i)
+            ref = attention_reference(params, step, c1)
+            tphs = attention_tphs(params, step, c2)
+            assert np.array_equal(ref, tphs)
+
+
+class TestValidation:
+    def test_rejects_wrong_width(self):
+        params = _params()
+        with pytest.raises(SimulationError):
+            attention_reference(params, _tokens(4, d=16), KvCache(32, 4))
+
+    def test_rejects_zero_lane_width(self):
+        params = _params()
+        with pytest.raises(SimulationError):
+            attention_tphs(params, _tokens(4), KvCache(32, 4), lane_width=0)
+
+    def test_rejects_bad_weight_shape(self):
+        rng = np.random.default_rng(0)
+        w = rng.integers(-4, 5, size=(32, 32)).astype(np.int8)
+        with pytest.raises(SimulationError):
+            AttentionParams(wq=w, wk=w, wv=w, wo=w[:16], n_heads=4)

@@ -1,0 +1,108 @@
+"""End-to-end functional tests: full decoder stack, both exactness claims."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.functional import TinyTransformer, quantize_static
+from repro.models import TransformerConfig
+from repro.packing import PackingConfig, PackingLevel
+
+
+@pytest.fixture(scope="module")
+def gelu_model():
+    return TransformerConfig(
+        "tiny-gelu", n_layers=2, d_model=32, n_heads=4, d_ff=64,
+        max_seq_len=128, activation="gelu",
+    )
+
+
+def _prompt(t, d, seed=1):
+    rng = np.random.default_rng(seed)
+    return quantize_static(rng.normal(0, 0.5, size=(t, d)), 0.05)
+
+
+class TestForward:
+    def test_output_shape_and_dtype(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        y = model.forward(_prompt(5, 32))
+        assert y.shape == (5, 32)
+        assert y.dtype == np.int8
+
+    def test_deterministic(self, tiny_model):
+        a = TinyTransformer(tiny_model, seed=0).forward(_prompt(5, 32))
+        b = TinyTransformer(tiny_model, seed=0).forward(_prompt(5, 32))
+        assert np.array_equal(a, b)
+
+    def test_kv_caches_grow_per_forward(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        model.forward(_prompt(5, 32))
+        assert all(len(c) == 5 for c in model.caches)
+        model.forward(_prompt(1, 32, seed=2))
+        assert all(len(c) == 6 for c in model.caches)
+
+    def test_reset_clears_caches(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        model.forward(_prompt(3, 32))
+        model.reset()
+        assert all(len(c) == 0 for c in model.caches)
+
+    def test_gelu_model_runs(self, gelu_model):
+        model = TinyTransformer(gelu_model, seed=0)
+        assert model.forward(_prompt(4, 32)).shape == (4, 32)
+
+    def test_rejects_wrong_input(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        with pytest.raises(SimulationError):
+            model.forward(np.zeros((2, 16), dtype=np.int8))
+        with pytest.raises(SimulationError):
+            TinyTransformer(tiny_model, execution="eager")  # type: ignore[arg-type]
+
+
+class TestTphsEquivalence:
+    @pytest.mark.parametrize("lane_width", [1, 2, 5])
+    def test_full_stack_prefill(self, tiny_model, lane_width):
+        x = _prompt(6, 32)
+        ref = TinyTransformer(tiny_model, seed=3, execution="gemm").forward(x)
+        tphs = TinyTransformer(
+            tiny_model, seed=3, execution="tphs", lane_width=lane_width
+        ).forward(x)
+        assert np.array_equal(ref, tphs)
+
+    def test_full_stack_prefill_plus_decode(self, tiny_model):
+        x = _prompt(5, 32)
+        a = TinyTransformer(tiny_model, seed=3, execution="gemm").prefill_then_decode(x, 3)
+        b = TinyTransformer(tiny_model, seed=3, execution="tphs").prefill_then_decode(x, 3)
+        assert np.array_equal(a, b)
+
+
+class TestPackingLosslessness:
+    @pytest.mark.parametrize("level", list(PackingLevel))
+    def test_packed_weights_change_nothing(self, tiny_model, level):
+        x = _prompt(6, 32)
+        baseline = TinyTransformer(tiny_model, seed=3)
+        y_raw = baseline.forward(x)
+
+        packed = TinyTransformer(tiny_model, seed=3)
+        bits = packed.pack_and_restore_weights(PackingConfig(level=level))
+        packed.reset()
+        y_packed = packed.forward(x)
+        assert np.array_equal(y_raw, y_packed)
+        assert bits > 0
+
+    def test_packing_applies_to_all_weight_matrices(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        bits = model.pack_and_restore_weights()
+        # 2 layers x (4 attention [32x32] + fc1 [64x32] + fc2 [32x64]).
+        raw_bits = 2 * (4 * 32 * 32 + 2 * 64 * 32) * 8
+        # Packed includes unique matrices and headers but must not
+        # exceed raw on these peaked synthetic weights.
+        assert bits < raw_bits
+
+    def test_packing_plus_tphs_compose(self, tiny_model):
+        x = _prompt(4, 32)
+        ref = TinyTransformer(tiny_model, seed=5).forward(x)
+        both = TinyTransformer(tiny_model, seed=5, execution="tphs")
+        both.pack_and_restore_weights()
+        both.reset()
+        assert np.array_equal(ref, both.forward(x))

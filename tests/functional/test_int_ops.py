@@ -1,0 +1,172 @@
+"""Tests for the integer functional kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SimulationError
+from repro.functional import (
+    ExpLut,
+    gelu_int8,
+    int_matmul,
+    layernorm_int8,
+    lut_softmax,
+    quantize_static,
+    relu_int8,
+    requantize,
+)
+
+
+class TestIntMatmul:
+    def test_matches_int64_reference(self, rng):
+        x = rng.integers(-127, 128, size=(4, 32)).astype(np.int8)
+        w = rng.integers(-127, 128, size=(32, 8)).astype(np.int8)
+        expected = x.astype(np.int64) @ w.astype(np.int64)
+        assert np.array_equal(int_matmul(x, w), expected)
+
+    def test_rejects_float_operands(self, rng):
+        with pytest.raises(SimulationError):
+            int_matmul(rng.normal(size=(2, 4)), rng.normal(size=(4, 2)))
+
+    def test_accumulator_overflow_detected(self):
+        # K large enough to exceed 2^31 at full-scale values needs
+        # K > 2^31 / 127^2 ≈ 133k — simulate via a crafted int8 shape.
+        k = 140_000
+        x = np.full((1, k), 127, dtype=np.int8)
+        w = np.full((k, 1), 127, dtype=np.int8)
+        with pytest.raises(SimulationError):
+            int_matmul(x, w)
+
+
+class TestRequantize:
+    def test_identity_scales(self):
+        acc = np.array([5, -3, 127])
+        out = requantize(acc, 1.0, 1.0)
+        assert out.tolist() == [5, -3, 127]
+
+    def test_clipping_to_int8(self):
+        out = requantize(np.array([10_000]), 1.0, 1.0)
+        assert out.tolist() == [127]
+
+    def test_scale_ratio_applied(self):
+        out = requantize(np.array([100]), 0.5, 1.0)
+        assert out.tolist() == [50]
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(SimulationError):
+            requantize(np.array([1]), 0.0, 1.0)
+
+
+class TestExpLut:
+    def test_entry_zero_is_one(self):
+        lut = ExpLut(score_scale=0.05, frac_bits=15)
+        assert lut.table[0] == 1 << 15
+
+    def test_monotonically_decreasing(self):
+        lut = ExpLut(score_scale=0.05)
+        table = lut.table
+        assert np.all(table[:-1] >= table[1:])
+
+    def test_deep_offsets_clamp_to_last_entry(self):
+        lut = ExpLut(score_scale=0.1, depth=64)
+        out = lut.lookup(np.array([1000]))
+        assert out[0] == lut.table[-1]
+
+    def test_lut_approximates_exp(self):
+        lut = ExpLut(score_scale=0.05, frac_bits=15)
+        offsets = np.arange(0, 100)
+        approx = lut.lookup(offsets).astype(np.float64) / (1 << 15)
+        exact = np.exp(-offsets * 0.05)
+        assert np.abs(approx - exact).max() < 1e-4
+
+    def test_rejects_negative_offsets(self):
+        with pytest.raises(SimulationError):
+            ExpLut(score_scale=0.1).lookup(np.array([-1]))
+
+
+class TestLutSoftmax:
+    def test_probabilities_form_a_distribution(self, rng):
+        scores = rng.integers(-500, 500, size=(8, 64))
+        lut = ExpLut(score_scale=0.02)
+        probs = lut_softmax(scores, lut, out_bits=8)
+        assert probs.min() >= 0
+        assert probs.max() <= 255
+        # Fixed-point floor division: sums land at/just under 2^8.
+        sums = probs.sum(axis=-1)
+        assert np.all(sums <= 256)
+        assert np.all(sums >= 256 - 64)
+
+    def test_argmax_preserved(self, rng):
+        scores = rng.integers(-200, 200, size=(16, 32))
+        lut = ExpLut(score_scale=0.05)
+        probs = lut_softmax(scores, lut)
+        assert np.array_equal(probs.argmax(axis=-1), scores.argmax(axis=-1))
+
+    def test_shift_invariance(self, rng):
+        # Max subtraction makes the result invariant to constant shifts.
+        scores = rng.integers(-100, 100, size=(4, 16))
+        lut = ExpLut(score_scale=0.05)
+        assert np.array_equal(
+            lut_softmax(scores, lut), lut_softmax(scores + 37, lut)
+        )
+
+    def test_close_to_float_softmax(self, rng):
+        scores = rng.integers(-100, 100, size=(4, 32))
+        lut = ExpLut(score_scale=0.03, frac_bits=18)
+        probs = lut_softmax(scores, lut, out_bits=12).astype(np.float64) / (1 << 12)
+        z = scores * 0.03
+        ref = np.exp(z - z.max(-1, keepdims=True))
+        ref = ref / ref.sum(-1, keepdims=True)
+        assert np.abs(probs - ref).max() < 2e-3
+
+    def test_rejects_float_scores(self):
+        with pytest.raises(SimulationError):
+            lut_softmax(np.zeros((2, 2)), ExpLut(score_scale=0.1))
+
+
+class TestActivations:
+    def test_relu_zeroes_negatives(self):
+        x = np.array([-5, 0, 5], dtype=np.int8)
+        assert relu_int8(x).tolist() == [0, 0, 5]
+
+    def test_gelu_matches_float_reference_closely(self):
+        x = np.arange(-128, 128, dtype=np.int8)
+        scale = 0.05
+        y = gelu_int8(x, scale).astype(np.float64) * scale
+        xf = x.astype(np.float64) * scale
+        ref = xf * 0.5 * (1 + np.tanh(np.sqrt(2 / np.pi) * (xf + 0.044715 * xf**3)))
+        assert np.abs(y - ref).max() <= scale  # one quantization step
+
+    def test_gelu_negative_saturation(self):
+        x = np.array([-128], dtype=np.int8)
+        assert abs(int(gelu_int8(x, 0.05)[0])) <= 1  # gelu(-6.4) ~ 0
+
+
+class TestLayerNorm:
+    def test_output_is_normalized(self, rng):
+        x = rng.integers(-100, 100, size=(4, 64)).astype(np.int8)
+        out = layernorm_int8(x, 0.05, np.ones(64), np.zeros(64), 0.02)
+        f = out.astype(np.float64) * 0.02
+        assert np.abs(f.mean(axis=-1)).max() < 0.05
+        assert np.abs(f.std(axis=-1) - 1.0).max() < 0.1
+
+    def test_gamma_beta_applied(self, rng):
+        x = rng.integers(-100, 100, size=(2, 32)).astype(np.int8)
+        shifted = layernorm_int8(x, 0.05, np.ones(32), np.full(32, 2.0), 0.05)
+        base = layernorm_int8(x, 0.05, np.ones(32), np.zeros(32), 0.05)
+        delta = (shifted.astype(np.int32) - base.astype(np.int32)) * 0.05
+        assert np.abs(delta - 2.0).max() < 0.1
+
+
+class TestQuantizeStatic:
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 64), elements=st.floats(-10, 10)),
+        st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_error_bounded_by_half_step_or_saturation(self, x, scale):
+        q = quantize_static(x, scale)
+        deq = q.astype(np.float64) * scale
+        saturated = np.abs(x) > 127 * scale
+        assert np.all(np.abs(deq - x)[~saturated] <= scale / 2 + 1e-9)

@@ -1,0 +1,96 @@
+"""Tests for the integer-only LayerNorm datapath."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SimulationError
+from repro.functional import layernorm_int8, layernorm_int8_integer
+from repro.functional.ops import _int_sqrt
+
+FRAC = 12
+
+
+def _unit_gamma(n, gain=1.0):
+    return np.full(n, int(round(gain * (1 << FRAC))), dtype=np.int64)
+
+
+def _zero_beta(n):
+    return np.zeros(n, dtype=np.int64)
+
+
+class TestIntSqrt:
+    def test_exact_on_perfect_squares(self):
+        v = np.array([0, 1, 4, 9, 10**12], dtype=np.int64)
+        assert _int_sqrt(v).tolist() == [0, 1, 2, 3, 10**6]
+
+    def test_floor_semantics(self):
+        assert _int_sqrt(np.array([8], dtype=np.int64))[0] == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            _int_sqrt(np.array([-1], dtype=np.int64))
+
+    @given(st.lists(st.integers(0, 2**60), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_math_isqrt(self, vals):
+        import math
+
+        arr = np.array(vals, dtype=np.int64)
+        assert _int_sqrt(arr).tolist() == [math.isqrt(v) for v in vals]
+
+
+class TestIntegerLayerNorm:
+    def test_output_is_normalized(self, rng):
+        x = np.clip(rng.normal(0, 30, size=(8, 64)), -127, 127).astype(np.int8)
+        y = layernorm_int8_integer(x, _unit_gamma(64, 30.0), _zero_beta(64))
+        f = y.astype(np.float64) / 30.0
+        assert np.abs(f.mean(axis=-1)).max() < 0.05
+        assert np.abs(f.std(axis=-1) - 1.0).max() < 0.05
+
+    def test_within_one_ulp_of_float_reference(self, rng):
+        x = np.clip(rng.normal(0, 30, size=(16, 64)), -127, 127).astype(np.int8)
+        integer = layernorm_int8_integer(x, _unit_gamma(64, 30.0), _zero_beta(64))
+        floating = layernorm_int8(x, 1.0, np.full(64, 30.0), np.zeros(64), 1.0)
+        assert np.abs(integer.astype(int) - floating.astype(int)).max() <= 1
+
+    def test_beta_shifts_output(self, rng):
+        x = np.clip(rng.normal(0, 20, size=(4, 32)), -127, 127).astype(np.int8)
+        base = layernorm_int8_integer(x, _unit_gamma(32, 10.0), _zero_beta(32))
+        beta = np.full(32, 5 << FRAC, dtype=np.int64)
+        shifted = layernorm_int8_integer(x, _unit_gamma(32, 10.0), beta)
+        delta = shifted.astype(int) - base.astype(int)
+        unsaturated = np.abs(shifted.astype(int)) < 127
+        assert np.all(np.abs(delta[unsaturated] - 5) <= 1)
+
+    def test_deterministic(self, rng):
+        x = np.clip(rng.normal(0, 25, size=(4, 48)), -127, 127).astype(np.int8)
+        a = layernorm_int8_integer(x, _unit_gamma(48, 20.0), _zero_beta(48))
+        b = layernorm_int8_integer(x, _unit_gamma(48, 20.0), _zero_beta(48))
+        assert np.array_equal(a, b)
+
+    def test_constant_rows_stay_finite(self):
+        x = np.full((2, 16), 7, dtype=np.int8)
+        y = layernorm_int8_integer(x, _unit_gamma(16, 10.0), _zero_beta(16))
+        assert np.all(np.abs(y.astype(int)) <= 127)
+
+    def test_rejects_bad_dtypes(self, rng):
+        x = rng.normal(size=(2, 8))
+        with pytest.raises(SimulationError):
+            layernorm_int8_integer(x, _unit_gamma(8), _zero_beta(8))
+        xi = np.zeros((2, 8), dtype=np.int8)
+        with pytest.raises(SimulationError):
+            layernorm_int8_integer(xi, np.ones(8), _zero_beta(8))  # float gamma
+
+    @given(
+        hnp.arrays(
+            np.int8,
+            st.tuples(st.integers(1, 8), st.sampled_from([16, 32, 64])),
+            elements=st.integers(-100, 100),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_in_range_property(self, x):
+        y = layernorm_int8_integer(x, _unit_gamma(x.shape[-1], 25.0), _zero_beta(x.shape[-1]))
+        assert y.dtype == np.int8

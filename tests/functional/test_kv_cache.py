@@ -1,0 +1,54 @@
+"""Tests for the functional KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.functional import KvCache
+
+
+class TestKvCache:
+    def test_starts_empty(self):
+        cache = KvCache(64, 8)
+        assert len(cache) == 0
+        assert cache.head_dim == 8
+
+    def test_append_grows(self, rng):
+        cache = KvCache(16, 2)
+        k = rng.integers(-4, 5, size=(3, 16)).astype(np.int8)
+        v = rng.integers(-4, 5, size=(3, 16)).astype(np.int8)
+        cache.append(k, v)
+        cache.append(k[:1], v[:1])
+        assert len(cache) == 4
+
+    def test_head_slices_partition_features(self, rng):
+        cache = KvCache(16, 4)
+        k = rng.integers(-4, 5, size=(2, 16)).astype(np.int8)
+        cache.append(k, k.copy())
+        k0, _ = cache.head_slices(0)
+        k3, _ = cache.head_slices(3)
+        assert np.array_equal(k0, k[:, 0:4])
+        assert np.array_equal(k3, k[:, 12:16])
+
+    def test_rejects_mismatched_rows(self, rng):
+        cache = KvCache(8, 2)
+        k = rng.integers(-4, 5, size=(2, 8)).astype(np.int8)
+        v = rng.integers(-4, 5, size=(3, 8)).astype(np.int8)
+        with pytest.raises(SimulationError):
+            cache.append(k, v)
+
+    def test_rejects_wrong_width_or_dtype(self, rng):
+        cache = KvCache(8, 2)
+        with pytest.raises(SimulationError):
+            cache.append(np.zeros((1, 4), dtype=np.int8), np.zeros((1, 4), dtype=np.int8))
+        with pytest.raises(SimulationError):
+            cache.append(np.zeros((1, 8)), np.zeros((1, 8)))
+
+    def test_rejects_bad_head_index(self):
+        cache = KvCache(8, 2)
+        with pytest.raises(SimulationError):
+            cache.head_slices(2)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(SimulationError):
+            KvCache(10, 3)

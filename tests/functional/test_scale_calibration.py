@@ -1,0 +1,77 @@
+"""Tests for static-scale calibration of the functional simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.functional import TinyTransformer, calibrate, quantize_static
+from repro.functional.attention import attention_reference, attention_tphs
+from repro.functional.kv_cache import KvCache
+
+
+def _samples(n, t, d, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        quantize_static(rng.normal(0, 0.5, size=(t, d)), 0.05) for _ in range(n)
+    ]
+
+
+class TestCalibrate:
+    def test_reports_every_interface(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        report = calibrate(model, _samples(3, 6, 32))
+        expected_keys = {
+            f"layer{i}.{name}" for i in range(2) for name in ("q", "k", "v")
+        }
+        assert set(report.chosen_scales) == expected_keys
+        assert all(s > 0 for s in report.chosen_scales.values())
+
+    def test_scales_written_into_model(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        report = calibrate(model, _samples(2, 5, 32))
+        assert model.layers[0].attention.q_scale == report.scale_for("layer0.q")
+        assert model.layers[1].attention.v_scale == report.scale_for("layer1.v")
+
+    def test_calibration_improves_range_usage(self, tiny_model):
+        """Post-calibration, Q projections should span most of int8."""
+        x = _samples(1, 8, 32, seed=5)[0]
+        uncal = TinyTransformer(tiny_model, seed=0)
+        uncal.reset()
+        cal = TinyTransformer(tiny_model, seed=0)
+        calibrate(cal, _samples(4, 8, 32, seed=5))
+        cal.reset()
+
+        def q_range(m):
+            attn = m.layers[0].attention
+            from repro.functional.ops import int_matmul, requantize
+
+            acc = int_matmul(x, np.ascontiguousarray(attn.wq.T))
+            q = requantize(acc, attn.x_scale * attn.wq_scale, attn.q_scale)
+            return int(np.abs(q).max())
+
+        assert q_range(cal) >= q_range(uncal)
+        assert q_range(cal) >= 100  # near-saturating the int8 grid
+
+    def test_tphs_equivalence_survives_calibration(self, tiny_model):
+        prompt = _samples(1, 6, 32, seed=9)[0]
+        a = TinyTransformer(tiny_model, seed=2, execution="gemm")
+        b = TinyTransformer(tiny_model, seed=2, execution="tphs")
+        calibrate(a, _samples(2, 6, 32))
+        calibrate(b, _samples(2, 6, 32))
+        assert np.array_equal(a.forward(prompt), b.forward(prompt))
+
+    def test_headroom_scales_range(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        tight = calibrate(model, _samples(2, 4, 32), percentile_headroom=1.0)
+        model2 = TinyTransformer(tiny_model, seed=0)
+        loose = calibrate(model2, _samples(2, 4, 32), percentile_headroom=1.5)
+        assert loose.scale_for("layer0.q") > tight.scale_for("layer0.q")
+
+    def test_rejects_bad_inputs(self, tiny_model):
+        model = TinyTransformer(tiny_model, seed=0)
+        with pytest.raises(SimulationError):
+            calibrate(model, [])
+        with pytest.raises(SimulationError):
+            calibrate(model, _samples(1, 4, 32), percentile_headroom=0.5)
+        with pytest.raises(SimulationError):
+            calibrate(model, [np.zeros((4, 32))])  # not int8

@@ -1,0 +1,63 @@
+"""Tests for the DRAM transfer model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.hardware import DramModel, zcu102_config
+
+
+class TestTransferCycles:
+    def test_bits_per_cycle_at_paper_point(self):
+        dram = DramModel(bandwidth_gbps=12, clock_hz=100e6)
+        assert dram.bits_per_cycle == pytest.approx(120.0)
+        assert dram.bytes_per_cycle == pytest.approx(15.0)
+
+    def test_one_megabyte_at_1gbps(self):
+        dram = DramModel(bandwidth_gbps=1, clock_hz=100e6)
+        # 8e6 bits at 10 bits/cycle = 800k cycles = 8 ms.
+        assert dram.transfer_cycles(8e6) == pytest.approx(800_000)
+        assert dram.transfer_seconds(8e6) == pytest.approx(8e-3)
+
+    def test_zero_bits_is_free(self):
+        dram = DramModel(bandwidth_gbps=12, clock_hz=100e6)
+        assert dram.transfer_cycles(0) == 0.0
+
+    def test_tiny_transfer_costs_at_least_one_cycle(self):
+        dram = DramModel(bandwidth_gbps=51, clock_hz=100e6)
+        assert dram.transfer_cycles(1) == 1.0
+
+    def test_bytes_interface_matches_bits(self):
+        dram = DramModel(bandwidth_gbps=6, clock_hz=100e6)
+        assert dram.transfer_cycles_bytes(1000) == dram.transfer_cycles(8000)
+
+    def test_burst_efficiency_slows_transfers(self):
+        fast = DramModel(bandwidth_gbps=12, clock_hz=100e6)
+        slow = DramModel(bandwidth_gbps=12, clock_hz=100e6, burst_efficiency=0.5)
+        assert slow.transfer_cycles(1e6) == pytest.approx(2 * fast.transfer_cycles(1e6))
+
+    def test_rejects_negative_bits(self):
+        dram = DramModel(bandwidth_gbps=1, clock_hz=100e6)
+        with pytest.raises(ValueError):
+            dram.transfer_cycles(-1)
+
+    @given(st.floats(1e3, 1e10), st.floats(0.5, 64.0))
+    def test_cycles_scale_inversely_with_bandwidth(self, bits, gbps):
+        lo = DramModel(bandwidth_gbps=gbps, clock_hz=100e6)
+        hi = DramModel(bandwidth_gbps=2 * gbps, clock_hz=100e6)
+        assert hi.transfer_cycles(bits) <= lo.transfer_cycles(bits)
+
+
+class TestFromConfig:
+    def test_inherits_config_fields(self):
+        cfg = zcu102_config(6.0).replace(dram_burst_efficiency=0.8)
+        dram = DramModel.from_config(cfg)
+        assert dram.bandwidth_gbps == 6.0
+        assert dram.burst_efficiency == 0.8
+        assert dram.clock_hz == cfg.clock_hz
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DramModel(bandwidth_gbps=0, clock_hz=100e6)
+        with pytest.raises(ConfigError):
+            DramModel(bandwidth_gbps=1, clock_hz=100e6, burst_efficiency=2.0)

@@ -1,0 +1,56 @@
+"""Tests for the energy ledger (extension substrate)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import DEFAULT_ENERGY_COSTS, EnergyCosts, EnergyLedger
+
+
+class TestEnergyCosts:
+    def test_dram_dominates_per_byte(self):
+        # The premise of the paper: off-chip traffic is orders of
+        # magnitude costlier than on-chip work.
+        c = DEFAULT_ENERGY_COSTS
+        dram_per_byte = c.dram_pj_per_bit * 8
+        assert dram_per_byte > 50 * c.bram_pj_per_byte
+        assert dram_per_byte > 100 * c.rf_pj_per_byte
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigError):
+            EnergyCosts(mac_pj=-1.0)
+
+
+class TestEnergyLedger:
+    def test_accumulates_by_category(self):
+        ledger = EnergyLedger()
+        ledger.add_macs(1000)
+        ledger.add_dram_bits(8000)
+        assert ledger.picojoules["mac"] == pytest.approx(1000 * 0.25)
+        assert ledger.picojoules["dram"] == pytest.approx(8000 * 20.0)
+
+    def test_total_sums_categories(self):
+        ledger = EnergyLedger()
+        ledger.add_rf_bytes(10)
+        ledger.add_bram_bytes(10)
+        ledger.add_noc_bytes(10)
+        assert ledger.total_pj == pytest.approx(10 * (0.3 + 1.5 + 0.8))
+
+    def test_uj_conversion(self):
+        ledger = EnergyLedger()
+        ledger.add_dram_bits(1e6)
+        assert ledger.total_uj == pytest.approx(1e6 * 20.0 / 1e6)
+        assert ledger.breakdown_uj()["dram"] == pytest.approx(ledger.total_uj)
+
+    def test_merge(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.add_macs(100)
+        b.add_macs(200)
+        b.add_dram_bits(50)
+        a.merge(b)
+        assert a.picojoules["mac"] == pytest.approx(300 * 0.25)
+        assert a.picojoules["dram"] == pytest.approx(50 * 20.0)
+
+    def test_custom_costs(self):
+        ledger = EnergyLedger(costs=EnergyCosts(mac_pj=1.0))
+        ledger.add_macs(5)
+        assert ledger.total_pj == pytest.approx(5.0)

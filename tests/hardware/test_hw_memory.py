@@ -1,0 +1,89 @@
+"""Tests for BRAM / register-file capacity models and the NoC."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware import Bram, NocModel, OnChipMemorySystem, RegisterFile, ZCU102
+
+
+class TestBram:
+    def test_fits(self):
+        bram = Bram("weight", 1024)
+        assert bram.fits(1024)
+        assert not bram.fits(1025)
+
+    def test_passes_required(self):
+        bram = Bram("x", 1000)
+        assert bram.passes_required(0) == 0
+        assert bram.passes_required(1000) == 1
+        assert bram.passes_required(1001) == 2
+
+    def test_require_raises_with_context(self):
+        bram = Bram("weight", 100)
+        with pytest.raises(CapacityError, match="weight"):
+            bram.require(200, "a big tile")
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            Bram("bad", 0)
+
+
+class TestRegisterFile:
+    def test_double_buffering_halves_usable_capacity(self):
+        rf = RegisterFile("weight", 4096, double_buffered=True)
+        assert rf.usable_bytes == 2048
+        single = RegisterFile("weight", 4096, double_buffered=False)
+        assert single.usable_bytes == 4096
+
+    def test_max_elements_by_precision(self):
+        rf = RegisterFile("weight", 4096, double_buffered=False)
+        assert rf.max_elements(8) == 4096
+        assert rf.max_elements(4) == 8192
+        assert rf.max_elements(32) == 1024
+
+    def test_require_elements(self):
+        rf = RegisterFile("input", 256, double_buffered=False)
+        rf.require_elements(256, 8, "tile")
+        with pytest.raises(CapacityError):
+            rf.require_elements(257, 8, "tile")
+
+
+class TestOnChipMemorySystem:
+    def test_from_config_matches_table1(self):
+        mem = OnChipMemorySystem.from_config(ZCU102)
+        assert mem.weight_bram.capacity_bytes == 1024 * 1024
+        assert mem.weight_rf.capacity_bytes == 4096
+        assert mem.weight_rf.double_buffered
+
+    def test_weight_tile_is_64x64_int8(self):
+        # Half of 4 KB at 8-bit = 2048 elements (a 64x32 or 32x64 tile).
+        mem = OnChipMemorySystem.from_config(ZCU102)
+        assert mem.weight_tile_elements(8) == 2048
+
+    def test_activation_residency_prefill(self):
+        mem = OnChipMemorySystem.from_config(ZCU102)
+        # 512 tokens x 768 features of int8 = 384 KB: fits 1 MB BRAM.
+        assert mem.activation_resident(512 * 768)
+        # 2048 tokens x 768 = 1.5 MB: does not fit.
+        assert not mem.activation_resident(2048 * 768)
+
+
+class TestNocModel:
+    def test_streams_at_link_rate(self):
+        noc = NocModel(link_bytes_per_cycle=64, hop_latency_cycles=1)
+        assert noc.transfer_cycles(640) == 10 + 1
+
+    def test_zero_bytes_free(self):
+        assert NocModel().transfer_cycles(0) == 0
+
+    def test_multi_hop_adds_latency_once_per_hop(self):
+        noc = NocModel(link_bytes_per_cycle=64, hop_latency_cycles=2)
+        assert noc.transfer_cycles(64, hops=3) == 1 + 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NocModel(link_bytes_per_cycle=0)
+        with pytest.raises(ValueError):
+            NocModel().transfer_cycles(-5)
+        with pytest.raises(ValueError):
+            NocModel().transfer_cycles(5, hops=0)

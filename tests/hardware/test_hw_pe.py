@@ -1,0 +1,88 @@
+"""Tests for the parallel / broadcasting MAC PE cycle models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.hardware import (
+    BroadcastingMacPE,
+    ParallelMacPE,
+    ZCU102,
+    gemm_compute_cycles,
+)
+
+
+class TestParallelMacPE:
+    def test_short_reduction_is_one_cycle(self):
+        pe = ParallelMacPE(d_mult=64)
+        assert pe.cycles_per_output(64) == 1
+        assert pe.cycles_per_output(1) == 1
+
+    def test_long_reduction_splits_into_slices(self):
+        pe = ParallelMacPE(d_mult=64)
+        # OPT-125M: D=768 -> 12 slices per output element.
+        assert pe.cycles_per_output(768) == 12
+
+    def test_matmul_work(self):
+        pe = ParallelMacPE(d_mult=64)
+        assert pe.cycles_for_matmul(2, 128, 3) == 2 * 3 * 2
+
+    def test_rejects_bad_dims(self):
+        pe = ParallelMacPE()
+        with pytest.raises(ValueError):
+            pe.cycles_per_output(0)
+        with pytest.raises(ValueError):
+            pe.cycles_for_matmul(0, 64, 1)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            ParallelMacPE(d_mult=0)
+
+
+class TestBroadcastingMacPE:
+    def test_row_product_streams_one_element_per_cycle(self):
+        pe = BroadcastingMacPE(n_accumulators=64)
+        # SM x V per head: T values streamed, HD=64 accumulators -> T cycles.
+        assert pe.cycles_for_row_times_matrix(512, 64) == 512
+
+    def test_wide_output_serializes(self):
+        pe = BroadcastingMacPE(n_accumulators=64)
+        assert pe.cycles_for_row_times_matrix(100, 128) == 200
+
+    def test_rejects_bad_dims(self):
+        pe = BroadcastingMacPE()
+        with pytest.raises(ValueError):
+            pe.cycles_for_row_times_matrix(0, 4)
+
+
+class TestGemmComputeCycles:
+    def test_decode_underutilizes_pes(self):
+        # rows=1, cols=768: 768 outputs over 96 PEs -> 8 outputs each,
+        # 12 slices per output = 96 cycles.
+        assert gemm_compute_cycles(ZCU102, 1, 768, 768) == 96
+
+    def test_prefill_saturates_pes(self):
+        cycles = gemm_compute_cycles(ZCU102, 512, 768, 768)
+        ideal = 512 * 768 * 12 / ZCU102.n_total_pe
+        assert cycles >= ideal
+        assert cycles <= ideal * 1.01  # ceiling effects only
+
+    def test_parallel_only_pool(self):
+        all_pes = gemm_compute_cycles(ZCU102, 64, 768, 768, use_all_pes=True)
+        par_only = gemm_compute_cycles(ZCU102, 64, 768, 768, use_all_pes=False)
+        assert par_only >= all_pes
+
+    @given(
+        st.integers(1, 256),
+        st.integers(1, 2048),
+        st.integers(1, 2048),
+    )
+    def test_monotone_in_work(self, rows, reduce_dim, cols):
+        small = gemm_compute_cycles(ZCU102, rows, reduce_dim, cols)
+        bigger = gemm_compute_cycles(ZCU102, rows + 1, reduce_dim, cols)
+        assert bigger >= small
+
+    def test_more_pes_never_slower(self):
+        few = gemm_compute_cycles(ZCU102.with_total_pes(14), 128, 768, 768)
+        many = gemm_compute_cycles(ZCU102.with_total_pes(96), 128, 768, 768)
+        assert many <= few

@@ -1,0 +1,90 @@
+"""Tests for the FPGA resource estimate and the power model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import (
+    EnergyLedger,
+    PowerModel,
+    ZCU102,
+    ZCU102_PART,
+    ZCU104_PART,
+    estimate_resources,
+)
+
+
+class TestResourceEstimate:
+    def test_paper_build_totals(self):
+        """Sec. 6.1: 150K LUT, 845 BRAM, 2034 DSP on the ZCU102."""
+        est = estimate_resources(ZCU102)
+        assert est.dsps == 2034  # exact: 2 int8 MACs per DSP48E2
+        assert est.luts == pytest.approx(150_000, rel=0.10)
+        assert est.bram_tiles == pytest.approx(845, rel=0.12)
+
+    def test_paper_build_fits_zcu102(self):
+        assert estimate_resources(ZCU102).fits(ZCU102_PART)
+
+    def test_full_build_exceeds_zcu104(self):
+        # The ZCU104's 312 BRAM tiles cannot host the 3 MB buffers.
+        est = estimate_resources(ZCU102)
+        assert not est.fits(ZCU104_PART)
+        assert est.utilization(ZCU104_PART)["bram"] > 1.0
+
+    @pytest.mark.parametrize("pes", [14, 36, 48, 96])
+    def test_fig12_pe_scaling_fits_zcu102(self, pes):
+        est = estimate_resources(ZCU102.with_total_pes(pes))
+        assert est.fits(ZCU102_PART)
+
+    def test_resources_scale_with_pes(self):
+        small = estimate_resources(ZCU102.with_total_pes(14))
+        large = estimate_resources(ZCU102.with_total_pes(96))
+        assert large.luts > 4 * small.luts
+        assert large.dsps > 4 * small.dsps
+
+    def test_utilization_fractions(self):
+        est = estimate_resources(ZCU102)
+        util = est.utilization(ZCU102_PART)
+        assert 0 < util["luts"] < 1
+        assert 0 < util["dsps"] < 1
+
+    def test_part_validation(self):
+        from repro.hardware import FpgaPart
+
+        with pytest.raises(ConfigError):
+            FpgaPart("bad", luts=0, dsps=1, bram_tiles=1)
+
+
+class TestPowerModel:
+    def test_static_power_reasonable_for_fpga(self):
+        power = PowerModel(ZCU102)
+        static = power.static_power_w()
+        assert 3.0 <= static <= 9.0
+
+    def test_paper_sub_10w_budget_holds(self):
+        """'the low power Xilinx ZCU102 FPGA platform that consumes less
+        than 10W' — static + a bandwidth-starved dynamic load."""
+        power = PowerModel(ZCU102)
+        ledger = EnergyLedger()
+        ledger.add_macs(3.6e9)  # one OPT-125M prefill layer pass
+        ledger.add_dram_bits(2e8)
+        report = power.report(ledger, elapsed_s=0.02)
+        assert report.within_budget(10.0)
+
+    def test_dynamic_power_scales_with_energy(self):
+        power = PowerModel(ZCU102)
+        small, big = EnergyLedger(), EnergyLedger()
+        small.add_dram_bits(1e6)
+        big.add_dram_bits(1e9)
+        assert (
+            power.report(big, 1.0).dynamic_w
+            > power.report(small, 1.0).dynamic_w
+        )
+
+    def test_smaller_fabric_draws_less_static_power(self):
+        full = PowerModel(ZCU102).static_power_w()
+        small = PowerModel(ZCU102.with_total_pes(14)).static_power_w()
+        assert small < full
+
+    def test_rejects_zero_elapsed(self):
+        with pytest.raises(ConfigError):
+            PowerModel(ZCU102).report(EnergyLedger(), 0.0)

@@ -1,0 +1,72 @@
+"""Tests for the softmax / layer-norm / non-linear unit cycle models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.hardware import (
+    LayerNormUnit,
+    NonLinearUnit,
+    SoftmaxUnit,
+    layernorm_cycles,
+    nonlinear_cycles,
+    softmax_module_cycles,
+)
+
+
+class TestSoftmaxUnit:
+    def test_single_row_pays_full_pipeline(self):
+        unit = SoftmaxUnit()
+        assert unit.cycles_for_row(512) == 3 * 512
+
+    def test_pipelining_amortizes_stages(self):
+        unit = SoftmaxUnit()
+        # R rows on one module: (R + 2) * F, not 3 * R * F.
+        assert unit.cycles_for_rows(10, 100) == 12 * 100
+        assert unit.cycles_for_rows(10, 100) < 10 * unit.cycles_for_row(100)
+
+    def test_rows_spread_across_units(self):
+        # 84 units, 84 rows -> each unit sees one row.
+        assert softmax_module_cycles(84, 512, 84) == 3 * 512
+
+    def test_uneven_distribution_rounds_up(self):
+        assert softmax_module_cycles(85, 512, 84) == 4 * 512
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            softmax_module_cycles(4, 16, 0)
+        with pytest.raises(ValueError):
+            SoftmaxUnit().cycles_for_rows(0, 4)
+
+    @given(st.integers(1, 500), st.integers(1, 500))
+    def test_pipelined_latency_lower_bound(self, rows, features):
+        unit = SoftmaxUnit()
+        total = unit.cycles_for_rows(rows, features)
+        assert total >= rows * features  # throughput bound
+        assert total >= unit.cycles_for_row(features)  # latency bound
+
+
+class TestLayerNormUnit:
+    def test_two_passes_per_token(self):
+        assert LayerNormUnit().cycles_for_token(768) == 1536
+
+    def test_units_divide_tokens(self):
+        # 512 tokens over 8 units = 64 tokens each.
+        assert layernorm_cycles(512, 768, 8) == 64 * 1536
+
+    def test_single_token_single_unit(self):
+        assert layernorm_cycles(1, 768, 8) == 1536
+
+
+class TestNonLinearUnit:
+    def test_one_element_per_cycle(self):
+        assert NonLinearUnit().cycles_for_elements(1000) == 1000
+
+    def test_units_divide_elements(self):
+        # OPT-125M MLP hidden: 512 x 3072 elements over 8 NL units.
+        assert nonlinear_cycles(512 * 3072, 8) == 512 * 3072 // 8
+
+    def test_zero_elements(self):
+        assert NonLinearUnit().cycles_for_elements(0) == 0
+        with pytest.raises(ValueError):
+            NonLinearUnit().cycles_for_elements(-1)

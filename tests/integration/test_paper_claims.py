@@ -1,0 +1,189 @@
+"""Integration tests pinning the paper's headline claims.
+
+Each test corresponds to a quoted number or qualitative pattern from the
+paper; bands are intentionally generous (the substrate is a calibrated
+model, not the authors' board) but tight enough that a regression in the
+dataflow or packing logic trips them. EXPERIMENTS.md records the exact
+measured values.
+"""
+
+import pytest
+
+from repro import (
+    DEIT_B,
+    DEIT_S,
+    ExecutionPlan,
+    MeadowEngine,
+    OPT_125M,
+    compare_systems,
+    dataflow_grid,
+    zcu102_config,
+)
+from repro.packing import PackingPlanner, packing_ablation
+from repro.quant import WeightProfile, generate_int8_weights
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return PackingPlanner(depth_buckets=2)
+
+
+def _speedup(model, bw, tokens, planner, stage="prefill", ctx=None):
+    cfg = zcu102_config(bw)
+    meadow = MeadowEngine(model, cfg, planner=planner)
+    gemm = MeadowEngine(model, cfg, ExecutionPlan.gemm_baseline())
+    if stage == "prefill":
+        return gemm.prefill(tokens).latency_s / meadow.prefill(tokens).latency_s
+    return gemm.decode(ctx).latency_s / meadow.decode(ctx).latency_s
+
+
+class TestAbstractClaims:
+    def test_prefill_speedup_up_to_2_5x_at_low_bandwidth(self, planner):
+        """Abstract: 2.5x lower prefill latency (low-bandwidth regime)."""
+        gain = _speedup(OPT_125M, 1.0, 512, planner)
+        assert 1.8 <= gain <= 2.8
+
+    def test_decode_speedup_about_1_5x(self, planner):
+        """Abstract: 1.5x lower decode latency."""
+        gain = _speedup(OPT_125M, 12.0, None, planner, stage="decode", ctx=576)
+        assert 1.3 <= gain <= 1.8
+
+
+class TestFig6Prefill:
+    @pytest.mark.parametrize("tokens", [64, 512])
+    def test_12gbps_band(self, planner, tokens):
+        """Fig. 6a: 1.5-1.7x lower TTFT at 12 Gbps."""
+        gain = _speedup(OPT_125M, 12.0, tokens, planner)
+        assert 1.35 <= gain <= 1.9
+
+    @pytest.mark.parametrize("tokens", [64, 512])
+    def test_1gbps_band(self, planner, tokens):
+        """Fig. 6a: 1.57-2.5x lower TTFT at 1 Gbps."""
+        gain = _speedup(OPT_125M, 1.0, tokens, planner)
+        assert 1.45 <= gain <= 2.8
+
+    def test_gains_grow_as_bandwidth_shrinks_for_long_prompts(self, planner):
+        assert _speedup(OPT_125M, 1.0, 512, planner) > _speedup(
+            OPT_125M, 12.0, 512, planner
+        )
+
+
+class TestFig7Decode:
+    @pytest.mark.parametrize("bw", [1.0, 12.0])
+    @pytest.mark.parametrize("token_idx", [64, 512])
+    def test_tbt_band(self, planner, bw, token_idx):
+        """Fig. 7a: 1.4-1.5x lower TBT across bandwidths."""
+        gain = _speedup(
+            OPT_125M, bw, None, planner, stage="decode", ctx=512 + token_idx
+        )
+        assert 1.3 <= gain <= 1.8
+
+    def test_decode_gain_flat_in_bandwidth(self, planner):
+        """Decode gains stem from packing, so they barely move with BW."""
+        lo = _speedup(OPT_125M, 1.0, None, planner, stage="decode", ctx=576)
+        hi = _speedup(OPT_125M, 12.0, None, planner, stage="decode", ctx=576)
+        assert abs(lo - hi) < 0.25
+
+
+class TestFig8Fig9Distributions:
+    def test_prefill_gemm_fetch_dominates_at_1gbps(self, planner):
+        """Fig. 8b: data fetch dwarfs compute for GEMM at 1 Gbps."""
+        report = MeadowEngine(
+            OPT_125M, zcu102_config(1.0), ExecutionPlan.gemm_baseline()
+        ).prefill(512)
+        bd = report.layer_breakdown(0)
+        assert bd.fetch > 3 * bd.compute
+
+    def test_decode_weight_fetch_dominates(self, planner):
+        """Fig. 9: decode compute and store are negligible vs weight fetch."""
+        report = MeadowEngine(
+            OPT_125M, zcu102_config(12.0), ExecutionPlan.gemm_baseline()
+        ).decode(576)
+        bd = report.layer_breakdown(0)
+        assert bd.weight_fetch > 10 * bd.compute
+        assert bd.weight_fetch > 100 * bd.store
+
+    def test_meadow_removes_most_intermediate_traffic(self, planner):
+        gemm = MeadowEngine(
+            OPT_125M, zcu102_config(12.0), ExecutionPlan.gemm_baseline()
+        ).prefill(512)
+        meadow = MeadowEngine(OPT_125M, zcu102_config(12.0), planner=planner).prefill(512)
+        # The attention intermediates (~60% of activation traffic at
+        # T=512) vanish; the MLP/projection round-trips remain.
+        assert meadow.layer_breakdown(0).input_fetch < gemm.layer_breakdown(0).input_fetch / 2
+        assert meadow.layer_breakdown(0).store < gemm.layer_breakdown(0).store / 2
+
+
+class TestFig10PackingAblation:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        w = generate_int8_weights((3072, 768), WeightProfile("mlp1", 1.0, 5e-4), seed=1)
+        return packing_ablation(w)
+
+    def test_ordering(self, ablation):
+        assert ablation.naive_gain < ablation.packet_gain < ablation.reindex_gain
+
+    def test_magnitudes_near_paper(self, ablation):
+        """Paper: naive 1.4x, packet-specific 1.54x, freq-aware 2.63x."""
+        assert ablation.naive_gain == pytest.approx(1.4, abs=0.15)
+        assert ablation.packet_gain == pytest.approx(1.54, abs=0.2)
+        assert ablation.reindex_gain == pytest.approx(2.63, abs=0.45)
+
+
+class TestFig11PriorWorks:
+    @pytest.fixture(scope="class")
+    def comparison(self, ):
+        plans = [
+            ExecutionPlan.gemm_baseline(),
+            ExecutionPlan.cta(),
+            ExecutionPlan.flightllm(),
+            ExecutionPlan.meadow(),
+        ]
+        return compare_systems(
+            OPT_125M,
+            zcu102_config(12.0),
+            plans,
+            prefill_tokens=512,
+            decode_token_index=64,
+            generated_tokens=64,
+            planner=PackingPlanner(depth_buckets=2),
+        )
+
+    def test_meadow_at_least_40pct_better_end_to_end(self, comparison):
+        """Sec. 6.4: >40% end-to-end improvement vs CTA and FlightLLM."""
+        e2e = comparison.end_to_end_s
+        assert e2e["cta"] / e2e["meadow"] >= 1.4
+        assert e2e["flightllm"] / e2e["meadow"] >= 1.4
+
+    def test_meadow_fastest_everywhere(self, comparison):
+        for table in (comparison.ttft_s, comparison.tbt_s, comparison.end_to_end_s):
+            assert min(table, key=table.get) == "meadow"
+
+
+class TestFig12DataflowChoice:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return dataflow_grid(OPT_125M, [1, 6, 25, 51], [14, 36, 48, 96], 512)
+
+    def test_tphs_wins_entire_low_bandwidth_row(self, grid):
+        for pes in (14, 36, 48, 96):
+            assert grid[(1, pes)].best == "tphs"
+
+    def test_gemm_wins_high_bw_small_fabric_corner(self, grid):
+        assert grid[(51, 14)].best == "gemm"
+
+    def test_crossover_exists(self, grid):
+        choices = {d.best for d in grid.values()}
+        assert choices == {"gemm", "tphs"}
+
+
+class TestFig13Vit:
+    @pytest.mark.parametrize("model", [DEIT_S, DEIT_B], ids=["deit-s", "deit-b"])
+    @pytest.mark.parametrize("bw", [1.0, 6.0, 12.0])
+    def test_vit_band(self, planner, model, bw):
+        """Fig. 13: 1.5-1.6x lower ViT inference latency."""
+        cfg = zcu102_config(bw)
+        meadow = MeadowEngine(model, cfg, planner=planner).vit_inference()
+        gemm = MeadowEngine(model, cfg, ExecutionPlan.gemm_baseline()).vit_inference()
+        gain = gemm.latency_s / meadow.latency_s
+        assert 1.35 <= gain <= 1.85

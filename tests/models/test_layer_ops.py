@@ -1,0 +1,115 @@
+"""Tests for the per-layer operator graph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.models import (
+    MATMUL_OP_KINDS,
+    OPT_125M,
+    TPHS_ELIGIBLE_OPS,
+    WEIGHT_OP_KINDS,
+    OpKind,
+    decoder_layer_ops,
+)
+
+
+class TestOpSequence:
+    def test_twelve_op_slots_in_order(self):
+        ops = decoder_layer_ops(OPT_125M, 512, 512)
+        kinds = [op.kind for op in ops]
+        assert kinds == [
+            OpKind.LAYERNORM_1,
+            OpKind.Q_PROJ,
+            OpKind.K_PROJ,
+            OpKind.V_PROJ,
+            OpKind.QKT,
+            OpKind.SOFTMAX,
+            OpKind.SMV,
+            OpKind.OUT_PROJ,
+            OpKind.LAYERNORM_2,
+            OpKind.MLP_FC1,
+            OpKind.ACTIVATION,
+            OpKind.MLP_FC2,
+        ]
+
+    def test_tphs_eligible_set_matches_paper(self):
+        # "the Q, QKT, SM, and SMxV layers are executed with ... TPHS".
+        assert TPHS_ELIGIBLE_OPS == {
+            OpKind.Q_PROJ,
+            OpKind.QKT,
+            OpKind.SOFTMAX,
+            OpKind.SMV,
+        }
+
+    def test_weight_ops_are_the_six_projections(self):
+        assert len(WEIGHT_OP_KINDS) == 6
+        assert OpKind.QKT not in WEIGHT_OP_KINDS
+        assert OpKind.MLP_FC1 in WEIGHT_OP_KINDS
+
+
+class TestPrefillShapes:
+    def test_qkt_is_per_head(self):
+        ops = {op.kind: op for op in decoder_layer_ops(OPT_125M, 512, 512)}
+        qkt = ops[OpKind.QKT]
+        assert qkt.batch == 12
+        assert (qkt.rows, qkt.reduce, qkt.cols) == (512, 64, 512)
+        assert qkt.output_elements == 12 * 512 * 512
+
+    def test_macs_of_projection(self):
+        ops = {op.kind: op for op in decoder_layer_ops(OPT_125M, 512, 512)}
+        assert ops[OpKind.Q_PROJ].macs == 512 * 768 * 768
+
+    def test_attention_score_volume_is_the_big_intermediate(self):
+        # The QKT + SM intermediates dominate activation traffic at T=512,
+        # which is the premise of the TPHS dataflow.
+        ops = {op.kind: op for op in decoder_layer_ops(OPT_125M, 512, 512)}
+        scores = ops[OpKind.QKT].output_elements
+        hidden = ops[OpKind.MLP_FC1].output_elements
+        assert scores > hidden
+
+    def test_vector_ops_have_no_macs(self):
+        for op in decoder_layer_ops(OPT_125M, 512, 512):
+            if op.kind not in MATMUL_OP_KINDS:
+                assert op.macs == 0
+            else:
+                assert op.macs > 0
+
+
+class TestDecodeShapes:
+    def test_single_token_rows(self):
+        ops = {op.kind: op for op in decoder_layer_ops(OPT_125M, 1, 576)}
+        assert ops[OpKind.Q_PROJ].rows == 1
+        assert ops[OpKind.QKT].cols == 576
+        assert ops[OpKind.SMV].reduce == 576
+
+    def test_kv_projection_only_processes_new_token(self):
+        ops = {op.kind: op for op in decoder_layer_ops(OPT_125M, 1, 576)}
+        assert ops[OpKind.K_PROJ].output_elements == 768
+
+    def test_qkt_reads_full_cache(self):
+        ops = {op.kind: op for op in decoder_layer_ops(OPT_125M, 1, 576)}
+        assert ops[OpKind.QKT].input_elements == 768 + 576 * 768
+
+    def test_weight_volume_independent_of_tokens(self):
+        prefill = decoder_layer_ops(OPT_125M, 512, 512)
+        decode = decoder_layer_ops(OPT_125M, 1, 513)
+        w_p = sum(op.weight_elements for op in prefill)
+        w_d = sum(op.weight_elements for op in decode)
+        assert w_p == w_d == OPT_125M.layer_weight_params
+
+
+class TestValidation:
+    def test_kv_must_cover_tokens(self):
+        with pytest.raises(ConfigError):
+            decoder_layer_ops(OPT_125M, 8, 4)
+
+    def test_context_limit_enforced(self):
+        with pytest.raises(ConfigError):
+            decoder_layer_ops(OPT_125M, 1, 4096)
+
+    @given(st.integers(1, 64), st.integers(0, 64))
+    def test_macs_scale_with_tokens(self, t, extra):
+        small = sum(op.macs for op in decoder_layer_ops(OPT_125M, t, t + extra))
+        bigger = sum(op.macs for op in decoder_layer_ops(OPT_125M, t + 1, t + 1 + extra))
+        assert bigger > small

@@ -1,0 +1,87 @@
+"""Tests for model configurations and the registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import (
+    DEIT_B,
+    DEIT_S,
+    MODEL_REGISTRY,
+    OPT_125M,
+    OPT_1_3B,
+    TransformerConfig,
+    get_model,
+)
+
+
+class TestOptShapes:
+    def test_opt125m_matches_published_architecture(self):
+        assert OPT_125M.n_layers == 12
+        assert OPT_125M.d_model == 768
+        assert OPT_125M.n_heads == 12
+        assert OPT_125M.d_ff == 3072
+        assert OPT_125M.head_dim == 64
+        assert OPT_125M.activation == "relu"
+
+    def test_opt13b_matches_published_architecture(self):
+        assert OPT_1_3B.n_layers == 24
+        assert OPT_1_3B.d_model == 2048
+        assert OPT_1_3B.n_heads == 32
+        assert OPT_1_3B.d_ff == 8192
+
+    def test_opt125m_decoder_weight_volume(self):
+        # 4*D^2 attention + 2*D*4D MLP = 7.08 MB per layer at int8.
+        per_layer = OPT_125M.layer_weight_bytes(8)
+        assert per_layer == 4 * 768**2 + 2 * 768 * 3072
+        # Full decoder stack ~85 M params (embeddings excluded).
+        assert OPT_125M.total_weight_params == pytest.approx(85e6, rel=0.01)
+
+    def test_kv_cache_grows_linearly(self):
+        assert OPT_125M.kv_cache_bytes_per_layer(512) == 2 * 512 * 768
+        assert OPT_125M.kv_cache_bytes_per_layer(0) == 0
+
+
+class TestVitShapes:
+    def test_deit_s(self):
+        assert DEIT_S.d_model == 384
+        assert DEIT_S.n_heads == 6
+        assert DEIT_S.fixed_tokens == 197
+        assert not DEIT_S.is_decoder
+        assert DEIT_S.activation == "gelu"
+
+    def test_deit_b_matches_vit_base(self):
+        assert DEIT_B.d_model == 768
+        assert DEIT_B.n_layers == 12
+        assert DEIT_B.fixed_tokens == 197
+
+
+class TestRegistry:
+    def test_all_paper_models_present(self):
+        for name in ("opt-125m", "opt-1.3b", "deit-s", "deit-b"):
+            assert name in MODEL_REGISTRY
+
+    def test_get_model_roundtrip(self):
+        assert get_model("opt-125m") is OPT_125M
+
+    def test_get_model_unknown_lists_choices(self):
+        with pytest.raises(KeyError, match="opt-125m"):
+            get_model("gpt-5")
+
+
+class TestValidation:
+    def test_heads_must_divide_width(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig("bad", 2, 100, 3, 400)
+
+    def test_context_validation(self):
+        OPT_125M.validate_context(2048)
+        with pytest.raises(ConfigError):
+            OPT_125M.validate_context(2049)
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig("bad", 2, 64, 2, 256, activation="swish")
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig("bad", 0, 64, 2, 256)

@@ -1,0 +1,86 @@
+"""Tests for model scaling and grouped-query attention (extensions)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import (
+    MODEL_REGISTRY,
+    OPT_125M,
+    OPT_2_7B,
+    OPT_6_7B,
+    DEIT_S,
+    OpKind,
+    decoder_layer_ops,
+    scaled_decoder,
+    with_gqa,
+)
+from repro.quant import weight_shape_for_op
+
+
+class TestScaledModels:
+    def test_published_opt_ladder_shapes(self):
+        assert (OPT_2_7B.d_model, OPT_2_7B.n_layers) == (2560, 32)
+        assert (OPT_6_7B.d_model, OPT_6_7B.n_layers) == (4096, 32)
+
+    def test_ladder_registered(self):
+        assert "opt-2.7b" in MODEL_REGISTRY
+        assert "opt-6.7b" in MODEL_REGISTRY
+
+    def test_scaled_decoder_builder(self):
+        m = scaled_decoder("custom", d_model=512, n_layers=6, n_heads=8)
+        assert m.d_ff == 2048
+        assert m.head_dim == 64
+
+    def test_param_counts_scale(self):
+        assert OPT_6_7B.total_weight_params > 4 * OPT_2_7B.total_weight_params / 3
+
+
+class TestGqa:
+    def test_kv_dim_shrinks(self):
+        gqa = with_gqa(OPT_125M, 2)
+        assert gqa.kv_heads == 2
+        assert gqa.kv_dim == 2 * 64
+        assert OPT_125M.kv_dim == 768  # MHA unchanged
+
+    def test_kv_cache_shrinks_proportionally(self):
+        gqa = with_gqa(OPT_125M, 3)
+        assert gqa.kv_cache_bytes_per_layer(512) == OPT_125M.kv_cache_bytes_per_layer(512) // 4
+
+    def test_kv_projection_shapes_shrink(self):
+        gqa = with_gqa(OPT_125M, 2)
+        assert weight_shape_for_op(gqa, OpKind.K_PROJ) == (128, 768)
+        assert weight_shape_for_op(gqa, OpKind.Q_PROJ) == (768, 768)  # unchanged
+
+    def test_op_graph_uses_kv_dim(self):
+        gqa = with_gqa(OPT_125M, 2)
+        ops = {op.kind: op for op in decoder_layer_ops(gqa, 1, 512)}
+        assert ops[OpKind.K_PROJ].output_elements == 128
+        # QK^T reads the shared K span: 512 x 128 instead of 512 x 768.
+        assert ops[OpKind.QKT].input_elements == 768 + 512 * 128
+
+    def test_attention_weight_params_reflect_gqa(self):
+        gqa = with_gqa(OPT_125M, 2)
+        expected = 2 * 768 * 768 + 2 * 768 * 128
+        assert gqa.attention_weight_params == expected
+
+    def test_score_volume_unchanged(self):
+        # GQA shares K/V, not scores: QK^T output stays H x T x KV.
+        gqa = with_gqa(OPT_125M, 2)
+        ops = {op.kind: op for op in decoder_layer_ops(gqa, 64, 64)}
+        assert ops[OpKind.QKT].output_elements == 12 * 64 * 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            with_gqa(OPT_125M, 5)  # 12 % 5 != 0
+        with pytest.raises(ConfigError):
+            with_gqa(OPT_125M, 0)
+        with pytest.raises(ConfigError):
+            with_gqa(DEIT_S, 2)  # not a decoder
+
+    def test_gqa_speeds_up_long_context_decode(self, zcu1, shared_planner):
+        from repro import MeadowEngine
+
+        mha = MeadowEngine(OPT_125M, zcu1, planner=shared_planner).decode(2048)
+        gqa_engine = MeadowEngine(with_gqa(OPT_125M, 2), zcu1)
+        gqa = gqa_engine.decode(2048)
+        assert gqa.latency_s < mha.latency_s

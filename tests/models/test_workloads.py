@@ -1,0 +1,67 @@
+"""Tests for prefill / decode / ViT workload builders."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import (
+    DEIT_S,
+    OPT_125M,
+    Stage,
+    Workload,
+    decode_workload,
+    prefill_workload,
+    vit_workload,
+)
+
+
+class TestPrefillWorkload:
+    def test_attends_over_prompt(self):
+        w = prefill_workload(OPT_125M, 512)
+        assert w.stage is Stage.PREFILL
+        assert w.n_tokens == 512
+        assert w.kv_len == 512
+
+    def test_rejects_empty_prompt(self):
+        with pytest.raises(ConfigError):
+            prefill_workload(OPT_125M, 0)
+
+    def test_rejects_over_length_prompt(self):
+        with pytest.raises(ConfigError):
+            prefill_workload(OPT_125M, 4096)
+
+    def test_total_macs_counts_all_layers(self):
+        w = prefill_workload(OPT_125M, 64)
+        per_layer = sum(op.macs for op in w.layer_ops())
+        assert w.total_macs == 12 * per_layer
+
+
+class TestDecodeWorkload:
+    def test_nth_token_semantics(self):
+        # "the 64th generated token after a 512-token prefill" attends
+        # over 512 + 64 tokens.
+        w = decode_workload(OPT_125M, 512 + 64)
+        assert w.n_tokens == 1
+        assert w.kv_len == 576
+
+    def test_single_token_invariant_enforced(self):
+        with pytest.raises(ConfigError):
+            Workload(OPT_125M, Stage.DECODE, 2, 10)
+
+    def test_prefill_kv_invariant_enforced(self):
+        with pytest.raises(ConfigError):
+            Workload(OPT_125M, Stage.PREFILL, 8, 16)
+
+    def test_description_mentions_context(self):
+        assert "576" in decode_workload(OPT_125M, 576).description
+
+
+class TestVitWorkload:
+    def test_fixed_197_tokens(self):
+        w = vit_workload(DEIT_S)
+        assert w.n_tokens == 197
+        assert w.kv_len == 197
+        assert w.stage is Stage.PREFILL
+
+    def test_llm_has_no_vit_workload(self):
+        with pytest.raises(ConfigError):
+            vit_workload(OPT_125M)

@@ -1,0 +1,113 @@
+"""Tests for the bit-exact packet stream (pack / sequential / fast parse)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PackingError
+from repro.packing import (
+    ModeTable,
+    pack_ids,
+    spread_mode_table,
+    stream_bits_only,
+    uniform_mode_table,
+    unpack_ids,
+    unpack_ids_fast,
+)
+
+id_streams = st.lists(st.integers(0, 2**11 - 1), min_size=0, max_size=300)
+
+
+class TestPackIds:
+    def test_empty_stream(self):
+        stream = pack_ids(np.zeros(0, dtype=np.int64), 8, uniform_mode_table(4))
+        assert stream.total_bits == 0
+        assert unpack_ids(stream).size == 0
+        assert unpack_ids_fast(stream).size == 0
+
+    def test_naive_packing_bit_count(self):
+        # 16 IDs at uniform 11 bits, packets of 8: no mode fields.
+        ids = np.arange(16, dtype=np.int64)
+        stream = pack_ids(ids, 8, uniform_mode_table(11))
+        assert stream.total_bits == 16 * 11
+        assert stream.mode_field_bits == 0
+
+    def test_packet_specific_saves_bits_on_skewed_ids(self):
+        ids = np.concatenate([np.zeros(56, dtype=np.int64), np.array([2000] * 8)])
+        naive = pack_ids(ids, 8, uniform_mode_table(11)).total_bits
+        table = spread_mode_table(11, 8)
+        packed = pack_ids(ids, 8, table).total_bits
+        assert packed < naive
+
+    def test_mode_fields_counted(self):
+        ids = np.zeros(16, dtype=np.int64)
+        table = ModeTable((1, 11))
+        stream = pack_ids(ids, 8, table)
+        # 2 packets: each 1 mode bit + 8x1-bit values.
+        assert stream.total_bits == 2 * (1 + 8)
+        assert stream.mode_field_bits == 2
+        assert stream.value_field_bits == 16
+
+    def test_payload_is_byte_packed(self):
+        ids = np.arange(10, dtype=np.int64)
+        stream = pack_ids(ids, 4, uniform_mode_table(4))
+        assert stream.payload.dtype == np.uint8
+        assert stream.payload.size == -(-stream.total_bits // 8)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(PackingError):
+            pack_ids(np.array([-1]), 4, uniform_mode_table(4))
+
+    def test_rejects_2d_ids(self):
+        with pytest.raises(PackingError):
+            pack_ids(np.zeros((2, 2), dtype=np.int64), 4, uniform_mode_table(4))
+
+
+class TestUnpack:
+    def test_sequential_parse_consumes_whole_stream(self, rng):
+        ids = rng.integers(0, 1 << 9, size=100)
+        table = spread_mode_table(9, 4)
+        stream = pack_ids(ids, 8, table)
+        assert np.array_equal(unpack_ids(stream), ids)
+
+    def test_fast_parse_matches_sequential(self, rng):
+        ids = rng.integers(0, 1 << 11, size=333)
+        table = spread_mode_table(11, 8)
+        stream = pack_ids(ids, 8, table)
+        assert np.array_equal(unpack_ids(stream), unpack_ids_fast(stream))
+
+    def test_partial_final_packet(self, rng):
+        ids = rng.integers(0, 64, size=13)  # 13 % 8 != 0
+        stream = pack_ids(ids, 8, spread_mode_table(6, 4))
+        assert np.array_equal(unpack_ids(stream), ids)
+        assert np.array_equal(unpack_ids_fast(stream), ids)
+
+    @given(id_streams, st.integers(1, 16), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, ids, packet_size, n_modes):
+        arr = np.array(ids, dtype=np.int64)
+        table = spread_mode_table(11, n_modes)
+        stream = pack_ids(arr, packet_size, table)
+        assert np.array_equal(unpack_ids_fast(stream), arr)
+
+    @given(id_streams, st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_sequential_equals_fast_property(self, ids, packet_size):
+        arr = np.array(ids, dtype=np.int64)
+        table = spread_mode_table(11, 8)
+        stream = pack_ids(arr, packet_size, table)
+        assert np.array_equal(unpack_ids(stream), unpack_ids_fast(stream))
+
+
+class TestStreamBitsOnly:
+    @given(id_streams, st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_size_matches_real_stream(self, ids, packet_size):
+        arr = np.array(ids, dtype=np.int64)
+        table = spread_mode_table(11, 8)
+        assert stream_bits_only(arr, packet_size, table) == pack_ids(
+            arr, packet_size, table
+        ).total_bits
+
+    def test_empty(self):
+        assert stream_bits_only(np.zeros(0, dtype=np.int64), 8, uniform_mode_table(4)) == 0

@@ -1,0 +1,113 @@
+"""Tests for chunk decomposition and the unique matrix (Sec. 5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import PackingError
+from repro.packing import EncodedMatrix, UniqueMatrix, encode_matrix
+
+int8_matrices = hnp.arrays(
+    np.int8,
+    st.tuples(st.integers(1, 24), st.integers(1, 48)),
+    elements=st.integers(-128, 127),
+)
+
+
+class TestEncodeMatrix:
+    def test_paper_worked_example_structure(self):
+        # Fig. 4a structure: 8 chunks of C=2 drawn from 5 unique chunks
+        # encode with 3-bit IDs (ceil(log2 5)).
+        a, b, c, d, e = (3, 4), (1, 4), (4, 3), (0, 4), (3, 0)
+        sequence = [a, b, c, a, d, e, c, a]
+        w = np.array([v for chunk in sequence for v in chunk], dtype=np.int8)
+        w = w.reshape(4, 4)
+        enc = encode_matrix(w, chunk_size=2)
+        assert enc.n_chunks == 8
+        assert enc.unique.n_unique == 5
+        assert enc.id_bits == 3  # ceil(log2 5)
+        assert enc.reduction_ratio == pytest.approx(8 / 5)
+
+    def test_decode_roundtrip_exact(self, rng):
+        w = rng.integers(-128, 128, size=(32, 64)).astype(np.int8)
+        enc = encode_matrix(w, chunk_size=4)
+        assert np.array_equal(enc.decode(), w)
+
+    def test_counts_sum_to_total_chunks(self, rng):
+        w = rng.integers(-4, 5, size=(16, 32)).astype(np.int8)
+        enc = encode_matrix(w, chunk_size=2)
+        assert int(enc.unique.counts.sum()) == enc.n_chunks
+
+    def test_padding_when_width_not_divisible(self, rng):
+        w = rng.integers(-4, 5, size=(8, 7)).astype(np.int8)
+        enc = encode_matrix(w, chunk_size=2)
+        assert enc.pad_elements == 8  # one pad element per row
+        assert np.array_equal(enc.decode(), w)
+
+    def test_all_identical_values_give_one_chunk(self):
+        w = np.full((16, 16), 3, dtype=np.int8)
+        enc = encode_matrix(w, chunk_size=2)
+        assert enc.unique.n_unique == 1
+        assert enc.id_bits == 1
+
+    def test_sorted_order_is_signed_lexicographic(self):
+        w = np.array([[5, 0, -5, 0, 0, 0]], dtype=np.int8)
+        enc = encode_matrix(w, chunk_size=2, id_order="sorted")
+        chunks = enc.unique.chunks
+        # Signed order: (-5, 0) < (0, 0) < (5, 0).
+        assert chunks[0].tolist() == [-5, 0]
+        assert chunks[-1].tolist() == [5, 0]
+
+    def test_first_occurrence_order(self):
+        w = np.array([[5, 0, -5, 0, 5, 0]], dtype=np.int8)
+        enc = encode_matrix(w, chunk_size=2, id_order="first_occurrence")
+        assert enc.unique.chunks[0].tolist() == [5, 0]
+        assert enc.ids.tolist() == [0, 1, 0]
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(PackingError):
+            encode_matrix(rng.normal(size=(4, 4)), chunk_size=2)  # not int8
+        w = rng.integers(-4, 5, size=(4, 8)).astype(np.int8)
+        with pytest.raises(PackingError):
+            encode_matrix(w, chunk_size=0)
+        with pytest.raises(PackingError):
+            encode_matrix(w, chunk_size=16)  # beyond uint64 fast path
+        with pytest.raises(PackingError):
+            encode_matrix(w, chunk_size=2, id_order="random")
+
+
+class TestUniqueMatrixInvariants:
+    @given(int8_matrices, st.sampled_from([1, 2, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, w, chunk_size):
+        enc = encode_matrix(w, chunk_size=chunk_size)
+        assert np.array_equal(enc.decode(), w)
+
+    @given(int8_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_unique_chunks_are_distinct(self, w):
+        enc = encode_matrix(w, chunk_size=2)
+        chunks = {bytes(c.tobytes()) for c in enc.unique.chunks}
+        assert len(chunks) == enc.unique.n_unique
+
+    @given(int8_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_ratio_at_least_one(self, w):
+        enc = encode_matrix(w, chunk_size=2)
+        assert enc.reduction_ratio >= 1.0
+
+    def test_validation_of_dataclasses(self):
+        with pytest.raises(PackingError):
+            UniqueMatrix(
+                chunks=np.zeros((2, 2), dtype=np.int8),
+                counts=np.zeros(3, dtype=np.int64),
+            )
+        good = UniqueMatrix(
+            chunks=np.zeros((2, 2), dtype=np.int8),
+            counts=np.ones(2, dtype=np.int64),
+        )
+        with pytest.raises(PackingError):
+            EncodedMatrix(
+                ids=np.array([0, 5]), unique=good, shape=(1, 4), pad_elements=0
+            )

@@ -1,0 +1,110 @@
+"""Tests for mode tables and packet precision selection (Sec. 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PackingError
+from repro.packing import (
+    ModeTable,
+    optimal_mode_table,
+    packet_required_bits,
+    spread_mode_table,
+    uniform_mode_table,
+)
+
+
+class TestModeTable:
+    def test_mode_bits_scale_with_entries(self):
+        assert uniform_mode_table(11).mode_bits == 0
+        assert ModeTable((2, 3)).mode_bits == 1
+        assert ModeTable((1, 2, 3, 4, 5, 6, 7, 8)).mode_bits == 3
+
+    def test_precision_selection_picks_smallest_cover(self):
+        table = ModeTable((2, 4, 8))
+        assert int(table.precision_for_bits(1)) == 2
+        assert int(table.precision_for_bits(3)) == 4
+        assert int(table.precision_for_bits(8)) == 8
+
+    def test_uncoverable_bits_raise(self):
+        table = ModeTable((2, 4))
+        with pytest.raises(PackingError):
+            table.precision_for_bits(5)
+
+    def test_rejects_unsorted_or_empty(self):
+        with pytest.raises(PackingError):
+            ModeTable((4, 2))
+        with pytest.raises(PackingError):
+            ModeTable(())
+        with pytest.raises(PackingError):
+            ModeTable((0, 2))
+
+    def test_header_bits(self):
+        assert ModeTable((2, 4, 8)).header_bits() == 15
+
+
+class TestSpreadModeTable:
+    def test_covers_max_bits(self):
+        table = spread_mode_table(11, n_modes=8)
+        assert table.max_precision == 11
+
+    def test_small_id_space_enumerates_all(self):
+        assert spread_mode_table(3, n_modes=8).precisions == (1, 2, 3)
+
+    def test_respects_mode_budget(self):
+        assert spread_mode_table(16, n_modes=4).n_modes <= 5  # dedup may add max
+
+
+class TestPacketRequiredBits:
+    def test_paper_fig4b_example(self):
+        # Encoded W row "2 4 1 3 0 4 1 3 / 3 3 3 0 4 3 4 4", packets of 2.
+        ids = np.array([2, 4, 1, 3, 0, 4, 1, 3, 3, 3, 3, 0, 4, 3, 4, 4])
+        bits = packet_required_bits(ids, packet_size=2)
+        # Packet maxima: 4,3,4,3, 3,3,4,4 -> bits 3,2,3,2, 2,2,3,3.
+        assert bits.tolist() == [3, 2, 3, 2, 2, 2, 3, 3]
+
+    def test_zero_ids_need_one_bit(self):
+        assert packet_required_bits(np.zeros(8, dtype=np.int64), 4).tolist() == [1, 1]
+
+    def test_partial_packet_padding_does_not_raise_precision(self):
+        ids = np.array([1, 1, 1, 7])  # last packet has one real element
+        bits = packet_required_bits(ids, packet_size=3)
+        assert bits.tolist() == [1, 3]
+
+    @given(
+        st.lists(st.integers(0, 2**14 - 1), min_size=1, max_size=200),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_required_bits_cover_every_id(self, ids, packet):
+        arr = np.array(ids, dtype=np.int64)
+        bits = packet_required_bits(arr, packet)
+        for i, v in enumerate(ids):
+            assert v < (1 << bits[i // packet])
+
+
+class TestOptimalModeTable:
+    def test_never_worse_than_spread(self, rng):
+        ids = rng.integers(0, 2048, size=4000)
+        mask = rng.random(4000) < 0.9
+        ids[mask] = rng.integers(0, 16, size=int(mask.sum()))
+        from repro.packing import stream_bits_only
+
+        spread = spread_mode_table(11, 8)
+        optimal = optimal_mode_table(ids, packet_size=8, n_modes=8, id_bits=11)
+        assert stream_bits_only(ids, 8, optimal) <= stream_bits_only(ids, 8, spread)
+
+    def test_covers_max_bits(self, rng):
+        ids = rng.integers(0, 1024, size=512)
+        table = optimal_mode_table(ids, packet_size=4, n_modes=4, id_bits=10)
+        assert table.max_precision == 10
+        assert table.n_modes <= 4
+
+    def test_uniform_ids_collapse_to_few_modes(self):
+        ids = np.full(64, 3, dtype=np.int64)
+        table = optimal_mode_table(ids, packet_size=8, n_modes=8, id_bits=10)
+        assert 2 in table.precisions  # packets need exactly 2 bits
+
+    def test_rejects_ids_beyond_declared_bits(self):
+        with pytest.raises(PackingError):
+            optimal_mode_table(np.array([1024]), 8, 8, id_bits=10)

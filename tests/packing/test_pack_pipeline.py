@@ -1,0 +1,107 @@
+"""Tests for the high-level packing API and the Fig. 10 ablation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import PackingError
+from repro.packing import (
+    PackingConfig,
+    PackingLevel,
+    pack_weights,
+    packed_size_bits,
+    packing_ablation,
+)
+from repro.quant import WeightProfile, generate_int8_weights
+
+int8_matrices = hnp.arrays(
+    np.int8,
+    st.tuples(st.integers(1, 16), st.integers(1, 32)),
+    elements=st.integers(-32, 32),
+)
+
+
+class TestPackWeights:
+    @pytest.mark.parametrize("level", list(PackingLevel))
+    def test_lossless_at_every_level(self, rng, level):
+        w = rng.integers(-32, 33, size=(32, 48)).astype(np.int8)
+        pw = pack_weights(w, level=level)
+        assert np.array_equal(pw.decode(), w)
+
+    def test_size_accounting_is_complete(self, rng):
+        w = rng.integers(-8, 9, size=(16, 16)).astype(np.int8)
+        pw = pack_weights(w)
+        assert pw.total_bits == pw.payload_bits + pw.unique_matrix_bits + pw.header_bits
+        assert pw.raw_bits == 16 * 16 * 8
+
+    def test_packed_size_bits_matches_full_pack(self, rng):
+        w = rng.integers(-8, 9, size=(24, 32)).astype(np.int8)
+        for level in PackingLevel:
+            cfg = PackingConfig(level=level)
+            assert packed_size_bits(w, cfg) == pack_weights(w, cfg).total_bits
+
+    def test_config_and_overrides_are_exclusive(self, rng):
+        w = rng.integers(-8, 9, size=(8, 8)).astype(np.int8)
+        with pytest.raises(PackingError):
+            pack_weights(w, PackingConfig(), level=PackingLevel.NAIVE)
+
+    def test_optimize_modes_never_hurts(self):
+        w = generate_int8_weights((512, 256), WeightProfile("m", 1.2), seed=3)
+        default = packed_size_bits(w, PackingConfig(level=PackingLevel.REINDEX))
+        optimal = packed_size_bits(
+            w, PackingConfig(level=PackingLevel.REINDEX, optimize_modes=True)
+        )
+        assert optimal <= default
+
+    def test_incompressible_matrix_ratio_below_one(self, rng):
+        # Uniform random int8 has no chunk redundancy; packing adds the
+        # unique matrix on top, so the ratio drops below 1 — honest
+        # accounting, no free lunch.
+        w = rng.integers(-128, 128, size=(64, 64)).astype(np.int8)
+        pw = pack_weights(w)
+        assert pw.compression_ratio < 1.05
+
+    @given(int8_matrices, st.sampled_from(list(PackingLevel)))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, w, level):
+        pw = pack_weights(w, level=level)
+        assert np.array_equal(pw.decode(), w)
+        assert np.array_equal(pw.decode(fast=False), w)
+
+    def test_validation(self):
+        with pytest.raises(PackingError):
+            PackingConfig(chunk_size=0)
+        with pytest.raises(PackingError):
+            PackingConfig(packet_size=0)
+        with pytest.raises(PackingError):
+            PackingConfig(n_modes=0)
+
+
+class TestFig10Ablation:
+    @pytest.fixture(scope="class")
+    def mlp1(self):
+        """OPT-125M decoder-1 MLP1 stand-in (layer-0 MLP profile)."""
+        return generate_int8_weights(
+            (3072, 768), WeightProfile("mlp1", 1.0, 5e-4), seed=1
+        )
+
+    def test_levels_are_cumulative_improvements(self, mlp1):
+        ab = packing_ablation(mlp1)
+        assert 1.0 < ab.naive_gain < ab.packet_gain < ab.reindex_gain
+
+    def test_naive_gain_near_paper_1_4x(self, mlp1):
+        ab = packing_ablation(mlp1)
+        assert 1.3 <= ab.naive_gain <= 1.6
+
+    def test_packet_gain_near_paper_1_54x(self, mlp1):
+        ab = packing_ablation(mlp1)
+        assert 1.4 <= ab.packet_gain <= 1.75
+
+    def test_reindex_gain_near_paper_2_63x(self, mlp1):
+        ab = packing_ablation(mlp1)
+        assert 2.1 <= ab.reindex_gain <= 3.2
+
+    def test_id_bits_match_sec63(self, mlp1):
+        ab = packing_ablation(mlp1)
+        assert ab.id_bits in (10, 11, 12)

@@ -1,0 +1,98 @@
+"""Tests for packing statistics and the planner cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import OPT_125M, OpKind, TransformerConfig
+from repro.packing import (
+    PackingConfig,
+    PackingLevel,
+    PackingPlanner,
+    id_histogram,
+    layer_reduction_ratios,
+    model_reduction_ratio_table,
+    reduction_ratio,
+)
+
+
+class TestStats:
+    def test_reduction_ratio_shortcut(self, rng):
+        w = np.zeros((16, 16), dtype=np.int8)
+        assert reduction_ratio(w, 2) == 128.0
+
+    def test_id_histogram_shapes(self, rng):
+        w = rng.integers(-8, 9, size=(32, 32)).astype(np.int8)
+        edges, counts = id_histogram(w, bins=16)
+        assert len(edges) == 17
+        assert counts.sum() == 32 * 32 // 2
+
+    def test_reindexed_histogram_concentrates_low_ids(self, rng):
+        w = np.clip(np.round(rng.laplace(0, 2.0, size=(64, 64))), -127, 127).astype(np.int8)
+        _, before = id_histogram(w, bins=8, reindexed=False)
+        _, after = id_histogram(w, bins=8, reindexed=True)
+        assert after[0] >= before[0]
+
+    def test_layer_reduction_ratios_cover_all_weight_ops(self):
+        tiny = TransformerConfig("t", 2, 64, 4, 256)
+        ratios = layer_reduction_ratios(tiny, 0)
+        assert set(ratios) == {
+            OpKind.Q_PROJ,
+            OpKind.K_PROJ,
+            OpKind.V_PROJ,
+            OpKind.OUT_PROJ,
+            OpKind.MLP_FC1,
+            OpKind.MLP_FC2,
+        }
+        assert all(r >= 1.0 for r in ratios.values())
+
+    def test_model_table_has_one_row_per_layer(self):
+        tiny = TransformerConfig("t", 3, 64, 4, 256)
+        table = model_reduction_ratio_table(tiny)
+        assert [layer for layer, _ in table] == [0, 1, 2]
+
+
+class TestPlanner:
+    def test_stats_cached_within_process(self, small_model):
+        planner = PackingPlanner(depth_buckets=1)
+        first = planner.stats_for(small_model, OpKind.Q_PROJ, 0)
+        second = planner.stats_for(small_model, OpKind.Q_PROJ, 0)
+        assert first is second
+
+    def test_depth_buckets_reuse_representative_layers(self, small_model):
+        planner = PackingPlanner(depth_buckets=1)
+        a = planner.stats_for(small_model, OpKind.MLP_FC1, 0)
+        b = planner.stats_for(small_model, OpKind.MLP_FC1, small_model.n_layers - 1)
+        assert a is b  # same bucket -> same cached object
+
+    def test_exact_mode_distinguishes_layers(self, small_model):
+        planner = PackingPlanner(depth_buckets=None)
+        a = planner.stats_for(small_model, OpKind.MLP_FC1, 0)
+        b = planner.stats_for(small_model, OpKind.MLP_FC1, small_model.n_layers - 1)
+        assert a.packed_bits != b.packed_bits
+
+    def test_effective_bits_never_exceed_raw(self, small_model):
+        planner = PackingPlanner()
+        stats = planner.stats_for(small_model, OpKind.MLP_FC2, 0)
+        assert stats.effective_bits <= stats.raw_bits
+        assert stats.compression > 0
+
+    def test_naive_level_compresses_less_than_reindex(self, small_model):
+        naive = PackingPlanner(PackingConfig(level=PackingLevel.NAIVE), depth_buckets=1)
+        reindex = PackingPlanner(PackingConfig(level=PackingLevel.REINDEX), depth_buckets=1)
+        n = naive.stats_for(small_model, OpKind.MLP_FC1, 0)
+        r = reindex.stats_for(small_model, OpKind.MLP_FC1, 0)
+        assert r.packed_bits < n.packed_bits
+
+    def test_weight_free_op_rejected(self, small_model):
+        with pytest.raises(ConfigError):
+            PackingPlanner().stats_for(small_model, OpKind.SOFTMAX, 0)
+
+    def test_bad_bucket_count_rejected(self):
+        with pytest.raises(ConfigError):
+            PackingPlanner(depth_buckets=0)
+
+    def test_opt125m_model_compression_in_band(self, shared_planner):
+        """Whole-model packing ~1.5-1.9x (implied by the decode gains)."""
+        compression = shared_planner.model_compression(OPT_125M)
+        assert 1.4 <= compression <= 2.0

@@ -1,0 +1,72 @@
+"""Tests for frequency-aware re-indexing (Sec. 5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.packing import encode_matrix, frequency_reindex, reindex_permutation
+
+int8_matrices = hnp.arrays(
+    np.int8,
+    st.tuples(st.integers(1, 16), st.integers(2, 32)),
+    elements=st.integers(-8, 8),
+)
+
+
+class TestReindexPermutation:
+    def test_paper_worked_example(self):
+        # Fig. 4c: frequencies [2, 2, 1, 6, 5] -> new IDs [2, 3, 4, 0, 1].
+        counts = np.array([2, 2, 1, 6, 5])
+        assert reindex_permutation(counts).tolist() == [2, 3, 4, 0, 1]
+
+    def test_ties_break_on_old_id(self):
+        counts = np.array([3, 3, 3])
+        assert reindex_permutation(counts).tolist() == [0, 1, 2]
+
+    def test_is_a_permutation(self, rng):
+        counts = rng.integers(1, 100, size=50)
+        perm = reindex_permutation(counts)
+        assert sorted(perm.tolist()) == list(range(50))
+
+
+class TestFrequencyReindex:
+    def test_most_frequent_chunk_gets_id_zero(self, rng):
+        w = rng.integers(-2, 3, size=(32, 32)).astype(np.int8)
+        enc = frequency_reindex(encode_matrix(w, chunk_size=2))
+        assert np.all(enc.unique.counts[:-1] >= enc.unique.counts[1:])
+        most_common = int(np.bincount(enc.ids).argmax())
+        assert most_common == 0
+
+    def test_decode_unchanged(self, rng):
+        w = rng.integers(-8, 9, size=(16, 24)).astype(np.int8)
+        enc = encode_matrix(w, chunk_size=2)
+        ren = frequency_reindex(enc)
+        assert np.array_equal(ren.decode(), enc.decode())
+        assert np.array_equal(ren.decode(), w)
+
+    def test_reindex_shrinks_average_id(self, rng):
+        # The whole point: frequent chunks end up with small IDs.
+        w = np.clip(np.round(rng.laplace(0, 2.0, size=(64, 64))), -127, 127).astype(np.int8)
+        enc = encode_matrix(w, chunk_size=2)
+        ren = frequency_reindex(enc)
+        assert ren.ids.mean() < enc.ids.mean()
+
+    def test_idempotent(self, rng):
+        w = rng.integers(-8, 9, size=(16, 24)).astype(np.int8)
+        once = frequency_reindex(encode_matrix(w, chunk_size=2))
+        twice = frequency_reindex(once)
+        assert np.array_equal(once.ids, twice.ids)
+
+    @given(int8_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, w):
+        enc = frequency_reindex(encode_matrix(w, chunk_size=2))
+        assert np.array_equal(enc.decode(), w)
+
+    @given(int8_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_sorted_descending(self, w):
+        enc = frequency_reindex(encode_matrix(w, chunk_size=2))
+        counts = enc.unique.counts
+        assert np.all(counts[:-1] >= counts[1:])

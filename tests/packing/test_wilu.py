@@ -1,0 +1,101 @@
+"""Tests for the WILU decoder and the MAU bit-plane unpacker (Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PackingError
+from repro.packing import (
+    WiluDecoder,
+    encode_matrix,
+    mau_pack_byte,
+    mau_unpack_byte,
+    pack_ids,
+    spread_mode_table,
+)
+
+
+class TestMauUnpack:
+    def test_mode0_yields_eight_single_bits(self):
+        assert mau_unpack_byte(0b10101010, 0) == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_mode1_yields_four_2bit_values(self):
+        values = mau_unpack_byte(0xFF, 1)
+        assert values == [3, 3, 3, 3]
+
+    def test_mode2_yields_two_4bit_values(self):
+        values = mau_unpack_byte(0xFF, 2)
+        assert values == [15, 15]
+
+    def test_zero_word(self):
+        assert mau_unpack_byte(0, 0) == [0] * 8
+        assert mau_unpack_byte(0, 1) == [0] * 4
+        assert mau_unpack_byte(0, 2) == [0] * 2
+
+    @given(st.integers(0, 255), st.sampled_from([0, 1, 2]))
+    def test_bijective_with_pack(self, word, mode):
+        assert mau_pack_byte(mau_unpack_byte(word, mode), mode) == word
+
+    @given(st.sampled_from([0, 1, 2]), st.data())
+    def test_pack_then_unpack(self, mode, data):
+        width = {0: 1, 1: 2, 2: 4}[mode]
+        n = 8 // width
+        values = data.draw(
+            st.lists(st.integers(0, (1 << width) - 1), min_size=n, max_size=n)
+        )
+        assert mau_unpack_byte(mau_pack_byte(values, mode), mode) == values
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PackingError):
+            mau_unpack_byte(256, 0)
+        with pytest.raises(PackingError):
+            mau_unpack_byte(0, 3)
+        with pytest.raises(PackingError):
+            mau_pack_byte([1, 2], 0)  # wrong count for mode 0
+        with pytest.raises(PackingError):
+            mau_pack_byte([4] * 4, 1)  # value exceeds 2-bit field
+
+
+class TestWiluDecoder:
+    def _packed(self, w, chunk_size=2, packet_size=8):
+        enc = encode_matrix(w, chunk_size)
+        table = spread_mode_table(enc.id_bits, 8)
+        stream = pack_ids(enc.ids, packet_size, table)
+        return enc, stream
+
+    def test_decode_matrix_roundtrip(self, rng):
+        w = rng.integers(-16, 17, size=(24, 36)).astype(np.int8)
+        enc, stream = self._packed(w)
+        decoder = WiluDecoder(enc.unique)
+        assert np.array_equal(decoder.decode_matrix(stream, w.shape), w)
+
+    def test_sequential_and_fast_paths_agree(self, rng):
+        w = rng.integers(-16, 17, size=(12, 20)).astype(np.int8)
+        enc, stream = self._packed(w)
+        decoder = WiluDecoder(enc.unique)
+        slow = decoder.decode_matrix(stream, w.shape, fast=False)
+        fast = decoder.decode_matrix(stream, w.shape, fast=True)
+        assert np.array_equal(slow, fast)
+
+    def test_padded_width_roundtrip(self, rng):
+        w = rng.integers(-16, 17, size=(10, 9)).astype(np.int8)  # 9 % 2 != 0
+        enc, stream = self._packed(w)
+        decoder = WiluDecoder(enc.unique)
+        assert np.array_equal(decoder.decode_matrix(stream, w.shape), w)
+
+    def test_shape_mismatch_detected(self, rng):
+        w = rng.integers(-4, 5, size=(8, 8)).astype(np.int8)
+        enc, stream = self._packed(w)
+        decoder = WiluDecoder(enc.unique)
+        with pytest.raises(PackingError):
+            decoder.decode_matrix(stream, (16, 8))
+
+    def test_out_of_range_id_detected(self, rng):
+        w = rng.integers(-4, 5, size=(8, 8)).astype(np.int8)
+        enc, stream = self._packed(w)
+        truncated = WiluDecoder(
+            type(enc.unique)(chunks=enc.unique.chunks[:1], counts=enc.unique.counts[:1])
+        )
+        if enc.unique.n_unique > 1:
+            with pytest.raises(PackingError):
+                truncated.decode_ids(stream)

@@ -1,0 +1,120 @@
+"""Cross-module property tests: invariants the whole simulator must hold.
+
+These run the *composed* system (models -> plans -> simulator) under
+randomized operating points and assert physical-sense properties that
+any correct latency model satisfies — the guard rails that catch subtle
+regressions no single-module unit test sees.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ExecutionPlan
+from repro.models import TransformerConfig, decode_workload, prefill_workload
+from repro.packing import PackingPlanner
+from repro.sim import WorkloadSimulator
+from repro.hardware import zcu102_config
+
+MODEL = TransformerConfig("prop", 2, 128, 4, 512, max_seq_len=2048)
+PLANNER = PackingPlanner(depth_buckets=1)
+
+bandwidths = st.sampled_from([1.0, 3.0, 6.0, 12.0, 25.0, 51.0])
+prompts = st.integers(8, 512)
+
+
+def _sim(plan, bw):
+    planner = PLANNER if plan.packing is not None else None
+    return WorkloadSimulator(MODEL, zcu102_config(bw), plan, planner)
+
+
+class TestLatencyMonotonicity:
+    @given(bandwidths, prompts)
+    @settings(max_examples=25, deadline=None)
+    def test_prefill_latency_monotone_in_tokens(self, bw, tokens):
+        sim = _sim(ExecutionPlan.meadow(), bw)
+        a = sim.simulate(prefill_workload(MODEL, tokens)).total_cycles
+        b = sim.simulate(prefill_workload(MODEL, tokens + 8)).total_cycles
+        assert b >= a
+
+    @given(prompts)
+    @settings(max_examples=15, deadline=None)
+    def test_latency_monotone_in_bandwidth(self, tokens):
+        for plan in (ExecutionPlan.meadow(), ExecutionPlan.gemm_baseline()):
+            slow = _sim(plan, 1.0).simulate(prefill_workload(MODEL, tokens))
+            fast = _sim(plan, 51.0).simulate(prefill_workload(MODEL, tokens))
+            assert fast.total_cycles <= slow.total_cycles
+
+    @given(bandwidths, st.integers(16, 1024))
+    @settings(max_examples=25, deadline=None)
+    def test_decode_latency_monotone_in_context(self, bw, ctx):
+        sim = _sim(ExecutionPlan.meadow(), bw)
+        a = sim.simulate(decode_workload(MODEL, ctx)).total_cycles
+        b = sim.simulate(decode_workload(MODEL, ctx + 64)).total_cycles
+        assert b >= a
+
+
+class TestSystemOrderings:
+    @given(bandwidths, prompts)
+    @settings(max_examples=20, deadline=None)
+    def test_packing_never_hurts_prefill(self, bw, tokens):
+        packed = _sim(ExecutionPlan.meadow(), bw)
+        unpacked = _sim(
+            ExecutionPlan(
+                name="meadow-nopack",
+                attention_dataflow=ExecutionPlan.meadow().attention_dataflow,
+                packing=None,
+            ),
+            bw,
+        )
+        wl = prefill_workload(MODEL, tokens)
+        assert packed.simulate(wl).total_cycles <= unpacked.simulate(wl).total_cycles
+
+    @given(bandwidths, st.integers(16, 512))
+    @settings(max_examples=20, deadline=None)
+    def test_meadow_never_loses_decode(self, bw, ctx):
+        # Decode is weight-bound everywhere in the sweep range; MEADOW's
+        # packed weights can only help.
+        meadow = _sim(ExecutionPlan.meadow(), bw)
+        gemm = _sim(ExecutionPlan.gemm_baseline(), bw)
+        wl = decode_workload(MODEL, ctx)
+        assert meadow.simulate(wl).total_cycles <= gemm.simulate(wl).total_cycles
+
+    @given(bandwidths)
+    @settings(max_examples=10, deadline=None)
+    def test_cta_between_gemm_and_free(self, bw):
+        wl = prefill_workload(MODEL, 256)
+        gemm = _sim(ExecutionPlan.gemm_baseline(), bw).simulate(wl).total_cycles
+        cta = _sim(ExecutionPlan.cta(0.5), bw).simulate(wl).total_cycles
+        assert cta <= gemm
+        assert cta > 0
+
+
+class TestAccountingConsistency:
+    @given(bandwidths, prompts)
+    @settings(max_examples=20, deadline=None)
+    def test_overlapped_never_exceeds_serial(self, bw, tokens):
+        sim = _sim(ExecutionPlan.meadow(), bw)
+        report = sim.simulate(prefill_workload(MODEL, tokens))
+        for ops in report.layer_ops:
+            for op in ops:
+                assert op.total(True) <= op.breakdown.serial_total + 1e-9
+
+    @given(bandwidths, prompts)
+    @settings(max_examples=15, deadline=None)
+    def test_traffic_bits_positive_and_finite(self, bw, tokens):
+        sim = _sim(ExecutionPlan.gemm_baseline(), bw)
+        report = sim.simulate(prefill_workload(MODEL, tokens))
+        fetch, store = report.traffic_bits()
+        assert 0 < fetch < 1e15
+        assert 0 < store < 1e15
+
+    @given(bandwidths, st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_latency_superlinear_lower_bound(self, bw, batch):
+        # A batch of B can never finish faster than 1/B per-token of the
+        # single-sequence pass (weights amortize, everything else scales).
+        sim = _sim(ExecutionPlan.meadow(), bw)
+        single = sim.simulate(decode_workload(MODEL, 128, batch=1)).total_cycles
+        batched = sim.simulate(decode_workload(MODEL, 128, batch=batch)).total_cycles
+        assert batched >= single
+        assert batched <= batch * single * 1.01

@@ -1,0 +1,70 @@
+"""Tests for the SmoothQuant difficulty-migration transform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.quant import smooth, smooth_scales, w8a8_matmul_error
+
+
+def _outlier_activations(rng, n=64, d=128, outlier_channels=4, magnitude=50.0):
+    """Activations with per-channel outliers, the SmoothQuant motivation."""
+    x = rng.normal(size=(n, d))
+    x[:, :outlier_channels] *= magnitude
+    return x
+
+
+class TestSmoothScales:
+    def test_shape_and_positivity(self, rng):
+        x = _outlier_activations(rng)
+        w = rng.normal(size=(128, 64))
+        s = smooth_scales(x, w, alpha=0.5)
+        assert s.shape == (128,)
+        assert np.all(s > 0)
+
+    def test_outlier_channels_get_large_scales(self, rng):
+        x = _outlier_activations(rng)
+        w = rng.normal(size=(128, 64))
+        s = smooth_scales(x, w)
+        assert s[:4].min() > s[4:].max()
+
+    def test_alpha_zero_ignores_activations(self, rng):
+        x = _outlier_activations(rng)
+        w = rng.normal(size=(128, 64))
+        s = smooth_scales(x, w, alpha=0.0)
+        # alpha=0: s_j = 1 / max|W_j| — no activation dependence.
+        x2 = x * 7.0
+        assert np.allclose(s, smooth_scales(x2, w, alpha=0.0))
+
+    def test_rejects_bad_alpha_and_shapes(self, rng):
+        x = rng.normal(size=(8, 16))
+        w = rng.normal(size=(16, 4))
+        with pytest.raises(ConfigError):
+            smooth_scales(x, w, alpha=1.5)
+        with pytest.raises(ConfigError):
+            smooth_scales(x, rng.normal(size=(15, 4)))
+
+
+class TestSmoothTransform:
+    def test_product_is_preserved_in_float(self, rng):
+        x = _outlier_activations(rng)
+        w = rng.normal(size=(128, 64))
+        pair = smooth(x, w)
+        assert np.allclose(pair.activations @ pair.weights, x @ w)
+
+    def test_smoothing_reduces_w8a8_error_with_outliers(self, rng):
+        x = _outlier_activations(rng)
+        w = rng.normal(size=(128, 64))
+        err_naive = w8a8_matmul_error(x, w, alpha=None)
+        err_smooth = w8a8_matmul_error(x, w, alpha=0.5)
+        assert err_smooth < err_naive * 0.6
+
+    def test_error_metric_zero_for_zero_input(self):
+        assert w8a8_matmul_error(np.zeros((4, 8)), np.zeros((8, 2))) == 0.0
+
+    def test_quantized_pair_is_w8a8(self, rng):
+        x = _outlier_activations(rng)
+        w = rng.normal(size=(128, 64))
+        xq, wq = smooth(x, w).quantized(bits=8)
+        assert xq.bits == 8 and wq.bits == 8
+        assert xq.data.dtype == np.int8

@@ -1,0 +1,80 @@
+"""Tests for batched inference (weight-amortization extension)."""
+
+import pytest
+
+from repro.core import ExecutionPlan
+from repro.errors import ConfigError
+from repro.models import OpKind, decode_workload, prefill_workload
+from repro.sim import WorkloadSimulator
+
+
+class TestBatchedWorkloads:
+    def test_batch_default_is_one(self, small_model):
+        assert decode_workload(small_model, 64).batch == 1
+
+    def test_rejects_zero_batch(self, small_model):
+        with pytest.raises(ConfigError):
+            decode_workload(small_model, 64, batch=0)
+
+    def test_shared_weight_ops_grow_rows(self, small_model):
+        ops1 = {o.kind: o for o in decode_workload(small_model, 64, batch=1).layer_ops()}
+        ops4 = {o.kind: o for o in decode_workload(small_model, 64, batch=4).layer_ops()}
+        assert ops4[OpKind.Q_PROJ].rows == 4 * ops1[OpKind.Q_PROJ].rows
+        assert ops4[OpKind.Q_PROJ].weight_elements == ops1[OpKind.Q_PROJ].weight_elements
+
+    def test_attention_ops_replicate_per_sequence(self, small_model):
+        ops4 = {o.kind: o for o in decode_workload(small_model, 64, batch=4).layer_ops()}
+        assert ops4[OpKind.QKT].batch == 4 * small_model.n_heads
+        # Each sequence fetches its own KV span.
+        kv_span = 64 * small_model.kv_dim
+        assert ops4[OpKind.QKT].input_elements == 4 * small_model.d_model + 4 * kv_span
+
+    def test_macs_scale_linearly_with_batch(self, small_model):
+        w1 = prefill_workload(small_model, 32, batch=1)
+        w3 = prefill_workload(small_model, 32, batch=3)
+        assert w3.total_macs == 3 * w1.total_macs
+
+
+class TestBatchedLatency:
+    @pytest.fixture(scope="class")
+    def sim(self, small_model, zcu12, shared_planner):
+        return WorkloadSimulator(
+            small_model, zcu12, ExecutionPlan.meadow(), shared_planner
+        )
+
+    def test_batched_decode_amortizes_weight_fetch(self, sim, small_model):
+        single = sim.simulate(decode_workload(small_model, 128, batch=1))
+        batched = sim.simulate(decode_workload(small_model, 128, batch=8))
+        per_token_single = single.latency_s
+        per_token_batched = batched.latency_s / 8
+        assert per_token_batched < per_token_single / 2
+
+    def test_weight_fetch_cycles_independent_of_batch(self, sim, small_model):
+        single = sim.simulate(decode_workload(small_model, 128, batch=1))
+        batched = sim.simulate(decode_workload(small_model, 128, batch=8))
+        assert batched.breakdown().weight_fetch == pytest.approx(
+            single.breakdown().weight_fetch
+        )
+
+    def test_kv_traffic_scales_with_batch(self, sim, small_model):
+        single = sim.simulate(decode_workload(small_model, 128, batch=1))
+        batched = sim.simulate(decode_workload(small_model, 128, batch=4))
+        assert batched.breakdown().input_fetch > 3 * single.breakdown().input_fetch
+
+    def test_amortization_saturates(self, sim, small_model):
+        """Per-token gains shrink as KV traffic takes over from weights."""
+        per_token = []
+        for b in (1, 4, 16):
+            report = sim.simulate(decode_workload(small_model, 128, batch=b))
+            per_token.append(report.latency_s / b)
+        gain_1_to_4 = per_token[0] / per_token[1]
+        gain_4_to_16 = per_token[1] / per_token[2]
+        assert gain_1_to_4 > gain_4_to_16 > 1.0
+
+    def test_baseline_plans_also_support_batch(self, small_model, zcu12):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.cta())
+        report = sim.simulate(prefill_workload(small_model, 64, batch=2))
+        assert report.latency_s > 0
+        sim2 = WorkloadSimulator(small_model, zcu12, ExecutionPlan.flightllm())
+        report2 = sim2.simulate(decode_workload(small_model, 64, batch=2))
+        assert report2.latency_s > 0

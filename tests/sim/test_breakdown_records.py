@@ -1,0 +1,71 @@
+"""Tests for latency breakdown records and stage reports."""
+
+import pytest
+
+from repro.core import ExecutionPlan
+from repro.models import OpKind, prefill_workload
+from repro.sim import LatencyBreakdown, WorkloadSimulator
+
+
+class TestLatencyBreakdown:
+    def test_component_sums(self):
+        bd = LatencyBreakdown(weight_fetch=10, input_fetch=5, compute=20, store=3)
+        assert bd.fetch == 15
+        assert bd.serial_total == 38
+
+    def test_double_buffered_overlap(self):
+        bd = LatencyBreakdown(weight_fetch=10, input_fetch=5, compute=20, store=3)
+        assert bd.total(double_buffered=True) == 23  # max(15, 20) + 3
+        assert bd.total(double_buffered=False) == 38
+
+    def test_fetch_bound_op(self):
+        bd = LatencyBreakdown(weight_fetch=100, compute=20, store=3)
+        assert bd.total() == 103
+
+    def test_addition_is_componentwise(self):
+        a = LatencyBreakdown(1, 2, 3, 4)
+        b = LatencyBreakdown(10, 20, 30, 40)
+        c = a + b
+        assert (c.weight_fetch, c.input_fetch, c.compute, c.store) == (11, 22, 33, 44)
+
+    def test_scaling(self):
+        assert LatencyBreakdown(1, 1, 1, 1).scaled(3).serial_total == 12
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(weight_fetch=-1)
+
+
+class TestStageReport:
+    @pytest.fixture(scope="class")
+    def report(self, small_model, zcu12, shared_planner):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.meadow(), shared_planner)
+        return sim.simulate(prefill_workload(small_model, 128))
+
+    def test_one_entry_per_layer(self, report, small_model):
+        assert report.n_layers == small_model.n_layers
+
+    def test_total_is_sum_of_layers(self, report):
+        total = sum(report.layer_total_cycles(i) for i in range(report.n_layers))
+        assert report.total_cycles == pytest.approx(total)
+
+    def test_latency_units_consistent(self, report):
+        assert report.latency_ms == pytest.approx(report.latency_s * 1e3)
+        assert report.latency_s == pytest.approx(
+            report.total_cycles / report.config.clock_hz
+        )
+
+    def test_breakdown_sums_layers(self, report):
+        whole = report.breakdown()
+        per_layer = report.layer_breakdown(0)
+        # Uniform layers (depth buckets aside): totals scale ~ n_layers.
+        assert whole.serial_total >= per_layer.serial_total * report.n_layers * 0.9
+
+    def test_by_op_kind_covers_all_kinds(self, report):
+        kinds = set(report.by_op_kind())
+        assert OpKind.MLP_FC1 in kinds
+        assert OpKind.Q_PROJ in kinds
+
+    def test_energy_accumulated(self, report):
+        assert report.energy.total_uj > 0
+        assert report.energy.picojoules["dram"] > 0

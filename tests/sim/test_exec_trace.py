@@ -1,0 +1,91 @@
+"""Tests for execution-trace building and rendering."""
+
+import json
+
+import pytest
+
+from repro.core import ExecutionPlan
+from repro.errors import SimulationError
+from repro.models import prefill_workload
+from repro.sim import (
+    WorkloadSimulator,
+    build_trace,
+    render_gantt,
+    trace_to_csv,
+    trace_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def report(small_model, zcu12, shared_planner):
+    sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.meadow(), shared_planner)
+    return sim.simulate(prefill_workload(small_model, 64))
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    from repro.models import TransformerConfig
+
+    return TransformerConfig("small", 4, 256, 8, 1024, max_seq_len=1024)
+
+
+@pytest.fixture(scope="module")
+def zcu12():
+    from repro import zcu102_config
+
+    return zcu102_config(12.0)
+
+
+@pytest.fixture(scope="module")
+def shared_planner():
+    from repro.packing import PackingPlanner
+
+    return PackingPlanner(depth_buckets=2)
+
+
+class TestBuildTrace:
+    def test_events_cover_all_ops(self, report):
+        events = build_trace(report)
+        assert len(events) == report.n_layers * 12
+
+    def test_timeline_is_contiguous_and_ordered(self, report):
+        events = build_trace(report)
+        cursor = 0.0
+        for ev in events:
+            assert ev.start == pytest.approx(cursor)
+            assert ev.end >= ev.start
+            cursor = ev.end
+
+    def test_total_matches_report(self, report):
+        events = build_trace(report)
+        assert events[-1].end == pytest.approx(report.total_cycles)
+
+    def test_fused_ops_are_zero_width(self, report):
+        events = build_trace(report)
+        fused = [ev for ev in events if ev.dataflow == "fused"]
+        assert fused and all(ev.duration == 0 for ev in fused)
+
+
+class TestExports:
+    def test_csv_has_header_and_rows(self, report):
+        events = build_trace(report)
+        csv = trace_to_csv(events)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("layer,op,dataflow")
+        assert len(lines) == len(events) + 1
+
+    def test_json_round_trips(self, report):
+        events = build_trace(report)
+        parsed = json.loads(trace_to_json(events))
+        assert len(parsed) == len(events)
+        assert parsed[0]["op"] == events[0].op
+
+    def test_gantt_renders_bars(self, report):
+        events = build_trace(report)
+        chart = render_gantt(events, width=60, max_rows=10)
+        assert "#" in chart
+        assert "more events" in chart  # >10 non-zero events exist
+
+    def test_gantt_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            render_gantt([])

@@ -1,0 +1,103 @@
+"""Tests for the GEMM-mode op latency model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import EnergyLedger, zcu102_config
+from repro.models import OPT_125M, OpKind, decoder_layer_ops
+from repro.sim import gemm_op_latency, matmul_compute_cycles, vector_op_latency
+
+
+@pytest.fixture(scope="module")
+def ops512():
+    return {op.kind: op for op in decoder_layer_ops(OPT_125M, 512, 512)}
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return zcu102_config(12.0)
+
+
+class TestGemmOpLatency:
+    def test_weight_fetch_cycles_match_dram_model(self, cfg, ops512):
+        bd = gemm_op_latency(cfg, ops512[OpKind.Q_PROJ])
+        # 768*768 int8 weights = 4.72 Mbit at 120 bits/cycle.
+        assert bd.weight_fetch == pytest.approx(768 * 768 * 8 / 120)
+
+    def test_packed_weight_bits_reduce_fetch_only(self, cfg, ops512):
+        raw = gemm_op_latency(cfg, ops512[OpKind.MLP_FC1])
+        packed = gemm_op_latency(cfg, ops512[OpKind.MLP_FC1], weight_bits_total=10**6)
+        assert packed.weight_fetch < raw.weight_fetch
+        assert packed.compute == raw.compute
+        assert packed.store == raw.store
+
+    def test_weight_free_op_has_no_weight_fetch(self, cfg, ops512):
+        bd = gemm_op_latency(cfg, ops512[OpKind.QKT])
+        assert bd.weight_fetch == 0
+        assert bd.input_fetch > 0
+
+    def test_fetch_and_store_flags(self, cfg, ops512):
+        bd = gemm_op_latency(
+            cfg, ops512[OpKind.QKT], fetch_input=False, store_output=False
+        )
+        assert bd.input_fetch == 0
+        assert bd.store == 0
+        assert bd.compute > 0
+
+    def test_compute_scale_thins_macs(self, cfg, ops512):
+        dense = gemm_op_latency(cfg, ops512[OpKind.MLP_FC1])
+        sparse = gemm_op_latency(cfg, ops512[OpKind.MLP_FC1], compute_scale=0.5)
+        assert sparse.compute == pytest.approx(dense.compute / 2)
+
+    def test_vector_op_rejected(self, cfg, ops512):
+        with pytest.raises(SimulationError):
+            gemm_op_latency(cfg, ops512[OpKind.SOFTMAX])
+
+    def test_energy_ledger_populated(self, cfg, ops512):
+        ledger = EnergyLedger()
+        gemm_op_latency(cfg, ops512[OpKind.OUT_PROJ], energy=ledger)
+        assert ledger.picojoules["mac"] > 0
+        assert ledger.picojoules["dram"] > 0
+
+
+class TestComputeCycles:
+    def test_per_head_batching(self, cfg, ops512):
+        qkt = ops512[OpKind.QKT]
+        per_head = matmul_compute_cycles(cfg, qkt) / qkt.batch
+        single = matmul_compute_cycles(
+            cfg, type(qkt)(qkt.kind, 1, qkt.rows, qkt.reduce, qkt.cols, 0, 1, 1)
+        )
+        assert per_head == pytest.approx(single)
+
+    def test_decode_much_cheaper_than_prefill(self, cfg):
+        prefill = {op.kind: op for op in decoder_layer_ops(OPT_125M, 512, 512)}
+        decode = {op.kind: op for op in decoder_layer_ops(OPT_125M, 1, 513)}
+        assert matmul_compute_cycles(cfg, decode[OpKind.MLP_FC1]) < (
+            matmul_compute_cycles(cfg, prefill[OpKind.MLP_FC1]) / 100
+        )
+
+
+class TestVectorOpLatency:
+    def test_softmax_roundtrip_traffic(self, cfg, ops512):
+        bd = vector_op_latency(cfg, ops512[OpKind.SOFTMAX])
+        # 12 heads x 512 x 512 int8 scores in and out.
+        expected = 12 * 512 * 512 * 8 / 120
+        assert bd.input_fetch == pytest.approx(expected)
+        assert bd.store == pytest.approx(expected)
+
+    def test_layernorm_compute_only_when_fused(self, cfg, ops512):
+        bd = vector_op_latency(
+            cfg, ops512[OpKind.LAYERNORM_1], fetch_input=False, store_output=False
+        )
+        assert bd.fetch == 0 and bd.store == 0
+        assert bd.compute > 0
+
+    def test_activation_uses_nl_units(self, cfg, ops512):
+        bd = vector_op_latency(
+            cfg, ops512[OpKind.ACTIVATION], fetch_input=False, store_output=False
+        )
+        assert bd.compute == 512 * 3072 / 8
+
+    def test_matmul_op_rejected(self, cfg, ops512):
+        with pytest.raises(SimulationError):
+            vector_op_latency(cfg, ops512[OpKind.Q_PROJ])

@@ -1,0 +1,67 @@
+"""Tests for TTFT / TBT / end-to-end metrics."""
+
+import pytest
+
+from repro.core import ExecutionPlan
+from repro.errors import ConfigError
+from repro.sim import end_to_end, tbt, ttft
+
+
+class TestTtft:
+    def test_ttft_grows_with_prompt(self, small_model, zcu12, shared_planner):
+        plan = ExecutionPlan.meadow()
+        short = ttft(small_model, zcu12, plan, 64, planner=shared_planner)
+        long = ttft(small_model, zcu12, plan, 512, planner=shared_planner)
+        assert long.latency_s > short.latency_s
+
+    def test_ttft_shrinks_with_bandwidth(self, small_model, zcu12, shared_planner):
+        plan = ExecutionPlan.gemm_baseline()
+        slow = ttft(small_model, zcu12.with_bandwidth(1), plan, 128)
+        fast = ttft(small_model, zcu12.with_bandwidth(12), plan, 128)
+        assert fast.latency_s < slow.latency_s
+
+
+class TestTbt:
+    def test_tbt_measured_at_context(self, small_model, zcu12, shared_planner):
+        plan = ExecutionPlan.meadow()
+        report = tbt(small_model, zcu12, plan, 64, prefill_tokens=256, planner=shared_planner)
+        assert report.workload.kv_len == 320
+        assert report.workload.n_tokens == 1
+
+    def test_later_tokens_slightly_slower(self, small_model, zcu12, shared_planner):
+        plan = ExecutionPlan.meadow()
+        early = tbt(small_model, zcu12, plan, 1, planner=shared_planner)
+        late = tbt(small_model, zcu12, plan, 512, planner=shared_planner)
+        assert late.latency_s > early.latency_s
+
+    def test_rejects_zeroth_token(self, small_model, zcu12):
+        with pytest.raises(ConfigError):
+            tbt(small_model, zcu12, ExecutionPlan.gemm_baseline(), 0)
+
+
+class TestEndToEnd:
+    def test_total_is_prefill_plus_decode(self, small_model, zcu12, shared_planner):
+        plan = ExecutionPlan.meadow()
+        gen = end_to_end(small_model, zcu12, plan, 128, 32, planner=shared_planner)
+        assert gen.total_s == pytest.approx(gen.prefill_s + gen.decode_s)
+        assert gen.generated_tokens == 32
+
+    def test_sampling_approximates_exact_integration(
+        self, small_model, zcu12, shared_planner
+    ):
+        plan = ExecutionPlan.gemm_baseline()
+        exact = end_to_end(small_model, zcu12, plan, 64, 16, sample_every=1)
+        sampled = end_to_end(small_model, zcu12, plan, 64, 16, sample_every=8)
+        assert sampled.decode_s == pytest.approx(exact.decode_s, rel=0.02)
+
+    def test_tokens_per_second_positive(self, small_model, zcu12, shared_planner):
+        gen = end_to_end(
+            small_model, zcu12, ExecutionPlan.meadow(), 64, 8, planner=shared_planner
+        )
+        assert gen.tokens_per_second > 0
+
+    def test_rejects_bad_counts(self, small_model, zcu12):
+        with pytest.raises(ConfigError):
+            end_to_end(small_model, zcu12, ExecutionPlan.gemm_baseline(), 64, 0)
+        with pytest.raises(ConfigError):
+            end_to_end(small_model, zcu12, ExecutionPlan.gemm_baseline(), 64, 8, sample_every=0)

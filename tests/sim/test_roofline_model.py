@@ -1,0 +1,74 @@
+"""Tests for the roofline model (Fig. 12b)."""
+
+import pytest
+
+from repro.core import ExecutionPlan
+from repro.hardware import scaled_pe_config, zcu102_config
+from repro.models import prefill_workload
+from repro.sim import (
+    WorkloadSimulator,
+    roofline_curve,
+    roofline_point,
+    workload_roofline,
+)
+
+
+class TestRooflinePoint:
+    def test_memory_bound_below_ridge(self):
+        cfg = zcu102_config(1.0)
+        # OI of 1 MAC/byte is far below any ridge point here.
+        pt = roofline_point(cfg, macs=1e9, dram_bytes=1e9, seconds=10.0)
+        assert pt.bound == "memory"
+        assert pt.attainable_gmacs == pytest.approx(1.0 * 0.125, rel=1e-6)
+
+    def test_compute_bound_above_ridge(self):
+        cfg = zcu102_config(51.0)
+        pt = roofline_point(cfg, macs=1e13, dram_bytes=1e6, seconds=10.0)
+        assert pt.bound == "compute"
+        assert pt.attainable_gmacs == pytest.approx(cfg.peak_macs_per_cycle * cfg.clock_hz / 1e9)
+
+    def test_achieved_never_needs_to_exceed_roof_much(self, small_model, zcu12):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        report = sim.simulate(prefill_workload(small_model, 128))
+        pt = workload_roofline(report)
+        assert pt.achieved_gmacs <= pt.attainable_gmacs * 1.05
+
+    def test_rejects_degenerate_inputs(self):
+        cfg = zcu102_config(12.0)
+        with pytest.raises(ValueError):
+            roofline_point(cfg, 1e9, 0, 1.0)
+
+
+class TestRooflineCurve:
+    def test_curve_is_monotone_then_flat(self):
+        cfg = zcu102_config(12.0)
+        curve = roofline_curve(cfg)
+        values = [v for _, v in curve]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(cfg.peak_macs_per_cycle * cfg.clock_hz / 1e9)
+
+    def test_bandwidth_shifts_the_slope_only(self):
+        lo = dict(roofline_curve(zcu102_config(1.0), [1.0]))
+        hi = dict(roofline_curve(zcu102_config(51.0), [1.0]))
+        assert hi[1.0] == pytest.approx(51 * lo[1.0])
+
+
+class TestFig12bCorners:
+    @pytest.mark.parametrize(
+        "bw,pes", [(1.0, 14), (1.0, 96), (51.0, 14), (51.0, 96)]
+    )
+    def test_corner_rooflines_are_distinct(self, bw, pes, opt125m, shared_planner):
+        cfg = scaled_pe_config(pes, bw)
+        sim = WorkloadSimulator(
+            opt125m, cfg, ExecutionPlan.meadow(), shared_planner
+        )
+        report = sim.simulate(prefill_workload(opt125m, 512))
+        pt = workload_roofline(report)
+        assert pt.operational_intensity > 0
+        assert 0 < pt.roof_utilization <= 1.05
+
+    def test_low_bw_corner_is_memory_bound(self, opt125m, shared_planner):
+        cfg = scaled_pe_config(96, 1.0)
+        sim = WorkloadSimulator(opt125m, cfg, ExecutionPlan.gemm_baseline())
+        report = sim.simulate(prefill_workload(opt125m, 512))
+        assert workload_roofline(report).bound == "memory"

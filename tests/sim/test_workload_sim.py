@@ -1,0 +1,152 @@
+"""Tests for the workload simulator and plan dispatch."""
+
+import pytest
+
+from repro.core import DataflowMode, ExecutionPlan
+from repro.errors import SimulationError
+from repro.models import OpKind, decode_workload, prefill_workload
+from repro.sim import WorkloadSimulator
+
+
+class TestDispatch:
+    def test_meadow_fuses_attention_into_one_tphs_block(
+        self, small_model, zcu12, shared_planner
+    ):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.meadow(), shared_planner)
+        report = sim.simulate(prefill_workload(small_model, 64))
+        flows = [op.dataflow for op in report.layer_ops[0]]
+        assert flows.count("tphs") == 1
+        assert flows.count("fused") == 3  # QKT, SOFTMAX, SMV absorbed
+
+    def test_gemm_baseline_runs_everything_standalone(self, small_model, zcu12):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        report = sim.simulate(prefill_workload(small_model, 64))
+        flows = [op.dataflow for op in report.layer_ops[0]]
+        assert "tphs" not in flows
+        assert "fused" not in flows
+
+    def test_fused_ops_cost_nothing(self, small_model, zcu12, shared_planner):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.meadow(), shared_planner)
+        report = sim.simulate(prefill_workload(small_model, 64))
+        for op in report.layer_ops[0]:
+            if op.dataflow == "fused":
+                assert op.total() == 0
+
+    def test_ln_and_activation_never_touch_dram(self, small_model, zcu12):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        report = sim.simulate(prefill_workload(small_model, 64))
+        for op in report.layer_ops[0]:
+            if op.kind in (OpKind.LAYERNORM_1, OpKind.LAYERNORM_2, OpKind.ACTIVATION):
+                assert op.breakdown.fetch == 0
+                assert op.breakdown.store == 0
+
+    def test_softmax_round_trips_in_gemm_mode(self, small_model, zcu12):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        report = sim.simulate(prefill_workload(small_model, 64))
+        sm = next(op for op in report.layer_ops[0] if op.kind is OpKind.SOFTMAX)
+        assert sm.breakdown.input_fetch > 0
+        assert sm.breakdown.store > 0
+
+    def test_model_mismatch_rejected(self, small_model, tiny_model, zcu12):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        with pytest.raises(SimulationError):
+            sim.simulate(prefill_workload(tiny_model, 8))
+
+
+class TestPackingInPlans:
+    def test_packing_reduces_weight_fetch(self, small_model, zcu12, shared_planner):
+        packed = WorkloadSimulator(
+            small_model, zcu12, ExecutionPlan.meadow(), shared_planner
+        ).simulate(decode_workload(small_model, 256))
+        raw = WorkloadSimulator(
+            small_model,
+            zcu12,
+            ExecutionPlan.meadow(packing=None)
+            if False
+            else ExecutionPlan(
+                name="meadow-nopack",
+                attention_dataflow=DataflowMode.TPHS,
+                packing=None,
+            ),
+        ).simulate(decode_workload(small_model, 256))
+        assert packed.breakdown().weight_fetch < raw.breakdown().weight_fetch
+
+    def test_planner_created_on_demand(self, small_model, zcu12):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.meadow())
+        assert sim.planner is not None
+
+    def test_no_planner_without_packing(self, small_model, zcu12):
+        sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        assert sim.planner is None
+
+
+class TestCtaBehaviour:
+    def test_token_compression_shrinks_attention_traffic(self, small_model, zcu12):
+        full = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        cta = WorkloadSimulator(small_model, zcu12, ExecutionPlan.cta(0.5))
+        w = prefill_workload(small_model, 128)
+        qkt_full = next(
+            op for op in full.simulate(w).layer_ops[0] if op.kind is OpKind.QKT
+        )
+        qkt_cta = next(
+            op for op in cta.simulate(w).layer_ops[0] if op.kind is OpKind.QKT
+        )
+        assert qkt_cta.breakdown.store < qkt_full.breakdown.store
+        assert qkt_cta.breakdown.compute < qkt_full.breakdown.compute
+
+    def test_weight_traffic_unchanged_by_cta(self, small_model, zcu12):
+        full = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        cta = WorkloadSimulator(small_model, zcu12, ExecutionPlan.cta(0.5))
+        w = prefill_workload(small_model, 128)
+        assert cta.simulate(w).breakdown().weight_fetch == pytest.approx(
+            full.simulate(w).breakdown().weight_fetch
+        )
+
+    def test_decode_rows_not_compressed(self, small_model, zcu12):
+        # A single decode token cannot be compressed away.
+        cta = WorkloadSimulator(small_model, zcu12, ExecutionPlan.cta(0.25))
+        report = cta.simulate(decode_workload(small_model, 256))
+        qkt = next(op for op in report.layer_ops[0] if op.kind is OpKind.QKT)
+        assert qkt.breakdown.compute > 0
+
+
+class TestFlightLlmBehaviour:
+    def test_sparsity_halves_weight_matmul_compute(self, small_model, zcu12):
+        dense = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        sparse = WorkloadSimulator(small_model, zcu12, ExecutionPlan.flightllm())
+        w = prefill_workload(small_model, 128)
+        fc1_d = next(
+            op for op in dense.simulate(w).layer_ops[0] if op.kind is OpKind.MLP_FC1
+        )
+        fc1_s = next(
+            op for op in sparse.simulate(w).layer_ops[0] if op.kind is OpKind.MLP_FC1
+        )
+        assert fc1_s.breakdown.compute == pytest.approx(fc1_d.breakdown.compute / 2)
+
+    def test_dense_weight_transfer_by_default(self, small_model, zcu12):
+        dense = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        sparse = WorkloadSimulator(small_model, zcu12, ExecutionPlan.flightllm())
+        w = decode_workload(small_model, 256)
+        assert sparse.simulate(w).breakdown().weight_fetch == pytest.approx(
+            dense.simulate(w).breakdown().weight_fetch
+        )
+
+    def test_decode_intermediates_stay_on_chip(self, small_model, zcu12):
+        gemm = WorkloadSimulator(small_model, zcu12, ExecutionPlan.gemm_baseline())
+        fl = WorkloadSimulator(small_model, zcu12, ExecutionPlan.flightllm())
+        w = decode_workload(small_model, 256)
+        sm_gemm = next(
+            op for op in gemm.simulate(w).layer_ops[0] if op.kind is OpKind.SOFTMAX
+        )
+        sm_fl = next(
+            op for op in fl.simulate(w).layer_ops[0] if op.kind is OpKind.SOFTMAX
+        )
+        assert sm_gemm.breakdown.fetch > 0
+        assert sm_fl.breakdown.fetch == 0
+        assert sm_fl.breakdown.store == 0
+
+    def test_prefill_intermediates_still_round_trip(self, small_model, zcu12):
+        fl = WorkloadSimulator(small_model, zcu12, ExecutionPlan.flightllm())
+        report = fl.simulate(prefill_workload(small_model, 128))
+        qkt = next(op for op in report.layer_ops[0] if op.kind is OpKind.QKT)
+        assert qkt.breakdown.store > 0

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        assert {"ttft", "tbt", "sweep", "pack-stats", "grid", "resources"} <= set(
+            sub.choices
+        )
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ttft", "--plan", "magic"])
+
+
+class TestCommands:
+    def test_ttft(self, capsys):
+        assert main(["ttft", "--model", "opt-125m", "--tokens", "64", "--plan", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "TTFT" in out and "ms" in out
+
+    def test_tbt(self, capsys):
+        assert main(["tbt", "--token-index", "4", "--prefill", "64", "--plan", "gemm"]) == 0
+        assert "TBT" in capsys.readouterr().out
+
+    def test_pack_stats(self, capsys):
+        assert main(["pack-stats", "--model", "opt-125m", "--layer", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "mlp_fc1" in out
+        assert "reduction ratio" in out
+
+    def test_resources(self, capsys):
+        assert main(["resources", "--pes", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "DSP" in out and "zcu102" in out
+
+    def test_grid(self, capsys):
+        assert (
+            main(["grid", "--bandwidths", "1", "51", "--pes", "14", "96", "--tokens", "128"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "TPHS" in out or "GEMM" in out
+
+    def test_unknown_model_errors(self):
+        with pytest.raises(KeyError):
+            main(["ttft", "--model", "nonexistent"])

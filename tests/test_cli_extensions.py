@@ -1,0 +1,53 @@
+"""Tests for the extension CLI subcommands (pareto / fidelity / trace)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParetoCommand:
+    def test_prints_frontier_markers(self, capsys):
+        assert (
+            main(
+                [
+                    "pareto",
+                    "--pes", "14", "96",
+                    "--bandwidths", "6", "51",
+                    "--tokens", "128",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+        assert "*" in out
+
+    def test_rows_cover_grid(self, capsys):
+        main(["pareto", "--pes", "14", "48", "--bandwidths", "6", "--tokens", "64"])
+        out = capsys.readouterr().out
+        assert "14" in out and "48" in out
+
+
+class TestFidelityCommand:
+    def test_all_checks_reported(self, capsys):
+        assert main(["fidelity"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[OK ]") + out.count("[OUT]") == 5
+
+    def test_all_checks_pass(self, capsys):
+        main(["fidelity"])
+        assert "[OUT]" not in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_gantt_rendered(self, capsys):
+        assert main(["trace", "--tokens", "64", "--plan", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert "q_proj" in out
+
+    def test_layer_selector(self, capsys):
+        main(["trace", "--tokens", "64", "--layer", "3", "--plan", "gemm"])
+        out = capsys.readouterr().out
+        assert "L3." in out
+        assert "L0." not in out

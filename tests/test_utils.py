@@ -1,0 +1,111 @@
+"""Tests for the shared numeric helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    bits_for_count,
+    bits_for_max_value,
+    ceil_div,
+    gbps_to_bits_per_cycle,
+    geomean,
+    round_up,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestBitsForCount:
+    def test_single_value_needs_one_bit(self):
+        assert bits_for_count(1) == 1
+
+    def test_powers_of_two(self):
+        assert bits_for_count(2) == 1
+        assert bits_for_count(3) == 2
+        assert bits_for_count(256) == 8
+        assert bits_for_count(257) == 9
+
+    def test_paper_mlp1_example(self):
+        # 1272 unique chunks -> 11-bit encoded precision (Sec. 6.3).
+        assert bits_for_count(1272) == 11
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bits_for_count(0)
+
+    @given(st.integers(1, 2**40))
+    def test_count_fits_in_bits(self, n):
+        b = bits_for_count(n)
+        assert n <= 2**b
+        assert b == 1 or n > 2 ** (b - 1)
+
+
+class TestBitsForMaxValue:
+    def test_zero_needs_one_bit(self):
+        assert bits_for_max_value(0) == 1
+
+    def test_boundaries(self):
+        assert bits_for_max_value(1) == 1
+        assert bits_for_max_value(2) == 2
+        assert bits_for_max_value(255) == 8
+        assert bits_for_max_value(256) == 9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_for_max_value(-1)
+
+
+class TestRoundUp:
+    def test_already_multiple(self):
+        assert round_up(64, 16) == 64
+
+    def test_rounds_to_next_multiple(self):
+        assert round_up(65, 16) == 80
+
+
+class TestBandwidthConversion:
+    def test_paper_operating_point(self):
+        # 12 Gbps at 100 MHz = 120 bits per cycle.
+        assert gbps_to_bits_per_cycle(12, 100e6) == pytest.approx(120.0)
+
+    def test_one_gbps(self):
+        assert gbps_to_bits_per_cycle(1, 100e6) == pytest.approx(10.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            gbps_to_bits_per_cycle(0, 100e6)
+        with pytest.raises(ValueError):
+            gbps_to_bits_per_cycle(1, 0)
+
+
+class TestGeomean:
+    def test_uniform_values(self):
+        assert geomean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
