@@ -1,0 +1,119 @@
+"""Serving throughput under multi-user load — MEADOW vs the GEMM baseline.
+
+Beyond the paper: composes the single-request latency model (Figs. 6-7)
+into request-level serving with continuous batching, and sweeps offered
+load. Expected shape: at low load both systems are arrival-bound and
+tie; as load saturates the box, MEADOW's packed weights and TPHS decode
+push the achievable tokens/s and hold p99 TTFT lower.
+"""
+
+import pytest
+
+from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
+from repro.analysis import banner, format_table
+from repro.serving import LengthDistribution, ServingSimulator, poisson_stream
+
+RATES_RPS = [1.0, 4.0, 16.0, 64.0]
+N_REQUESTS = 48
+PROMPTS = LengthDistribution("uniform", 64, 256)
+OUTPUTS = LengthDistribution("geometric", 24, 96)
+
+
+def _serve(plan, planner, rate, bandwidth=12.0, seed=0):
+    engine = MeadowEngine(OPT_125M, zcu102_config(bandwidth), plan, planner)
+    sim = ServingSimulator(engine, max_batch=16, ctx_bucket=16)
+    stream = poisson_stream(N_REQUESTS, rate, PROMPTS, OUTPUTS, seed=seed)
+    return sim.run(stream).metrics
+
+
+def _run_load_sweep(planner):
+    rows = {}
+    for rate in RATES_RPS:
+        rows[rate] = (
+            _serve(ExecutionPlan.gemm_baseline(), None, rate),
+            _serve(ExecutionPlan.meadow(), planner, rate),
+        )
+    return rows
+
+
+def _render_load_sweep(rows):
+    table = []
+    for rate, (gemm, meadow) in rows.items():
+        table.append(
+            [
+                f"{rate:g}",
+                f"{gemm.throughput_tok_s:.0f}",
+                f"{meadow.throughput_tok_s:.0f}",
+                f"{gemm.ttft.p99_s * 1e3:.1f}",
+                f"{meadow.ttft.p99_s * 1e3:.1f}",
+                f"{meadow.throughput_tok_s / gemm.throughput_tok_s:.2f}x",
+            ]
+        )
+    return "{}\n{}".format(
+        banner(f"Serving throughput vs offered load ({OPT_125M.name} @12 Gbps)"),
+        format_table(
+            [
+                "load (req/s)",
+                "GEMM tok/s",
+                "MEADOW tok/s",
+                "GEMM p99 TTFT (ms)",
+                "MEADOW p99 TTFT (ms)",
+                "gain",
+            ],
+            table,
+        ),
+    )
+
+
+def test_serving_throughput_vs_load(benchmark, emit, planner):
+    rows = benchmark.pedantic(_run_load_sweep, args=(planner,), rounds=1, iterations=1)
+    emit("serving_throughput_vs_load", _render_load_sweep(rows))
+    # Saturated: MEADOW must out-serve the GEMM baseline.
+    gemm, meadow = rows[RATES_RPS[-1]]
+    assert meadow.throughput_tok_s > gemm.throughput_tok_s
+    assert meadow.ttft.p99_s <= gemm.ttft.p99_s
+    # Underloaded: both systems are arrival-bound and roughly tie.
+    gemm, meadow = rows[RATES_RPS[0]]
+    assert meadow.throughput_tok_s == pytest.approx(gemm.throughput_tok_s, rel=0.2)
+
+
+@pytest.mark.slow
+def test_serving_bandwidth_grid(benchmark, emit, planner):
+    """Full (bandwidth x load) grid — minutes of simulation, tier-2 only."""
+
+    def _run():
+        rows = []
+        for bw in [1.0, 6.0, 12.0, 25.0]:
+            for rate in RATES_RPS:
+                m = _serve(ExecutionPlan.meadow(), planner, rate, bandwidth=bw)
+                rows.append(
+                    [
+                        f"{bw:g}",
+                        f"{rate:g}",
+                        f"{m.throughput_tok_s:.0f}",
+                        f"{m.ttft.p99_s * 1e3:.1f}",
+                        f"{m.tbt.p99_s * 1e3:.2f}",
+                        f"{m.peak_kv_fraction:.1%}",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "serving_bandwidth_grid",
+        "{}\n{}".format(
+            banner(f"MEADOW serving grid ({OPT_125M.name})"),
+            format_table(
+                [
+                    "BW (Gbps)",
+                    "load (req/s)",
+                    "tok/s",
+                    "p99 TTFT (ms)",
+                    "p99 TBT (ms)",
+                    "peak KV",
+                ],
+                rows,
+            ),
+        ),
+    )
+    assert len(rows) == 4 * len(RATES_RPS)

@@ -63,6 +63,15 @@ from .packing import (
     pack_weights,
     packing_ablation,
 )
+from .serving import (
+    ClosedLoopSource,
+    FleetMetrics,
+    LengthDistribution,
+    Request,
+    ServingSimulator,
+    bursty_stream,
+    poisson_stream,
+)
 from .sim import (
     GenerationLatency,
     StageReport,
@@ -107,6 +116,13 @@ __all__ = [
     "PackingPlanner",
     "pack_weights",
     "packing_ablation",
+    "Request",
+    "LengthDistribution",
+    "poisson_stream",
+    "bursty_stream",
+    "ClosedLoopSource",
+    "ServingSimulator",
+    "FleetMetrics",
     "StageReport",
     "GenerationLatency",
     "simulate",

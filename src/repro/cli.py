@@ -8,6 +8,7 @@ Examples::
     python -m repro pack-stats --model opt-125m --layer 0
     python -m repro grid --model opt-125m
     python -m repro resources --pes 96
+    python -m repro serve --model opt-125m --requests 64 --arrival poisson --seed 0
 """
 
 from __future__ import annotations
@@ -87,6 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--tokens", type=int, default=512)
     p.add_argument("--layer", type=int, default=0)
+
+    p = sub.add_parser("serve", help="multi-user serving simulation")
+    common(p)
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument(
+        "--arrival", choices=["poisson", "bursty", "closed-loop"], default="poisson"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rate", type=float, default=4.0, help="poisson: requests/s")
+    p.add_argument("--burst-size", type=int, default=8)
+    p.add_argument("--burst-gap", type=float, default=2.0, help="bursty: seconds")
+    p.add_argument("--users", type=int, default=4, help="closed-loop population")
+    p.add_argument("--think-time", type=float, default=0.5, help="closed-loop: s")
+    p.add_argument("--prompt-tokens", type=int, nargs=2, default=[64, 256],
+                   metavar=("LO", "HI"), help="uniform prompt-length range")
+    p.add_argument("--output-tokens", type=int, nargs=2, default=[24, 96],
+                   metavar=("MEAN", "MAX"), help="geometric output-length model")
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--ctx-bucket", type=int, default=16)
+    p.add_argument("--kv-budget-mb", type=float, default=None,
+                   help="override the DRAM-derived KV budget")
     return parser
 
 
@@ -208,6 +230,52 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return render_gantt(layer_events, width=70)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from .serving import (
+        ClosedLoopSource,
+        LengthDistribution,
+        ServingSimulator,
+        bursty_stream,
+        poisson_stream,
+    )
+
+    model = get_model(args.model)
+    prompt_dist = LengthDistribution("uniform", *args.prompt_tokens)
+    output_dist = LengthDistribution("geometric", *args.output_tokens)
+    if args.arrival == "poisson":
+        source = poisson_stream(
+            args.requests, args.rate, prompt_dist, output_dist, seed=args.seed
+        )
+    elif args.arrival == "bursty":
+        source = bursty_stream(
+            args.requests, args.burst_size, args.burst_gap,
+            prompt_dist, output_dist, seed=args.seed,
+        )
+    else:
+        source = ClosedLoopSource(
+            args.users, args.requests, args.think_time,
+            prompt_dist, output_dist, seed=args.seed,
+        )
+    engine = MeadowEngine(model, zcu102_config(args.bandwidth), _PLANS[args.plan]())
+    budget = (
+        int(args.kv_budget_mb * 1024 * 1024)
+        if args.kv_budget_mb is not None
+        else None
+    )
+    sim = ServingSimulator(
+        engine,
+        kv_budget_bytes=budget,
+        max_batch=args.max_batch,
+        ctx_bucket=args.ctx_bucket,
+    )
+    report = sim.run(source)
+    title = (
+        f"serving {model.name} plan={args.plan} @{args.bandwidth:g} Gbps — "
+        f"{args.requests} requests, {args.arrival} arrivals (seed {args.seed})"
+    )
+    return report.metrics.format_report(title)
+
+
 _COMMANDS = {
     "ttft": _cmd_ttft,
     "tbt": _cmd_tbt,
@@ -218,6 +286,7 @@ _COMMANDS = {
     "pareto": _cmd_pareto,
     "fidelity": _cmd_fidelity,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
 }
 
 

@@ -14,11 +14,17 @@ and exposes the paper's measurement surface:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..errors import ConfigError
 from ..hardware import HardwareConfig, zcu102_config
-from ..models import TransformerConfig, decode_workload, prefill_workload, vit_workload
+from ..models import (
+    TransformerConfig,
+    Workload,
+    decode_workload,
+    prefill_workload,
+    vit_workload,
+)
 from ..packing import PackingPlanner, WeightTransferStats
 from ..sim.breakdown import StageReport
 from ..sim.layer_sim import WorkloadSimulator
@@ -72,6 +78,7 @@ class MeadowEngine:
         self.config = config if config is not None else zcu102_config()
         self.plan = plan if plan is not None else ExecutionPlan.meadow()
         self._sim = WorkloadSimulator(model, self.config, self.plan, planner)
+        self._report_cache: Dict[Workload, StageReport] = {}
 
     @property
     def planner(self) -> Optional[PackingPlanner]:
@@ -79,13 +86,38 @@ class MeadowEngine:
         return self._sim.planner
 
     # ----------------------------------------------------------- inference
-    def prefill(self, prompt_tokens: int) -> StageReport:
+    def prefill(self, prompt_tokens: int, batch: int = 1) -> StageReport:
         """Simulate the prefill pass (TTFT measurement)."""
-        return self._sim.simulate(prefill_workload(self.model, prompt_tokens))
+        return self._sim.simulate(prefill_workload(self.model, prompt_tokens, batch))
 
-    def decode(self, context_len: int) -> StageReport:
+    def decode(self, context_len: int, batch: int = 1) -> StageReport:
         """Simulate one decode step over ``context_len`` total tokens."""
-        return self._sim.simulate(decode_workload(self.model, context_len))
+        return self._sim.simulate(decode_workload(self.model, context_len, batch))
+
+    def simulate(self, workload: Workload) -> StageReport:
+        """Simulate an arbitrary workload through this engine's planner."""
+        return self._sim.simulate(workload)
+
+    #: Cap on memoized stage reports (FIFO eviction): a long serving
+    #: stream can visit tens of thousands of distinct (context, batch)
+    #: points, and each report retains per-layer op breakdowns.
+    REPORT_CACHE_MAX = 4096
+
+    def simulate_cached(self, workload: Workload) -> StageReport:
+        """Memoized :meth:`simulate` for serving-style callers.
+
+        A request-level scheduler re-evaluates identical operating
+        points (stage, token count, context, batch) thousands of times
+        as concurrent requests step through the same contexts; all of
+        them share this engine's packing planner and its report cache.
+        """
+        report = self._report_cache.get(workload)
+        if report is None:
+            report = self._sim.simulate(workload)
+            if len(self._report_cache) >= self.REPORT_CACHE_MAX:
+                self._report_cache.pop(next(iter(self._report_cache)))
+            self._report_cache[workload] = report
+        return report
 
     def vit_inference(self) -> StageReport:
         """Simulate single-pass ViT inference (Fig. 13 workloads)."""

@@ -10,7 +10,7 @@ first-order energy ledger.
 from .config import ZCU102, HardwareConfig, scaled_pe_config, zcu102_config
 from .dram import DramModel
 from .energy import DEFAULT_ENERGY_COSTS, EnergyCosts, EnergyLedger
-from .memory import Bram, OnChipMemorySystem, RegisterFile
+from .memory import Bram, OnChipMemorySystem, RegisterFile, kv_cache_budget_bytes
 from .noc import NocModel
 from .pe import BroadcastingMacPE, ParallelMacPE, gemm_compute_cycles
 from .power import PowerModel, PowerReport
@@ -41,6 +41,7 @@ __all__ = [
     "Bram",
     "RegisterFile",
     "OnChipMemorySystem",
+    "kv_cache_budget_bytes",
     "NocModel",
     "ParallelMacPE",
     "BroadcastingMacPE",

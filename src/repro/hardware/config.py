@@ -60,6 +60,11 @@ class HardwareConfig:
     dram_bandwidth_gbps: float = 12.0
     dram_burst_efficiency: float = 1.0
 
+    # Off-chip DRAM capacity (bytes). The ZCU102 carries 4 GB of PS-side
+    # DDR4; weights, KV caches and activations all live there, so this
+    # bounds how many concurrent requests a serving deployment can hold.
+    dram_capacity_bytes: int = 4 * 1024 * MB
+
     # Datapath precision
     act_bits: int = 8
     weight_bits: int = 8
@@ -95,6 +100,10 @@ class HardwareConfig:
         if not (0.0 < self.dram_burst_efficiency <= 1.0):
             raise ConfigError(
                 f"dram_burst_efficiency must be in (0, 1], got {self.dram_burst_efficiency}"
+            )
+        if self.dram_capacity_bytes <= 0:
+            raise ConfigError(
+                f"dram_capacity_bytes must be positive, got {self.dram_capacity_bytes}"
             )
         for name in ("act_bits", "weight_bits"):
             if getattr(self, name) not in (4, 8, 16, 32):

@@ -16,7 +16,7 @@ from ..errors import CapacityError, ConfigError
 from ..utils import ceil_div
 from .config import HardwareConfig
 
-__all__ = ["Bram", "RegisterFile", "OnChipMemorySystem"]
+__all__ = ["Bram", "RegisterFile", "OnChipMemorySystem", "kv_cache_budget_bytes"]
 
 
 @dataclass(frozen=True)
@@ -114,3 +114,50 @@ class OnChipMemorySystem:
     def activation_resident(self, num_bytes: int) -> bool:
         """Whether an activation matrix can stay resident in input BRAM."""
         return self.input_bram.fits(num_bytes)
+
+
+def kv_cache_budget_bytes(
+    config: HardwareConfig,
+    model,
+    packed_weight_bits: int | None = None,
+    reserve_fraction: float = 0.1,
+) -> int:
+    """DRAM bytes available for KV caches when ``model`` is deployed.
+
+    KV caches share off-chip DRAM with the resident weights, so the
+    serving budget is what remains of :attr:`HardwareConfig.
+    dram_capacity_bytes` after the weight image and a runtime reserve
+    (activations, packing metadata, I/O staging) are carved out.
+
+    Args:
+        config: the hardware instance (capacity + weight precision).
+        model: the deployed :class:`~repro.models.TransformerConfig`.
+        packed_weight_bits: total weight-image size in bits when packing
+            shrinks the resident image; ``None`` uses the raw size at
+            ``config.weight_bits``.
+        reserve_fraction: fraction of total DRAM held back for runtime
+            scratch.
+
+    Raises:
+        CapacityError: the model does not leave any KV headroom.
+    """
+    if not (0.0 <= reserve_fraction < 1.0):
+        raise ConfigError(
+            f"reserve_fraction must be in [0, 1), got {reserve_fraction}"
+        )
+    if packed_weight_bits is None:
+        weight_bytes = model.total_weight_params * config.weight_bits // 8
+    else:
+        if packed_weight_bits < 0:
+            raise ConfigError(
+                f"packed_weight_bits must be non-negative, got {packed_weight_bits}"
+            )
+        weight_bytes = ceil_div(packed_weight_bits, 8)
+    reserve = int(config.dram_capacity_bytes * reserve_fraction)
+    budget = config.dram_capacity_bytes - weight_bytes - reserve
+    if budget <= 0:
+        raise CapacityError(
+            f"{model.name} weights ({weight_bytes} B) plus a {reserve} B reserve "
+            f"exceed the {config.dram_capacity_bytes} B DRAM; no KV headroom"
+        )
+    return budget

@@ -1,0 +1,99 @@
+"""Fleet-level serving metrics: percentile latencies, throughput, KV use.
+
+Aggregates one :class:`~repro.serving.scheduler.ServingResult` into the
+numbers a capacity planner reads: TTFT / TBT / end-to-end latency
+percentiles (p50/p95/p99), aggregate token throughput, queueing depth
+and KV-memory occupancy. All division is guarded so degenerate streams
+(a single instantaneous request, an all-queued scenario) summarize to
+zeros rather than raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.config import MB as _MB
+from ..sim.metrics import LatencySummary, tokens_per_second
+from .scheduler import ServingResult
+
+__all__ = ["FleetMetrics"]
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Summary statistics of one serving simulation."""
+
+    n_requests: int
+    duration_s: float
+    total_generated_tokens: int
+    throughput_tok_s: float
+    ttft: LatencySummary
+    tbt: LatencySummary
+    e2e: LatencySummary
+    max_queue_depth: int
+    peak_kv_bytes: int
+    kv_budget_bytes: int
+
+    @classmethod
+    def from_result(cls, result: ServingResult) -> "FleetMetrics":
+        """Fold a scheduler result into fleet statistics."""
+        ttfts = [rec.ttft_s for rec in result.records]
+        e2es = [rec.e2e_s for rec in result.records]
+        tbts = [t for rec in result.records for t in rec.tbt_s]
+        return cls(
+            n_requests=len(result.records),
+            duration_s=result.duration_s,
+            total_generated_tokens=result.total_generated_tokens,
+            throughput_tok_s=tokens_per_second(
+                result.total_generated_tokens, result.duration_s
+            ),
+            ttft=LatencySummary.of(ttfts),
+            tbt=LatencySummary.of(tbts),
+            e2e=LatencySummary.of(e2es),
+            max_queue_depth=result.max_queue_depth,
+            peak_kv_bytes=result.peak_kv_bytes,
+            kv_budget_bytes=result.kv_budget_bytes,
+        )
+
+    @property
+    def peak_kv_fraction(self) -> float:
+        """Peak KV reservation as a fraction of the budget."""
+        if self.kv_budget_bytes == 0:
+            return 0.0
+        return self.peak_kv_bytes / self.kv_budget_bytes
+
+    def format_report(self, title: str = "") -> str:
+        """Fixed-precision text report (byte-stable for a given seed)."""
+        lines = []
+        if title:
+            lines.append(title)
+        lines += [
+            (
+                f"requests: {self.n_requests}   "
+                f"generated tokens: {self.total_generated_tokens}   "
+                f"makespan: {self.duration_s:.3f} s"
+            ),
+            (
+                f"throughput: {self.throughput_tok_s:.2f} tok/s   "
+                f"max queue depth: {self.max_queue_depth}   "
+                f"peak KV: {self.peak_kv_bytes / _MB:.2f} MB "
+                f"/ {self.kv_budget_bytes / _MB:.2f} MB "
+                f"({self.peak_kv_fraction:.1%})"
+            ),
+            (
+                f"TTFT ms   p50 {self.ttft.p50_s * 1e3:.3f}   "
+                f"p95 {self.ttft.p95_s * 1e3:.3f}   "
+                f"p99 {self.ttft.p99_s * 1e3:.3f}"
+            ),
+            (
+                f"TBT  ms   p50 {self.tbt.p50_s * 1e3:.3f}   "
+                f"p95 {self.tbt.p95_s * 1e3:.3f}   "
+                f"p99 {self.tbt.p99_s * 1e3:.3f}"
+            ),
+            (
+                f"E2E  s    p50 {self.e2e.p50_s:.3f}   "
+                f"p95 {self.e2e.p95_s:.3f}   "
+                f"p99 {self.e2e.p99_s:.3f}"
+            ),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,398 @@
+"""Continuous-batching scheduler: a discrete-event serving simulator.
+
+The scheduler drives one :class:`~repro.core.MeadowEngine` through a
+request stream at *iteration* granularity (Orca-style continuous
+batching): each scheduling step runs either one prefill pass for the
+oldest admitted-but-unprefilled request, or one batched decode iteration
+advancing every in-flight generation by one token. The simulated clock
+advances by the engine's modeled latency for that step, so fleet metrics
+inherit the full MEADOW performance model (packing, dataflow choice,
+bandwidth) without re-deriving any of it.
+
+Admission is KV-memory constrained and strictly FCFS: a request is
+admitted only when its *worst-case* KV footprint (prompt + every output
+token, across all layers) fits in the remaining DRAM budget, and the
+head of the queue never yields to a smaller request behind it — so a
+request's KV reservation can never be stranded by later arrivals.
+
+Every state change is appended to an event log; the property tests in
+``tests/serving/`` assert the scheduler's invariants (clock
+monotonicity, prefill-before-decode, budget respect, FCFS order)
+directly against it.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.meadow import MeadowEngine
+from ..errors import CapacityError, ConfigError
+from ..hardware.memory import kv_cache_budget_bytes
+from ..models import decode_workload, prefill_workload
+from ..utils import ceil_div
+from .request import Request, RequestSource
+
+__all__ = [
+    "EventKind",
+    "SchedulerEvent",
+    "RequestRecord",
+    "ServingResult",
+    "ContinuousBatchingScheduler",
+]
+
+
+class EventKind(enum.Enum):
+    """What happened at one point of the serving timeline."""
+
+    ARRIVAL = "arrival"
+    ADMIT = "admit"
+    PREFILL_START = "prefill_start"
+    FIRST_TOKEN = "first_token"
+    DECODE_STEP = "decode_step"
+    COMPLETE = "complete"
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """One timeline entry; snapshots the KV / queue state after it.
+
+    Timestamps are *scheduler observation* times, so the log is
+    monotone: an ARRIVAL landing mid-iteration is logged at the
+    iteration boundary where the scheduler first sees it (a real
+    scheduler cannot react earlier). Queueing delay against the true
+    arrival instant lives in :attr:`RequestRecord.ttft_s` /
+    ``admit_s - request.arrival_s``.
+    """
+
+    t_s: float
+    kind: EventKind
+    request_id: int
+    kv_reserved_bytes: int
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle timestamps and latencies of one served request."""
+
+    request: Request
+    admit_s: float
+    first_token_s: float
+    finish_s: float
+    #: Wall-clock gap before each subsequent token (stalls included), so
+    #: ``ttft_s + sum(tbt_s) == e2e_s``.
+    tbt_s: Tuple[float, ...]
+
+    @property
+    def ttft_s(self) -> float:
+        """Arrival to first token (queueing + prefill)."""
+        return self.first_token_s - self.request.arrival_s
+
+    @property
+    def e2e_s(self) -> float:
+        """Arrival to last token."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def generated_tokens(self) -> int:
+        """Tokens emitted (first token + one per decode step)."""
+        return 1 + len(self.tbt_s)
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything one serving simulation produced."""
+
+    model_name: str
+    plan_name: str
+    source_name: str
+    records: Tuple[RequestRecord, ...]
+    events: Tuple[SchedulerEvent, ...]
+    kv_budget_bytes: int
+    peak_kv_bytes: int
+    max_queue_depth: int
+    duration_s: float
+    n_prefill_iterations: int
+    n_decode_iterations: int
+    #: Closed-loop follow-ups whose drawn lengths could never fit the KV
+    #: budget or model context; rejected at submission, never simulated.
+    n_rejected_followups: int = 0
+
+    @property
+    def total_generated_tokens(self) -> int:
+        """Tokens emitted across the whole fleet."""
+        return sum(r.generated_tokens for r in self.records)
+
+    def kv_timeline(self) -> Tuple[Tuple[float, int], ...]:
+        """(time, reserved KV bytes) at every state change."""
+        return tuple((ev.t_s, ev.kv_reserved_bytes) for ev in self.events)
+
+
+@dataclass
+class _Active:
+    """Book-keeping for one admitted request."""
+
+    request: Request
+    admit_s: float
+    kv_reserved_bytes: int
+    context: int = 0  # tokens resident in KV
+    generated: int = 0
+    first_token_s: float = 0.0
+    last_token_s: float = 0.0
+    tbt_s: List[float] = field(default_factory=list)
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level scheduler over one engine and one request source.
+
+    Args:
+        engine: the deployed model/hardware/plan to serve on. All
+            concurrent requests share its packing planner and memoized
+            stage reports (:meth:`MeadowEngine.simulate_cached`).
+        source: scenario generator (open- or closed-loop).
+        kv_budget_bytes: DRAM bytes available for KV caches; defaults to
+            :func:`repro.hardware.kv_cache_budget_bytes` for the
+            engine's hardware and model.
+        max_batch: cap on concurrently decoded requests per iteration.
+        ctx_bucket: decode contexts are rounded up to a multiple of this
+            before simulation — a modeling quantization that makes long
+            streams cache-friendly (1 = exact).
+
+    Pending prefills always run before decode iterations (the classic
+    continuous-batching policy: it fills the decode batch fastest);
+    alternative policies such as chunked prefill are ROADMAP follow-ons.
+    """
+
+    def __init__(
+        self,
+        engine: MeadowEngine,
+        source: RequestSource,
+        kv_budget_bytes: Optional[int] = None,
+        max_batch: int = 16,
+        ctx_bucket: int = 1,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if ctx_bucket < 1:
+            raise ConfigError(f"ctx_bucket must be >= 1, got {ctx_bucket}")
+        self.engine = engine
+        self.source = source
+        if kv_budget_bytes is None:
+            # When the plan packs weights, the resident image shrinks and
+            # the reclaimed DRAM becomes KV headroom.
+            packed_bits = None
+            if engine.planner is not None and engine.plan.packing is not None:
+                packed_bits = engine.packing_summary().packed_bits
+            kv_budget_bytes = kv_cache_budget_bytes(
+                engine.config, engine.model, packed_weight_bits=packed_bits
+            )
+        self.kv_budget_bytes = kv_budget_bytes
+        if self.kv_budget_bytes <= 0:
+            raise ConfigError(
+                f"kv_budget_bytes must be positive, got {self.kv_budget_bytes}"
+            )
+        self.max_batch = max_batch
+        self.ctx_bucket = ctx_bucket
+
+    # ------------------------------------------------------------- helpers
+    def _kv_bytes(self, tokens: int) -> int:
+        """Worst-case KV footprint of ``tokens`` across all layers."""
+        model = self.engine.model
+        return model.n_layers * model.kv_cache_bytes_per_layer(
+            tokens, self.engine.config.act_bits
+        )
+
+    def _check(self, request: Request) -> int:
+        """Validate one request against model and budget; return its KV."""
+        model = self.engine.model
+        if request.total_tokens > model.max_seq_len:
+            raise ConfigError(
+                f"request {request.request_id}: {request.total_tokens} tokens "
+                f"exceed {model.name} max_seq_len {model.max_seq_len}"
+            )
+        need = self._kv_bytes(request.total_tokens)
+        if need > self.kv_budget_bytes:
+            raise CapacityError(
+                f"request {request.request_id} needs {need} B of KV but the "
+                f"budget is {self.kv_budget_bytes} B; it can never be admitted"
+            )
+        return need
+
+    def _bucket_ctx(self, ctx: int) -> int:
+        """Round a decode context up to the cache bucket, within limits."""
+        bucketed = ceil_div(ctx, self.ctx_bucket) * self.ctx_bucket
+        return min(bucketed, self.engine.model.max_seq_len)
+
+    # ---------------------------------------------------------------- run
+    def run(self) -> ServingResult:
+        """Simulate the scenario to completion."""
+        engine = self.engine
+        model = engine.model
+
+        # (arrival_s, request_id, Request) heap of not-yet-seen arrivals.
+        future: List[Tuple[float, int, Request]] = []
+        for req in self.source.initial():
+            self._check(req)
+            heapq.heappush(future, (req.arrival_s, req.request_id, req))
+        if not future:
+            raise ConfigError(f"source {self.source.name!r} produced no requests")
+
+        clock = 0.0
+        pending: Deque[Request] = deque()  # arrived, awaiting KV admission
+        prefill_queue: Deque[_Active] = deque()  # admitted, awaiting prefill
+        decoding: List[_Active] = []  # generating, FCFS by admission
+        kv_reserved = 0
+        peak_kv = 0
+        max_queue_depth = 0
+        n_prefills = 0
+        n_decodes = 0
+        n_rejected = 0  # infeasible closed-loop follow-ups
+        events: List[SchedulerEvent] = []
+        records: Dict[int, RequestRecord] = {}
+
+        def log(kind: EventKind, request_id: int, t: float) -> None:
+            events.append(
+                SchedulerEvent(t, kind, request_id, kv_reserved, len(pending))
+            )
+
+        def ingest_arrivals() -> None:
+            while future and future[0][0] <= clock:
+                _, _, req = heapq.heappop(future)
+                pending.append(req)
+                log(EventKind.ARRIVAL, req.request_id, clock)
+
+        def admit() -> None:
+            nonlocal kv_reserved, peak_kv
+            # Strict FCFS: stop at the first request that does not fit.
+            while pending:
+                need = self._kv_bytes(pending[0].total_tokens)
+                if kv_reserved + need > self.kv_budget_bytes:
+                    break
+                req = pending.popleft()
+                kv_reserved += need
+                peak_kv = max(peak_kv, kv_reserved)
+                prefill_queue.append(
+                    _Active(request=req, admit_s=clock, kv_reserved_bytes=need)
+                )
+                log(EventKind.ADMIT, req.request_id, clock)
+
+        def complete(active: _Active) -> None:
+            nonlocal kv_reserved, n_rejected
+            kv_reserved -= active.kv_reserved_bytes
+            log(EventKind.COMPLETE, active.request.request_id, clock)
+            records[active.request.request_id] = RequestRecord(
+                request=active.request,
+                admit_s=active.admit_s,
+                first_token_s=active.first_token_s,
+                finish_s=clock,
+                tbt_s=tuple(active.tbt_s),
+            )
+            follow_up = self.source.on_complete(active.request, clock)
+            if follow_up is not None:
+                # Open-loop traces fail fast at start-up; a closed-loop
+                # follow-up drawn mid-run must not abort the simulation
+                # and discard completed work — an infeasible one is
+                # rejected (a real frontend would return an error).
+                try:
+                    self._check(follow_up)
+                except (CapacityError, ConfigError):
+                    n_rejected += 1
+                else:
+                    heapq.heappush(
+                        future, (follow_up.arrival_s, follow_up.request_id, follow_up)
+                    )
+
+        while True:
+            ingest_arrivals()
+            admit()
+            # Depth is measured after admission: only requests the KV
+            # budget actually held back count as queued.
+            max_queue_depth = max(max_queue_depth, len(pending))
+
+            if prefill_queue:
+                active = prefill_queue.popleft()
+                req = active.request
+                log(EventKind.PREFILL_START, req.request_id, clock)
+                report = engine.simulate_cached(
+                    prefill_workload(model, req.prompt_tokens)
+                )
+                clock += report.latency_s
+                n_prefills += 1
+                active.context = req.prompt_tokens
+                active.generated = 1  # prefill emits the first token
+                active.first_token_s = clock
+                active.last_token_s = clock
+                log(EventKind.FIRST_TOKEN, req.request_id, clock)
+                if active.generated >= req.output_tokens:
+                    complete(active)
+                else:
+                    decoding.append(active)
+            elif decoding:
+                batch = decoding[: self.max_batch]
+                # The batch decodes at the deepest member's context; a
+                # conservative (upper-bound) latency for the shallower ones.
+                ctx = self._bucket_ctx(max(a.context + 1 for a in batch))
+                report = engine.simulate_cached(
+                    decode_workload(model, ctx, batch=len(batch))
+                )
+                clock += report.latency_s
+                n_decodes += 1
+                finished: List[_Active] = []
+                for active in batch:
+                    active.context += 1
+                    active.generated += 1
+                    # Wall-clock gap since the previous token: includes any
+                    # prefill iterations that stalled this request's stream,
+                    # not just this decode step's latency.
+                    active.tbt_s.append(clock - active.last_token_s)
+                    active.last_token_s = clock
+                    log(EventKind.DECODE_STEP, active.request.request_id, clock)
+                    if active.generated >= active.request.output_tokens:
+                        finished.append(active)
+                for active in finished:
+                    decoding.remove(active)
+                    complete(active)
+                # Round-robin the survivors of an oversubscribed batch so
+                # requests beyond max_batch are not starved.
+                if len(decoding) > self.max_batch:
+                    served = [a for a in batch if a not in finished]
+                    rest = [a for a in decoding if a not in served]
+                    decoding = rest + served
+            elif pending:
+                # Head blocked on KV with nothing in flight can only mean
+                # an over-sized request, which _check() already rejected.
+                raise CapacityError(
+                    "scheduler wedged: pending head cannot be admitted into "
+                    "an empty system"
+                )
+            elif future:
+                clock = max(clock, future[0][0])
+            else:
+                break
+
+        # Stable total order: admit time, then request id.
+        ordered = tuple(
+            sorted(
+                records.values(),
+                key=lambda rec: (rec.admit_s, rec.request.request_id),
+            )
+        )
+        first_arrival = min(rec.request.arrival_s for rec in ordered)
+        return ServingResult(
+            model_name=model.name,
+            plan_name=engine.plan.name,
+            source_name=self.source.name,
+            records=ordered,
+            events=tuple(events),
+            kv_budget_bytes=self.kv_budget_bytes,
+            peak_kv_bytes=peak_kv,
+            max_queue_depth=max_queue_depth,
+            duration_s=clock - first_arrival,
+            n_prefill_iterations=n_prefills,
+            n_decode_iterations=n_decodes,
+            n_rejected_followups=n_rejected,
+        )

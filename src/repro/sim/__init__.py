@@ -6,7 +6,15 @@ event-driven pipeline cross-validator, and the roofline model.
 from .breakdown import LatencyBreakdown, OpLatency, StageReport
 from .gemm_executor import gemm_op_latency, matmul_compute_cycles, vector_op_latency
 from .layer_sim import WorkloadSimulator, simulate
-from .metrics import GenerationLatency, end_to_end, tbt, ttft
+from .metrics import (
+    GenerationLatency,
+    LatencySummary,
+    end_to_end,
+    percentile,
+    tbt,
+    tokens_per_second,
+    ttft,
+)
 from .pipeline_sim import simulate_linear_pipeline, stage_occupancy
 from .roofline import RooflinePoint, roofline_curve, roofline_point, workload_roofline
 from .tiling import TiledGemm, TileShape, plan_tiled_gemm
@@ -28,9 +36,12 @@ __all__ = [
     "WorkloadSimulator",
     "simulate",
     "GenerationLatency",
+    "LatencySummary",
     "ttft",
     "tbt",
     "end_to_end",
+    "percentile",
+    "tokens_per_second",
     "simulate_linear_pipeline",
     "stage_occupancy",
     "RooflinePoint",

@@ -12,8 +12,9 @@ Definitions follow Sec. 6.1 of the paper:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.plan import ExecutionPlan
 from ..errors import ConfigError
@@ -23,7 +24,15 @@ from ..packing import PackingPlanner
 from .breakdown import StageReport
 from .layer_sim import WorkloadSimulator
 
-__all__ = ["ttft", "tbt", "GenerationLatency", "end_to_end"]
+__all__ = [
+    "ttft",
+    "tbt",
+    "GenerationLatency",
+    "end_to_end",
+    "percentile",
+    "LatencySummary",
+    "tokens_per_second",
+]
 
 
 def ttft(
@@ -74,6 +83,81 @@ class GenerationLatency:
         if self.decode_s == 0:
             return float("inf")
         return self.generated_tokens / self.decode_s
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Uses the inclusive ("linear") method: ``q=0`` is the minimum,
+    ``q=100`` the maximum, and interior points interpolate between the
+    two nearest order statistics — so a single sample is every
+    percentile of itself, and ties collapse as expected.
+
+    Raises:
+        ConfigError: ``values`` is empty or ``q`` is outside [0, 100].
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError(f"percentile q must be in [0, 100], got {q}")
+    xs = sorted(values)
+    if not xs:
+        raise ConfigError("percentile of an empty sequence is undefined")
+    return _percentile_sorted(xs, q)
+
+
+def _percentile_sorted(xs: Sequence[float], q: float) -> float:
+    """Interpolate over an already-sorted, non-empty sample."""
+    pos = (len(xs) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return xs[lo]
+    return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency population (seconds).
+
+    Fleet reports quote p50/p95/p99 for TTFT, TBT and end-to-end
+    latency; an empty population (e.g. a stream in which no request ever
+    decoded) summarizes to zeros rather than dividing by zero.
+    """
+
+    n: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "LatencySummary":
+        """Summarize a latency sample; empty input yields the zero summary."""
+        if not values:
+            return cls(n=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0)
+        xs = sorted(values)  # one sort shared by all three percentiles
+        return cls(
+            n=len(xs),
+            mean_s=sum(xs) / len(xs),
+            p50_s=_percentile_sorted(xs, 50),
+            p95_s=_percentile_sorted(xs, 95),
+            p99_s=_percentile_sorted(xs, 99),
+        )
+
+
+def tokens_per_second(n_tokens: int, duration_s: float) -> float:
+    """Aggregate throughput, safe on zero-duration streams.
+
+    An empty stream (no tokens, no elapsed time) has zero throughput;
+    a non-empty stream of zero duration is degenerate and reports
+    ``inf`` rather than raising.
+    """
+    if n_tokens < 0:
+        raise ConfigError(f"n_tokens must be non-negative, got {n_tokens}")
+    if duration_s < 0:
+        raise ConfigError(f"duration_s must be non-negative, got {duration_s}")
+    if duration_s == 0:
+        return 0.0 if n_tokens == 0 else float("inf")
+    return n_tokens / duration_s
 
 
 def end_to_end(

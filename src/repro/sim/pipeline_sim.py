@@ -10,7 +10,7 @@ latencies (useful for what-if studies, e.g. a slow EXP LUT).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..errors import ScheduleError
 
@@ -46,12 +46,29 @@ def simulate_linear_pipeline(n_groups: int, stage_cycles: Sequence[int]) -> int:
     return finish
 
 
-def stage_occupancy(n_groups: int, stage_cycles: Sequence[int]) -> List[float]:
+def stage_occupancy(
+    n_groups: int,
+    stage_cycles: Sequence[int],
+    total_cycles: Optional[int] = None,
+) -> List[float]:
     """Fraction of total runtime each stage spends busy.
 
     Diagnoses pipeline balance: a perfectly balanced pipeline approaches
     1.0 everywhere as ``n_groups`` grows; a bottleneck stage sits at 1.0
     while others idle.
+
+    ``total_cycles`` overrides the closed-form linear-pipeline runtime —
+    interleaved schedules (e.g. a serving scheduler alternating prefill
+    and decode iterations) measure their makespan externally. A
+    zero-duration stream reports zero occupancy everywhere instead of
+    dividing by zero.
     """
-    total = simulate_linear_pipeline(n_groups, stage_cycles)
+    if total_cycles is None:
+        total = simulate_linear_pipeline(n_groups, stage_cycles)
+    else:
+        if total_cycles < 0:
+            raise ScheduleError(f"total_cycles must be non-negative, got {total_cycles}")
+        total = total_cycles
+    if total == 0:
+        return [0.0 for _ in stage_cycles]
     return [n_groups * c / total for c in stage_cycles]

@@ -1,0 +1,207 @@
+"""Property-based invariants of the continuous-batching scheduler.
+
+Mirrors the style of ``tests/properties/test_simulator_invariants.py``:
+randomized scenarios through the *composed* serving stack, asserting
+physical-sense properties any correct request-level simulator satisfies.
+The scheduler's event log is the witness for every invariant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CapacityError, ConfigError
+from repro.serving import EventKind
+
+import pytest
+
+seeds = st.integers(0, 2**16)
+rates = st.sampled_from([2.0, 10.0, 50.0])
+budgets = st.sampled_from([1.0, 2.0, 4.0])
+
+
+def _events_by_request(events):
+    by_req = {}
+    for ev in events:
+        by_req.setdefault(ev.request_id, []).append(ev)
+    return by_req
+
+
+class TestClockMonotonicity:
+    @given(seeds, rates, budgets)
+    @settings(max_examples=12, deadline=None)
+    def test_event_times_never_go_backwards(self, make_scenario, seed, rate, budget):
+        result = make_scenario(seed=seed, rate_rps=rate, budget_requests=budget).run()
+        times = [ev.t_s for ev in result.events]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_lifecycle_ordered_per_request(self, make_scenario, seed):
+        result = make_scenario(seed=seed).run()
+        for rec in result.records:
+            req = rec.request
+            assert req.arrival_s <= rec.admit_s <= rec.first_token_s <= rec.finish_s
+
+
+class TestPrefillBeforeDecode:
+    @given(seeds, rates)
+    @settings(max_examples=12, deadline=None)
+    def test_no_decode_before_first_token(self, make_scenario, seed, rate):
+        result = make_scenario(seed=seed, rate_rps=rate).run()
+        for rid, evs in _events_by_request(result.events).items():
+            first_token = [e.t_s for e in evs if e.kind is EventKind.FIRST_TOKEN]
+            decodes = [e.t_s for e in evs if e.kind is EventKind.DECODE_STEP]
+            assert len(first_token) == 1
+            assert all(t >= first_token[0] for t in decodes)
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_every_request_prefilled_exactly_once(self, make_scenario, seed):
+        result = make_scenario(seed=seed).run()
+        for rid, evs in _events_by_request(result.events).items():
+            kinds = [e.kind for e in evs]
+            assert kinds.count(EventKind.PREFILL_START) == 1
+            assert kinds.count(EventKind.COMPLETE) == 1
+
+
+class TestKvBudget:
+    @given(seeds, budgets)
+    @settings(max_examples=12, deadline=None)
+    def test_reservation_never_exceeds_budget(self, make_scenario, seed, budget):
+        scheduler = make_scenario(seed=seed, budget_requests=budget)
+        result = scheduler.run()
+        assert all(
+            ev.kv_reserved_bytes <= result.kv_budget_bytes for ev in result.events
+        )
+        assert result.peak_kv_bytes <= result.kv_budget_bytes
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_all_kv_released_at_drain(self, make_scenario, seed):
+        result = make_scenario(seed=seed).run()
+        assert result.events[-1].kv_reserved_bytes == 0
+
+    def test_oversized_request_rejected_up_front(self, make_scenario):
+        with pytest.raises(CapacityError):
+            make_scenario(budget_requests=0.1).run()
+
+    def test_infeasible_closed_loop_followup_rejected_not_fatal(
+        self, serving_engine, serving_model
+    ):
+        # A mid-run follow-up whose drawn lengths can never fit must be
+        # rejected at submission, not abort and discard completed work.
+        from repro.serving import ClosedLoopSource, ContinuousBatchingScheduler
+        from repro.serving import LengthDistribution
+
+        budget = serving_model.n_layers * serving_model.kv_cache_bytes_per_layer(
+            60, serving_engine.config.act_bits
+        )
+        source = ClosedLoopSource(
+            2, 10, 0.1,
+            LengthDistribution("fixed", 8),
+            LengthDistribution("uniform", 1, 80),
+            seed=2,  # draws feasible initial requests, infeasible follow-ups
+        )
+        result = ContinuousBatchingScheduler(
+            serving_engine, source, kv_budget_bytes=budget
+        ).run()
+        assert result.n_rejected_followups > 0
+        assert len(result.records) + result.n_rejected_followups <= 10
+        for rec in result.records:  # served requests are complete
+            assert rec.generated_tokens == rec.request.output_tokens
+
+    def test_queue_depth_counts_only_kv_blocked_requests(
+        self, make_scenario, prompt_dist, output_dist
+    ):
+        from repro.serving import bursty_stream
+
+        burst = bursty_stream(8, 8, 1.0, prompt_dist, output_dist, seed=0)
+        # Ample budget: the whole burst admits at its arrival instant, so
+        # nobody is ever held back by KV and the queue metric stays zero.
+        ample = make_scenario(source=burst, budget_requests=16.0).run()
+        assert ample.max_queue_depth == 0
+        # Tight budget: admission control must actually queue the burst.
+        tight = make_scenario(source=burst, budget_requests=1.0).run()
+        assert tight.max_queue_depth > 0
+
+    def test_packing_reclaims_dram_for_kv(self, serving_engine, serving_model):
+        # The default budget credits the packed weight image: a packing
+        # engine must get at least the unpacked engine's KV headroom.
+        from repro import ExecutionPlan, MeadowEngine
+        from repro.serving import ContinuousBatchingScheduler, LengthDistribution
+        from repro.serving import poisson_stream
+
+        stream = poisson_stream(
+            2, 1.0,
+            LengthDistribution("fixed", 8),
+            LengthDistribution("fixed", 4),
+        )
+        unpacked_engine = MeadowEngine(
+            serving_model, serving_engine.config, ExecutionPlan.gemm_baseline()
+        )
+        packed = ContinuousBatchingScheduler(serving_engine, stream)
+        unpacked = ContinuousBatchingScheduler(unpacked_engine, stream)
+        assert packed.kv_budget_bytes >= unpacked.kv_budget_bytes
+
+
+class TestFcfsAdmission:
+    @given(seeds, rates, budgets)
+    @settings(max_examples=12, deadline=None)
+    def test_admission_preserves_arrival_order(
+        self, make_scenario, seed, rate, budget
+    ):
+        result = make_scenario(seed=seed, rate_rps=rate, budget_requests=budget).run()
+        admitted = [
+            ev.request_id for ev in result.events if ev.kind is EventKind.ADMIT
+        ]
+        arrival_order = sorted(
+            (rec.request for rec in result.records),
+            key=lambda r: (r.arrival_s, r.request_id),
+        )
+        assert admitted == [r.request_id for r in arrival_order]
+
+
+class TestConservation:
+    @given(seeds, rates)
+    @settings(max_examples=10, deadline=None)
+    def test_every_request_served_in_full(self, make_scenario, seed, rate):
+        scheduler = make_scenario(seed=seed, rate_rps=rate)
+        n = len(scheduler.source.initial())
+        result = scheduler.run()
+        assert len(result.records) == n
+        for rec in result.records:
+            assert rec.generated_tokens == rec.request.output_tokens
+
+    @given(seeds, rates)
+    @settings(max_examples=10, deadline=None)
+    def test_tbt_accounts_for_every_inter_token_gap(self, make_scenario, seed, rate):
+        # TBT is the wall-clock gap between tokens (prefill stalls
+        # included), so the latency identity must hold exactly.
+        result = make_scenario(seed=seed, rate_rps=rate).run()
+        for rec in result.records:
+            assert rec.ttft_s + sum(rec.tbt_s) == pytest.approx(rec.e2e_s)
+
+    @given(seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_same_seed_reproduces_identical_timeline(self, make_scenario, seed):
+        a = make_scenario(seed=seed).run()
+        b = make_scenario(seed=seed).run()
+        assert a.events == b.events
+        assert a.records == b.records
+
+
+class TestSchedulerConfigValidation:
+    def test_rejects_bad_knobs(self, serving_engine, make_scenario):
+        from repro.serving import ContinuousBatchingScheduler, poisson_stream
+        from repro.serving import LengthDistribution
+
+        stream = poisson_stream(
+            2, 1.0,
+            LengthDistribution("fixed", 8),
+            LengthDistribution("fixed", 4),
+        )
+        with pytest.raises(ConfigError):
+            ContinuousBatchingScheduler(serving_engine, stream, max_batch=0)
+        with pytest.raises(ConfigError):
+            ContinuousBatchingScheduler(serving_engine, stream, ctx_bucket=0)
+        with pytest.raises(ConfigError):
+            ContinuousBatchingScheduler(serving_engine, stream, kv_budget_bytes=-1)

@@ -1,0 +1,75 @@
+"""Tests for the ``serve`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestServeParser:
+    def test_serve_registered(self):
+        args = build_parser().parse_args(["serve", "--requests", "8", "--seed", "3"])
+        assert args.command == "serve"
+        assert args.requests == 8
+        assert args.seed == 3
+
+    def test_rejects_unknown_arrival(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "telepathic"])
+
+
+class TestServeCommand:
+    def test_poisson_report_printed(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--model", "opt-125m", "--requests", "8",
+                    "--arrival", "poisson", "--seed", "0", "--plan", "gemm",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "TTFT ms" in out and "TBT  ms" in out and "E2E  s" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+
+    def test_same_seed_byte_identical(self, capsys):
+        argv = ["serve", "--requests", "8", "--seed", "5", "--plan", "gemm"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_bursty_and_closed_loop_run(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--requests", "6", "--arrival", "bursty",
+                    "--burst-size", "3", "--plan", "gemm",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "serve", "--requests", "6", "--arrival", "closed-loop",
+                    "--users", "2", "--plan", "gemm",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.count("throughput") == 2
+
+    def test_kv_budget_override(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--requests", "4", "--plan", "gemm",
+                    "--kv-budget-mb", "32.0",
+                ]
+            )
+            == 0
+        )
+        assert "32.00 MB" in capsys.readouterr().out

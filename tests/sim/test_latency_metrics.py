@@ -1,10 +1,18 @@
-"""Tests for TTFT / TBT / end-to-end metrics."""
+"""Tests for TTFT / TBT / end-to-end metrics and the fleet-metric helpers."""
 
 import pytest
 
 from repro.core import ExecutionPlan
 from repro.errors import ConfigError
-from repro.sim import end_to_end, tbt, ttft
+from repro.sim import (
+    LatencySummary,
+    end_to_end,
+    percentile,
+    stage_occupancy,
+    tbt,
+    tokens_per_second,
+    ttft,
+)
 
 
 class TestTtft:
@@ -65,3 +73,78 @@ class TestEndToEnd:
             end_to_end(small_model, zcu12, ExecutionPlan.gemm_baseline(), 64, 0)
         with pytest.raises(ConfigError):
             end_to_end(small_model, zcu12, ExecutionPlan.gemm_baseline(), 64, 8, sample_every=0)
+
+
+class TestPercentile:
+    def test_interpolates_between_order_statistics(self):
+        assert percentile([0.0, 10.0], 50) == pytest.approx(5.0)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 25) == pytest.approx(1.75)
+
+    def test_endpoints_are_min_and_max(self):
+        values = [7.0, 3.0, 9.0, 1.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0, 50, 95, 99, 100):
+            assert percentile([4.2], q) == 4.2
+
+    def test_ties_collapse(self):
+        assert percentile([2.0, 2.0, 2.0, 2.0], 99) == 2.0
+        assert percentile([1.0, 2.0, 2.0, 2.0], 50) == 2.0
+
+    def test_input_order_irrelevant(self):
+        assert percentile([3.0, 1.0, 2.0], 95) == percentile([1.0, 2.0, 3.0], 95)
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+        with pytest.raises(ConfigError):
+            percentile([1.0], -1)
+        with pytest.raises(ConfigError):
+            percentile([1.0], 101)
+
+
+class TestLatencySummary:
+    def test_empty_stream_summarizes_to_zeros(self):
+        summary = LatencySummary.of([])
+        assert summary.n == 0
+        assert summary.mean_s == summary.p50_s == summary.p95_s == summary.p99_s == 0.0
+
+    def test_single_request_stream(self):
+        summary = LatencySummary.of([0.25])
+        assert summary.n == 1
+        assert summary.mean_s == 0.25
+        assert summary.p50_s == summary.p95_s == summary.p99_s == 0.25
+
+    def test_tied_population(self):
+        summary = LatencySummary.of([1.0] * 5)
+        assert summary.p50_s == summary.p99_s == 1.0
+        assert summary.mean_s == 1.0
+
+
+class TestThroughputHelpers:
+    def test_tokens_per_second(self):
+        assert tokens_per_second(100, 4.0) == 25.0
+
+    def test_zero_duration_stream_does_not_divide_by_zero(self):
+        assert tokens_per_second(0, 0.0) == 0.0
+        assert tokens_per_second(5, 0.0) == float("inf")
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ConfigError):
+            tokens_per_second(-1, 1.0)
+        with pytest.raises(ConfigError):
+            tokens_per_second(1, -1.0)
+
+    def test_stage_occupancy_zero_duration_stream(self):
+        # A measured makespan of zero (degenerate interleaved stream)
+        # used to divide by zero; it now reports an idle pipeline.
+        assert stage_occupancy(4, [2, 3], total_cycles=0) == [0.0, 0.0]
+
+    def test_stage_occupancy_with_measured_total(self):
+        assert stage_occupancy(10, [4, 2], total_cycles=80) == [0.5, 0.25]
+
+    def test_stage_occupancy_closed_form_unchanged(self):
+        occ = stage_occupancy(50, [4, 4, 4])
+        assert all(0.9 < f <= 1.0 for f in occ)
