@@ -105,8 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("LO", "HI"), help="uniform prompt-length range")
     p.add_argument("--output-tokens", type=int, nargs=2, default=[24, 96],
                    metavar=("MEAN", "MAX"), help="geometric output-length model")
-    p.add_argument("--max-batch", type=int, default=16)
-    p.add_argument("--ctx-bucket", type=int, default=16)
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="cap on concurrently decoded requests per iteration")
+    p.add_argument("--ctx-bucket", type=int, default=16,
+                   help="round decode contexts up to a multiple of this "
+                        "before simulation (1 = exact; larger = faster)")
     p.add_argument("--kv-budget-mb", type=float, default=None,
                    help="override the DRAM-derived KV budget")
     return parser
@@ -271,7 +274,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     report = sim.run(source)
     title = (
         f"serving {model.name} plan={args.plan} @{args.bandwidth:g} Gbps — "
-        f"{args.requests} requests, {args.arrival} arrivals (seed {args.seed})"
+        f"{args.requests} requests, {args.arrival} arrivals (seed {args.seed}), "
+        f"max_batch={args.max_batch}, ctx_bucket={args.ctx_bucket}"
     )
     return report.metrics.format_report(title)
 

@@ -13,8 +13,9 @@ and exposes the paper's measurement surface:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..errors import ConfigError
 from ..hardware import HardwareConfig, zcu102_config
@@ -29,6 +30,7 @@ from ..packing import PackingPlanner, WeightTransferStats
 from ..sim.breakdown import StageReport
 from ..sim.layer_sim import WorkloadSimulator
 from ..sim.metrics import GenerationLatency, end_to_end
+from ..sim.surface import LatencySurface, SurfacePoint
 from .plan import ExecutionPlan
 from .selector import DataflowDecision, choose_dataflow
 
@@ -78,7 +80,8 @@ class MeadowEngine:
         self.config = config if config is not None else zcu102_config()
         self.plan = plan if plan is not None else ExecutionPlan.meadow()
         self._sim = WorkloadSimulator(model, self.config, self.plan, planner)
-        self._report_cache: Dict[Workload, StageReport] = {}
+        self._report_cache: "OrderedDict[Workload, StageReport]" = OrderedDict()
+        self._surface: Optional[LatencySurface] = None
 
     @property
     def planner(self) -> Optional[PackingPlanner]:
@@ -98,26 +101,51 @@ class MeadowEngine:
         """Simulate an arbitrary workload through this engine's planner."""
         return self._sim.simulate(workload)
 
-    #: Cap on memoized stage reports (FIFO eviction): a long serving
+    #: Cap on memoized stage reports (LRU eviction): a long serving
     #: stream can visit tens of thousands of distinct (context, batch)
     #: points, and each report retains per-layer op breakdowns.
     REPORT_CACHE_MAX = 4096
 
     def simulate_cached(self, workload: Workload) -> StageReport:
-        """Memoized :meth:`simulate` for serving-style callers.
+        """Memoized :meth:`simulate` for callers that need full reports.
 
         A request-level scheduler re-evaluates identical operating
         points (stage, token count, context, batch) thousands of times
         as concurrent requests step through the same contexts; all of
         them share this engine's packing planner and its report cache.
+        Eviction is least-recently-used: a hit refreshes the entry, so
+        the hottest points of a long stream stay resident. Callers that
+        only need scalar latency/energy should prefer
+        :meth:`simulate_fast`, which never evicts.
         """
         report = self._report_cache.get(workload)
         if report is None:
             report = self._sim.simulate(workload)
             if len(self._report_cache) >= self.REPORT_CACHE_MAX:
-                self._report_cache.pop(next(iter(self._report_cache)))
+                self._report_cache.popitem(last=False)
             self._report_cache[workload] = report
+        else:
+            self._report_cache.move_to_end(workload)
         return report
+
+    @property
+    def surface(self) -> LatencySurface:
+        """The engine's lazily built latency surface (see :mod:`repro.sim.surface`)."""
+        if self._surface is None:
+            self._surface = LatencySurface(self._sim)
+        return self._surface
+
+    def simulate_fast(self, workload: Workload) -> SurfacePoint:
+        """Scalar (latency, cycles, energy) for a workload, via the surface.
+
+        Exactly :meth:`simulate`'s numbers — the surface fills entries
+        through the same simulator — but each distinct operating point
+        is simulated once and retained as a few floats, so serving-style
+        callers can hit millions of repeats without holding (or
+        evicting) full per-op reports. Use :meth:`simulate` when the
+        per-op breakdown itself is needed.
+        """
+        return self.surface.point(workload)
 
     def vit_inference(self) -> StageReport:
         """Simulate single-pass ViT inference (Fig. 13 workloads)."""

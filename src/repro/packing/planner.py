@@ -107,6 +107,7 @@ class PackingPlanner:
         self.config = config or PackingConfig()
         self.depth_buckets = depth_buckets
         self.base_seed = base_seed
+        self._bits_tables: Dict[TransformerConfig, Dict[OpKind, Tuple[int, ...]]] = {}
 
     def _representative_layer(self, layer_index: int, n_layers: int) -> int:
         if self.depth_buckets is None or self.depth_buckets >= n_layers:
@@ -153,6 +154,28 @@ class PackingPlanner:
         _STATS_CACHE[key] = stats
         _disk_cache_store(disk_key, stats)
         return stats
+
+    def effective_bits_table(
+        self, model: TransformerConfig
+    ) -> Dict[OpKind, Tuple[int, ...]]:
+        """Per-layer effective transfer bits for every weight kind.
+
+        One batched lookup replaces ``n_layers x n_kinds`` individual
+        :meth:`stats_for` calls (each of which rebuilds its cache key):
+        the whole table is assembled once per (planner, model) and the
+        simulator's fast path indexes it directly.
+        """
+        table = self._bits_tables.get(model)
+        if table is None:
+            table = {
+                kind: tuple(
+                    self.stats_for(model, kind, layer).effective_bits
+                    for layer in range(model.n_layers)
+                )
+                for kind in WEIGHT_OP_KINDS
+            }
+            self._bits_tables[model] = table
+        return table
 
     def layer_packed_bits(self, model: TransformerConfig, layer_index: int) -> int:
         """Packed bits of all six weight matrices of one layer."""

@@ -7,7 +7,11 @@ oldest admitted-but-unprefilled request, or one batched decode iteration
 advancing every in-flight generation by one token. The simulated clock
 advances by the engine's modeled latency for that step, so fleet metrics
 inherit the full MEADOW performance model (packing, dataflow choice,
-bandwidth) without re-deriving any of it.
+bandwidth) without re-deriving any of it. Step latencies come from the
+engine's :class:`~repro.sim.surface.LatencySurface` — the same numbers a
+full :class:`~repro.sim.breakdown.StageReport` would carry, but each
+distinct (stage, context, batch) point is simulated once and held as a
+few floats, so simulator overhead no longer dominates long streams.
 
 Admission is KV-memory constrained and strictly FCFS: a request is
 admitted only when its *worst-case* KV footprint (prompt + every output
@@ -32,7 +36,6 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..core.meadow import MeadowEngine
 from ..errors import CapacityError, ConfigError
 from ..hardware.memory import kv_cache_budget_bytes
-from ..models import decode_workload, prefill_workload
 from ..utils import ceil_div
 from .request import Request, RequestSource
 
@@ -232,6 +235,7 @@ class ContinuousBatchingScheduler:
         """Simulate the scenario to completion."""
         engine = self.engine
         model = engine.model
+        surface = engine.surface
 
         # (arrival_s, request_id, Request) heap of not-yet-seen arrivals.
         future: List[Tuple[float, int, Request]] = []
@@ -317,10 +321,7 @@ class ContinuousBatchingScheduler:
                 active = prefill_queue.popleft()
                 req = active.request
                 log(EventKind.PREFILL_START, req.request_id, clock)
-                report = engine.simulate_cached(
-                    prefill_workload(model, req.prompt_tokens)
-                )
-                clock += report.latency_s
+                clock += surface.prefill(req.prompt_tokens).latency_s
                 n_prefills += 1
                 active.context = req.prompt_tokens
                 active.generated = 1  # prefill emits the first token
@@ -336,11 +337,9 @@ class ContinuousBatchingScheduler:
                 # The batch decodes at the deepest member's context; a
                 # conservative (upper-bound) latency for the shallower ones.
                 ctx = self._bucket_ctx(max(a.context + 1 for a in batch))
-                report = engine.simulate_cached(
-                    decode_workload(model, ctx, batch=len(batch))
-                )
-                clock += report.latency_s
+                clock += surface.decode(ctx, batch=len(batch)).latency_s
                 n_decodes += 1
+                survivors: List[_Active] = []
                 finished: List[_Active] = []
                 for active in batch:
                     active.context += 1
@@ -353,15 +352,20 @@ class ContinuousBatchingScheduler:
                     log(EventKind.DECODE_STEP, active.request.request_id, clock)
                     if active.generated >= active.request.output_tokens:
                         finished.append(active)
+                    else:
+                        survivors.append(active)
+                # The batch is a prefix of ``decoding``, so one slice +
+                # partition replaces per-element list removal and
+                # membership scans (O(batch) instead of O(batch^2)).
+                waiting = decoding[len(batch):]
                 for active in finished:
-                    decoding.remove(active)
                     complete(active)
                 # Round-robin the survivors of an oversubscribed batch so
                 # requests beyond max_batch are not starved.
-                if len(decoding) > self.max_batch:
-                    served = [a for a in batch if a not in finished]
-                    rest = [a for a in decoding if a not in served]
-                    decoding = rest + served
+                if len(survivors) + len(waiting) > self.max_batch:
+                    decoding = waiting + survivors
+                else:
+                    decoding = survivors + waiting
             elif pending:
                 # Head blocked on KV with nothing in flight can only mean
                 # an over-sized request, which _check() already rejected.

@@ -17,6 +17,7 @@ from .metrics import (
 )
 from .pipeline_sim import simulate_linear_pipeline, stage_occupancy
 from .roofline import RooflinePoint, roofline_curve, roofline_point, workload_roofline
+from .surface import LatencySurface, SurfacePoint
 from .tiling import TiledGemm, TileShape, plan_tiled_gemm
 from .trace import TraceEvent, build_trace, render_gantt, trace_to_csv, trace_to_json
 from .tphs_executor import (
@@ -44,6 +45,8 @@ __all__ = [
     "tokens_per_second",
     "simulate_linear_pipeline",
     "stage_occupancy",
+    "LatencySurface",
+    "SurfacePoint",
     "RooflinePoint",
     "roofline_point",
     "roofline_curve",

@@ -15,13 +15,27 @@ Baseline behaviours implemented here (Table 2 semantics):
 * **FlightLLM** — N:M sparsity thins weight transfer and weight-matmul
   compute; during decode the attention intermediates (scores, softmax
   outputs, the current token's Q) stay on chip.
+
+**Fast path (layer-class deduplication).** All decoder blocks of one
+model run the *same* op geometry for a given workload; the only
+layer-dependent inputs to the latency model are the per-layer packed
+weight-transfer bits. :meth:`WorkloadSimulator.simulate` therefore
+groups layers into classes by their weight-bit signature, simulates one
+template layer per class, and replays the template's latency records and
+energy deltas for every member — O(n_classes x n_ops + n_layers) Python
+work instead of O(n_layers x n_ops), bit-identical to the reference walk
+(:meth:`WorkloadSimulator.simulate_reference`, property-tested in
+``tests/sim/test_fast_path_equivalence.py``). Plans whose layers are
+genuinely heterogeneous (e.g. exact per-layer packing statistics)
+degrade transparently: every distinct signature gets its own template,
+so the fast path never changes a modeled number, only skips repeats.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace as dc_replace
-from typing import List, Optional
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..core.plan import DataflowMode, ExecutionPlan
 from ..errors import SimulationError
@@ -52,14 +66,59 @@ def _compressed_tokens(count: int, keep_ratio: float) -> int:
     return max(1, math.ceil(count * keep_ratio))
 
 
+class _TapeLedger(EnergyLedger):
+    """Energy ledger that records every deposit it receives.
+
+    The fast path simulates one template layer per layer class on a tape
+    ledger, then replays the recorded per-event deltas once per member
+    layer. Replaying the identical sequence of ``+=`` operands that the
+    reference walk would have issued keeps the accumulated totals
+    *bit-identical* (float addition is order-sensitive, so merging
+    pre-summed per-layer totals would not be).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tape: List[Tuple[str, float]] = []
+
+    def _deposit(self, category: str, delta_pj: float) -> None:
+        self.picojoules[category] += delta_pj
+        self.tape.append((category, delta_pj))
+
+    def add_macs(self, n: float) -> None:
+        self._deposit("mac", n * self.costs.mac_pj)
+
+    def add_rf_bytes(self, n: float) -> None:
+        self._deposit("rf", n * self.costs.rf_pj_per_byte)
+
+    def add_bram_bytes(self, n: float) -> None:
+        self._deposit("bram", n * self.costs.bram_pj_per_byte)
+
+    def add_noc_bytes(self, n: float) -> None:
+        self._deposit("noc", n * self.costs.noc_pj_per_byte)
+
+    def add_dram_bits(self, n: float) -> None:
+        self._deposit("dram", n * self.costs.dram_pj_per_bit)
+
+
 @dataclass
 class WorkloadSimulator:
-    """Reusable simulator bound to a model, hardware config and plan."""
+    """Reusable simulator bound to a model, hardware config and plan.
+
+    ``dedup`` enables the layer-class fast path (see module docstring);
+    it is on by default and bit-identical to the reference walk. Set it
+    to ``False`` to force the O(n_layers x n_ops) reference path.
+    """
 
     model: TransformerConfig
     config: HardwareConfig
     plan: ExecutionPlan
     planner: Optional[PackingPlanner] = None
+    dedup: bool = True
+    #: Lazily computed per-layer weight-bit signatures (workload-independent).
+    _layer_sigs: Optional[Tuple[Hashable, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.plan.packing is not None and self.planner is None:
@@ -219,14 +278,83 @@ class WorkloadSimulator:
                 raise SimulationError(f"unhandled op kind {op.kind}")
         return records
 
+    # -------------------------------------------------- layer-class dedup
+    def _layer_signatures(self) -> Tuple[Hashable, ...]:
+        """Per-layer signature of everything the latency model reads.
+
+        Op geometry is layer-independent, so the signature reduces to
+        the per-layer weight-transfer bits: ``None`` transfers and N:M
+        sparsity are depth-independent (one class covers the whole
+        stack), while packed plans key each layer by its effective bits
+        per weight kind — layers sharing a planner depth bucket collapse
+        into one class, exact per-layer planners fall back to one class
+        per layer. Signatures depend only on (model, plan, planner), so
+        they are computed once per simulator.
+        """
+        if self._layer_sigs is None:
+            n = self.model.n_layers
+            if self.plan.packing is None or self.planner is None:
+                self._layer_sigs = (None,) * n
+            else:
+                table = self.planner.effective_bits_table(self.model)
+                kinds = sorted(table, key=lambda k: k.value)
+                self._layer_sigs = tuple(
+                    tuple(table[kind][layer] for kind in kinds) for layer in range(n)
+                )
+        return self._layer_sigs
+
     # ----------------------------------------------------------------- API
-    def simulate(self, workload: Workload) -> StageReport:
-        """Simulate the workload across every block of the model."""
+    def _check_workload(self, workload: Workload) -> None:
         if workload.model is not self.model and workload.model != self.model:
             raise SimulationError(
                 f"workload model {workload.model.name} does not match "
                 f"simulator model {self.model.name}"
             )
+
+    def simulate(self, workload: Workload) -> StageReport:
+        """Simulate the workload across every block of the model.
+
+        Uses the layer-class fast path when :attr:`dedup` is enabled:
+        one template layer is simulated per distinct weight-bit
+        signature and its records/energy deltas are replayed for every
+        member layer. The resulting report is bit-identical to
+        :meth:`simulate_reference` (member layers share the template's
+        ``OpLatency`` list, which is immutable in practice).
+        """
+        if not self.dedup:
+            return self.simulate_reference(workload)
+        self._check_workload(workload)
+        energy = EnergyLedger()
+        picojoules = energy.picojoules
+        templates: Dict[Hashable, Tuple[List[OpLatency], List[Tuple[str, float]]]] = {}
+        layer_ops: List[List[OpLatency]] = []
+        for layer, sig in enumerate(self._layer_signatures()):
+            entry = templates.get(sig)
+            if entry is None:
+                tape_ledger = _TapeLedger()
+                entry = (self._simulate_layer(workload, layer, tape_ledger), tape_ledger.tape)
+                templates[sig] = entry
+            records, tape = entry
+            layer_ops.append(records)
+            for category, delta_pj in tape:
+                picojoules[category] += delta_pj
+        return StageReport(
+            workload=workload,
+            config=self.config,
+            plan_name=self.plan.name,
+            layer_ops=layer_ops,
+            energy=energy,
+        )
+
+    def simulate_reference(self, workload: Workload) -> StageReport:
+        """Reference path: walk every op of every layer individually.
+
+        This is the original O(n_layers x n_ops) implementation the fast
+        path is verified against; the equivalence suite asserts exact
+        float equality between the two on latency, energy and per-stage
+        breakdowns.
+        """
+        self._check_workload(workload)
         energy = EnergyLedger()
         layer_ops = [
             self._simulate_layer(workload, layer, energy)

@@ -1,0 +1,152 @@
+"""LatencySurface: a compact operating-point table over the simulator.
+
+Serving-style callers (the continuous-batching scheduler, fleet sweeps)
+only consume three scalars per simulated operating point — latency,
+cycles, energy — yet :meth:`~repro.sim.layer_sim.WorkloadSimulator.simulate`
+hands them a full :class:`~repro.sim.breakdown.StageReport` holding
+per-layer, per-op latency records. The surface sits between the two: it
+maps ``(stage, context, batch)`` to a frozen :class:`SurfacePoint`,
+filling entries lazily through the simulator's fast path and retaining
+only the scalars. A long serving stream therefore costs one fast
+simulation per *distinct* operating point plus a dict lookup per repeat,
+and holds a few floats per point instead of thousands of records.
+
+Numbers are exact: every point is produced by the same simulator the
+slow path uses, so ``latency_s`` and ``energy_uj`` equal the full
+report's values bit for bit. Per-op breakdowns are still available — ask
+for them explicitly via :meth:`LatencySurface.report`, which materializes
+a full :class:`StageReport` on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from ..errors import SimulationError
+from ..models import Stage, Workload, decode_workload, prefill_workload
+from .breakdown import StageReport
+from .layer_sim import WorkloadSimulator
+
+__all__ = ["SurfacePoint", "LatencySurface"]
+
+
+@dataclass(frozen=True)
+class SurfacePoint:
+    """The scalars of one simulated operating point.
+
+    ``tokens`` is the prompt length for prefill points and the total
+    context length for decode points (mirroring the workload builders).
+    """
+
+    stage: Stage
+    tokens: int
+    batch: int
+    latency_s: float
+    total_cycles: float
+    energy_uj: float
+
+    @property
+    def latency_ms(self) -> float:
+        """Latency in milliseconds."""
+        return self.latency_s * 1e3
+
+
+class LatencySurface:
+    """Lazily filled (stage, context, batch) -> :class:`SurfacePoint` table.
+
+    The table is bound to one simulator (hence one model / hardware /
+    plan); keys are plain integers so hot callers never construct
+    :class:`~repro.models.Workload` objects on a hit. The entry count is
+    bounded by ``max_seq_len x distinct batch sizes`` per stage — a few
+    floats each — so no eviction is needed even for million-token
+    streams.
+    """
+
+    def __init__(self, simulator: WorkloadSimulator) -> None:
+        self._sim = simulator
+        self._points: Dict[Tuple[Stage, int, int], SurfacePoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def simulator(self) -> WorkloadSimulator:
+        """The underlying simulator (model / config / plan binding)."""
+        return self._sim
+
+    # ------------------------------------------------------------- lookup
+    def _insert(self, workload: Workload) -> SurfacePoint:
+        report = self._sim.simulate(workload)
+        point = SurfacePoint(
+            stage=workload.stage,
+            tokens=workload.kv_len,
+            batch=workload.batch,
+            latency_s=report.latency_s,
+            total_cycles=report.total_cycles,
+            energy_uj=report.energy.total_uj,
+        )
+        self._points[(workload.stage, workload.kv_len, workload.batch)] = point
+        return point
+
+    def prefill(self, prompt_tokens: int, batch: int = 1) -> SurfacePoint:
+        """Point for a prefill pass over ``prompt_tokens`` tokens."""
+        point = self._points.get((Stage.PREFILL, prompt_tokens, batch))
+        if point is None:
+            point = self._insert(prefill_workload(self._sim.model, prompt_tokens, batch))
+        return point
+
+    def decode(self, context_len: int, batch: int = 1) -> SurfacePoint:
+        """Point for one decode step over ``context_len`` total tokens."""
+        point = self._points.get((Stage.DECODE, context_len, batch))
+        if point is None:
+            point = self._insert(decode_workload(self._sim.model, context_len, batch))
+        return point
+
+    def point(self, workload: Workload) -> SurfacePoint:
+        """Point for an arbitrary workload of the surface's model."""
+        # Check the model up front, not only on the miss path inside the
+        # simulator — otherwise a foreign workload that happens to share
+        # a (stage, context, batch) key with a cached entry would
+        # silently return this model's numbers.
+        model = self._sim.model
+        if workload.model is not model and workload.model != model:
+            raise SimulationError(
+                f"workload model {workload.model.name} does not match "
+                f"surface model {model.name}"
+            )
+        point = self._points.get((workload.stage, workload.kv_len, workload.batch))
+        if point is None:
+            point = self._insert(workload)
+        return point
+
+    # ------------------------------------------------------ materialization
+    def materialize(
+        self,
+        prefill_tokens: Iterable[int] = (),
+        decode_contexts: Iterable[int] = (),
+        batches: Iterable[int] = (1,),
+    ) -> int:
+        """Precompute a grid of points; returns the table size after.
+
+        Useful before handing the surface to a latency-sensitive driver
+        (e.g. an interactive sweep) so every lookup in the hot loop is a
+        dict hit.
+        """
+        batch_list = tuple(batches)
+        for tokens in prefill_tokens:
+            for batch in batch_list:
+                self.prefill(tokens, batch)
+        for context in decode_contexts:
+            for batch in batch_list:
+                self.decode(context, batch)
+        return len(self._points)
+
+    def report(self, workload: Workload) -> StageReport:
+        """Full per-op report for one point (materialized on demand).
+
+        The surface deliberately does not retain reports; callers that
+        need op-level breakdowns (traces, stacked-bar figures) pay for
+        the materialization only when they ask.
+        """
+        return self._sim.simulate(workload)

@@ -18,6 +18,7 @@ and prices it tile by tile. Two uses:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 from typing import Iterator, Tuple
 
 from ..errors import CapacityError, ScheduleError
@@ -108,6 +109,7 @@ class TiledGemm:
         return total
 
     # ------------------------------------------------------------ refetch
+    @cached_property
     def _refetch_factors(self) -> Tuple[int, int]:
         """(weight, input) DRAM stream counts under the best loop order.
 
@@ -136,14 +138,15 @@ class TiledGemm:
     @property
     def weight_refetch_factor(self) -> int:
         """How many times the full weight matrix streams from DRAM."""
-        return self._refetch_factors()[0]
+        return self._refetch_factors[0]
 
     @property
     def input_refetch_factor(self) -> int:
         """How many times the activations stream from DRAM."""
-        return self._refetch_factors()[1]
+        return self._refetch_factors[1]
 
 
+@lru_cache(maxsize=16384)
 def plan_tiled_gemm(
     config: HardwareConfig, rows: int, reduce: int, cols: int
 ) -> TiledGemm:
@@ -153,6 +156,11 @@ def plan_tiled_gemm(
     bounds ``rows x reduce``, and the output RF bounds ``rows x cols``
     accumulators. Tiles prefer full reduction depth (output-stationary
     accumulation), then wide columns, then rows.
+
+    Results are memoized on ``(config, rows, reduce, cols)`` — configs
+    are frozen and GEMM shapes repeat across layers, decode steps and
+    sweeps, so the schedule (and its refetch analysis, cached on the
+    returned :class:`TiledGemm`) is constructed once per distinct shape.
     """
     if min(rows, reduce, cols) < 1:
         raise ScheduleError(f"GEMM dims must be >= 1, got {rows}x{reduce}x{cols}")

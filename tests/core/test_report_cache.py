@@ -1,0 +1,85 @@
+"""Tests for MeadowEngine's report cache (LRU) and fast-path surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MeadowEngine
+from repro.models import Stage, decode_workload, prefill_workload
+from repro.sim import LatencySurface
+
+
+@pytest.fixture()
+def engine(small_model, zcu12, shared_planner):
+    return MeadowEngine(small_model, zcu12, planner=shared_planner)
+
+
+class TestReportCacheLRU:
+    def test_hit_returns_same_report(self, engine, small_model):
+        wl = decode_workload(small_model, 128)
+        assert engine.simulate_cached(wl) is engine.simulate_cached(wl)
+
+    def test_capacity_respected(self, engine, small_model):
+        engine.REPORT_CACHE_MAX = 3
+        for ctx in range(100, 110):
+            engine.simulate_cached(decode_workload(small_model, ctx))
+        assert len(engine._report_cache) == 3
+
+    def test_eviction_is_least_recently_used(self, engine, small_model):
+        """A re-hit entry survives eviction; the stale one goes.
+
+        The seed's FIFO eviction dropped the *hottest* early entries of
+        a long stream (the first-inserted key was always the victim,
+        however recently it was hit); true LRU must evict the least
+        recently *used* key instead.
+        """
+        engine.REPORT_CACHE_MAX = 2
+        hot = decode_workload(small_model, 100)
+        cold = decode_workload(small_model, 101)
+        hot_report = engine.simulate_cached(hot)   # insert hot
+        engine.simulate_cached(cold)               # insert cold
+        engine.simulate_cached(hot)                # refresh hot
+        engine.simulate_cached(decode_workload(small_model, 102))  # evicts cold
+        assert hot in engine._report_cache
+        assert cold not in engine._report_cache
+        assert engine.simulate_cached(hot) is hot_report
+
+    def test_distinct_workloads_distinct_entries(self, engine, small_model):
+        engine.simulate_cached(decode_workload(small_model, 128))
+        engine.simulate_cached(decode_workload(small_model, 128, batch=2))
+        engine.simulate_cached(prefill_workload(small_model, 128))
+        assert len(engine._report_cache) == 3
+
+
+class TestSimulateFast:
+    def test_matches_full_simulation_exactly(self, engine, small_model):
+        for wl in (
+            prefill_workload(small_model, 128),
+            decode_workload(small_model, 300, batch=4),
+        ):
+            point = engine.simulate_fast(wl)
+            report = engine.simulate(wl)
+            assert point.latency_s == report.latency_s
+            assert point.total_cycles == report.total_cycles
+            assert point.energy_uj == report.energy.total_uj
+
+    def test_surface_is_lazy_and_shared(self, engine, small_model):
+        assert engine._surface is None
+        surface = engine.surface
+        assert isinstance(surface, LatencySurface)
+        assert engine.surface is surface
+        engine.simulate_fast(decode_workload(small_model, 140))
+        assert len(surface) == 1
+
+    def test_fast_points_never_evict(self, engine, small_model):
+        engine.REPORT_CACHE_MAX = 2  # surface is independent of the LRU
+        for ctx in range(100, 120):
+            engine.simulate_fast(decode_workload(small_model, ctx))
+        assert len(engine.surface) == 20
+
+    def test_point_fields(self, engine, small_model):
+        point = engine.simulate_fast(decode_workload(small_model, 150, batch=2))
+        assert point.stage is Stage.DECODE
+        assert point.tokens == 150
+        assert point.batch == 2
+        assert point.latency_s > 0 and point.energy_uj > 0

@@ -73,3 +73,50 @@ class TestServeCommand:
             == 0
         )
         assert "32.00 MB" in capsys.readouterr().out
+
+
+class TestFidelitySpeedKnobs:
+    """--ctx-bucket / --max-batch trade fidelity for speed from the shell."""
+
+    def test_knobs_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--ctx-bucket", "1", "--max-batch", "4"]
+        )
+        assert args.ctx_bucket == 1
+        assert args.max_batch == 4
+
+    def test_knobs_reported_in_output(self, capsys):
+        argv = [
+            "serve", "--requests", "4", "--plan", "gemm",
+            "--ctx-bucket", "8", "--max-batch", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "max_batch=2" in out
+        assert "ctx_bucket=8" in out
+
+    def test_exact_contexts_run(self, capsys):
+        """ctx_bucket=1 (exact simulation, no quantization) still serves."""
+        argv = [
+            "serve", "--requests", "4", "--plan", "gemm", "--ctx-bucket", "1",
+        ]
+        assert main(argv) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_bucket_changes_modeled_latency(self, capsys):
+        """Coarser buckets round contexts up: a different (conservative)
+        operating point, hence different fleet latencies."""
+        base = ["serve", "--requests", "8", "--seed", "2", "--plan", "gemm"]
+        main(base + ["--ctx-bucket", "1"])
+        exact = capsys.readouterr().out.split("throughput")[1]
+        main(base + ["--ctx-bucket", "64"])
+        coarse = capsys.readouterr().out.split("throughput")[1]
+        assert exact != coarse
+
+    def test_invalid_knobs_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["serve", "--requests", "4", "--plan", "gemm", "--max-batch", "0"])
+        with pytest.raises(ConfigError):
+            main(["serve", "--requests", "4", "--plan", "gemm", "--ctx-bucket", "0"])

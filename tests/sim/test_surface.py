@@ -1,0 +1,103 @@
+"""Tests for the LatencySurface compact operating-point table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecutionPlan
+from repro.errors import ConfigError
+from repro.models import Stage, decode_workload, prefill_workload
+from repro.sim import LatencySurface, WorkloadSimulator
+
+
+@pytest.fixture()
+def surface(small_model, zcu12, shared_planner):
+    sim = WorkloadSimulator(small_model, zcu12, ExecutionPlan.meadow(), shared_planner)
+    return LatencySurface(sim)
+
+
+class TestPoints:
+    def test_prefill_matches_full_simulation(self, surface, small_model):
+        point = surface.prefill(128)
+        report = surface.simulator.simulate(prefill_workload(small_model, 128))
+        assert point.latency_s == report.latency_s
+        assert point.total_cycles == report.total_cycles
+        assert point.energy_uj == report.energy.total_uj
+        assert point.stage is Stage.PREFILL
+        assert point.tokens == 128 and point.batch == 1
+
+    def test_decode_matches_full_simulation(self, surface, small_model):
+        point = surface.decode(256, batch=4)
+        report = surface.simulator.simulate(decode_workload(small_model, 256, batch=4))
+        assert point.latency_s == report.latency_s
+        assert point.energy_uj == report.energy.total_uj
+        assert point.stage is Stage.DECODE
+        assert point.tokens == 256 and point.batch == 4
+
+    def test_latency_ms_property(self, surface):
+        point = surface.prefill(64)
+        assert point.latency_ms == point.latency_s * 1e3
+
+    def test_point_accepts_arbitrary_workload(self, surface, small_model):
+        wl = decode_workload(small_model, 100, batch=2)
+        assert surface.point(wl) is surface.decode(100, batch=2)
+
+
+class TestCaching:
+    def test_repeats_hit_the_same_object(self, surface):
+        first = surface.decode(200)
+        assert surface.decode(200) is first
+        assert len(surface) == 1
+
+    def test_distinct_points_accumulate(self, surface):
+        surface.prefill(64)
+        surface.decode(64, batch=2)
+        surface.decode(64)
+        surface.decode(65)
+        assert len(surface) == 4
+
+    def test_prefill_and_decode_do_not_collide(self, surface):
+        """Same (tokens, batch) in both stages must be distinct entries."""
+        p = surface.prefill(96)
+        d = surface.decode(96)
+        assert p is not d
+        assert p.latency_s != d.latency_s
+
+    def test_materialize_precomputes_grid(self, surface):
+        surface.materialize(prefill_tokens=[64, 128])
+        n = surface.materialize(decode_contexts=[128, 144, 160], batches=[1, 2])
+        assert n == len(surface) == 8
+        # The hot loop after materialization is pure dict hits.
+        before = len(surface)
+        surface.decode(144, batch=2)
+        assert len(surface) == before
+
+
+class TestMaterialization:
+    def test_report_returns_full_breakdown(self, surface, small_model):
+        wl = prefill_workload(small_model, 64)
+        point = surface.point(wl)
+        report = surface.report(wl)
+        assert report.latency_s == point.latency_s
+        assert report.n_layers == small_model.n_layers
+        assert all(len(ops) > 0 for ops in report.layer_ops)
+
+    def test_reports_are_not_retained(self, surface, small_model):
+        wl = prefill_workload(small_model, 64)
+        surface.report(wl)
+        # Materializing a report does not populate the scalar table.
+        assert len(surface) == 0
+
+    def test_invalid_context_still_rejected(self, surface):
+        with pytest.raises(ConfigError):
+            surface.decode(0)
+        with pytest.raises(ConfigError):
+            surface.prefill(-1)
+
+    def test_foreign_model_rejected_even_on_cache_hit(self, surface, tiny_model):
+        """A cached (stage, ctx, batch) key must not serve another model."""
+        from repro.errors import SimulationError
+
+        surface.decode(64)  # warm the (DECODE, 64, 1) key
+        with pytest.raises(SimulationError):
+            surface.point(decode_workload(tiny_model, 64))
