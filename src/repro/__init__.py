@@ -11,7 +11,10 @@ The package models the full MEADOW stack in Python:
 * :mod:`repro.sim` — cycle-level performance simulator (GEMM + TPHS);
 * :mod:`repro.core` — execution plans, dataflow selector, MeadowEngine;
 * :mod:`repro.baselines` — GEMM / CTA / FlightLLM comparison systems;
-* :mod:`repro.analysis` — sweeps and table/figure renderers.
+* :mod:`repro.analysis` — sweeps and table/figure renderers;
+* :mod:`repro.serving` — request-level multi-user serving simulation;
+* :mod:`repro.fleet` — multi-engine sharded serving, routing policies
+  and the Pareto sweep driver.
 
 Quickstart::
 
@@ -39,6 +42,13 @@ from .errors import (
     ReproError,
     ScheduleError,
     SimulationError,
+)
+from .fleet import (
+    FleetReport,
+    FleetSimulator,
+    ROUTING_POLICIES,
+    SweepDriver,
+    make_policy,
 )
 from .hardware import HardwareConfig, ZCU102, scaled_pe_config, zcu102_config
 from .models import (
@@ -123,6 +133,11 @@ __all__ = [
     "ClosedLoopSource",
     "ServingSimulator",
     "FleetMetrics",
+    "FleetSimulator",
+    "FleetReport",
+    "SweepDriver",
+    "ROUTING_POLICIES",
+    "make_policy",
     "StageReport",
     "GenerationLatency",
     "simulate",

@@ -9,6 +9,8 @@ Examples::
     python -m repro grid --model opt-125m
     python -m repro resources --pes 96
     python -m repro serve --model opt-125m --requests 64 --arrival poisson --seed 0
+    python -m repro fleet --model opt-125m --bandwidths 12 6 3 1 --arrival bursty
+    python -m repro fleet --model opt-125m --bandwidths 12 1 --sweep --json pareto.json
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from typing import List, Optional
 from .analysis import format_table, speedup, ttft_sweep
 from .baselines import cta, flightllm, gemm_baseline
 from .core import ExecutionPlan, MeadowEngine, dataflow_grid
+from .fleet.routing import POLICY_NAMES
 from .hardware import zcu102_config
 from .hardware.power import PowerModel
 from .hardware.resources import ZCU102_PART, ZCU104_PART, estimate_resources
@@ -112,6 +115,50 @@ def build_parser() -> argparse.ArgumentParser:
                         "before simulation (1 = exact; larger = faster)")
     p.add_argument("--kv-budget-mb", type=float, default=None,
                    help="override the DRAM-derived KV budget")
+
+    p = sub.add_parser(
+        "fleet", help="multi-engine sharded serving and Pareto sweeps"
+    )
+    p.add_argument("--model", default="opt-125m")
+    p.add_argument("--plan", choices=sorted(_PLANS), default="meadow")
+    p.add_argument("--bandwidths", type=float, nargs="+",
+                   default=[12.0, 6.0, 3.0, 1.0],
+                   help="per-shard DRAM bandwidth profile (Gbps); a fleet "
+                        "of k engines cycles through this list")
+    p.add_argument("--policy", choices=POLICY_NAMES,
+                   default="predicted-latency",
+                   help="routing policy for a single fleet run")
+    p.add_argument("--requests", type=int, default=48)
+    p.add_argument(
+        "--arrival", choices=["poisson", "bursty", "closed-loop"], default="bursty"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rate", type=float, default=8.0, help="poisson: requests/s")
+    p.add_argument("--burst-size", type=int, default=8)
+    p.add_argument("--burst-gap", type=float, default=0.25, help="bursty: seconds")
+    p.add_argument("--users", type=int, default=8, help="closed-loop population")
+    p.add_argument("--think-time", type=float, default=0.25, help="closed-loop: s")
+    p.add_argument("--prompt-tokens", type=int, nargs=2, default=[64, 256],
+                   metavar=("LO", "HI"), help="uniform prompt-length range")
+    p.add_argument("--output-tokens", type=int, nargs=2, default=[24, 96],
+                   metavar=("MEAN", "MAX"), help="geometric output-length model")
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--ctx-bucket", type=int, default=16)
+    p.add_argument("--kv-budget-mb", type=float, default=None,
+                   help="per-shard override of the DRAM-derived KV budget")
+    p.add_argument("--sweep", action="store_true",
+                   help="evaluate the (engines x policy x knob) grid and "
+                        "report the Pareto front instead of one run")
+    p.add_argument("--num-engines", type=int, nargs="+", default=None,
+                   help="sweep: fleet sizes (default: len(--bandwidths))")
+    p.add_argument("--policies", nargs="+", choices=POLICY_NAMES, default=None,
+                   help="sweep: routing policies (default: all)")
+    p.add_argument("--max-batches", type=int, nargs="+", default=None,
+                   help="sweep: max_batch grid (default: [--max-batch])")
+    p.add_argument("--ctx-buckets", type=int, nargs="+", default=None,
+                   help="sweep: ctx_bucket grid (default: [--ctx-bucket])")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="sweep: also write the versioned Pareto document")
     return parser
 
 
@@ -233,32 +280,45 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return render_gantt(layer_events, width=70)
 
 
-def _cmd_serve(args: argparse.Namespace) -> str:
+def _source_factory(args: argparse.Namespace):
+    """Seeded scenario factory from the shared serve/fleet CLI knobs.
+
+    Returns a zero-argument callable producing a *fresh* source per
+    call (closed-loop sources are single-use; sweeps re-run scenarios).
+    """
     from .serving import (
         ClosedLoopSource,
         LengthDistribution,
-        ServingSimulator,
         bursty_stream,
         poisson_stream,
     )
 
-    model = get_model(args.model)
     prompt_dist = LengthDistribution("uniform", *args.prompt_tokens)
     output_dist = LengthDistribution("geometric", *args.output_tokens)
-    if args.arrival == "poisson":
-        source = poisson_stream(
-            args.requests, args.rate, prompt_dist, output_dist, seed=args.seed
-        )
-    elif args.arrival == "bursty":
-        source = bursty_stream(
-            args.requests, args.burst_size, args.burst_gap,
-            prompt_dist, output_dist, seed=args.seed,
-        )
-    else:
-        source = ClosedLoopSource(
+
+    def factory():
+        if args.arrival == "poisson":
+            return poisson_stream(
+                args.requests, args.rate, prompt_dist, output_dist, seed=args.seed
+            )
+        if args.arrival == "bursty":
+            return bursty_stream(
+                args.requests, args.burst_size, args.burst_gap,
+                prompt_dist, output_dist, seed=args.seed,
+            )
+        return ClosedLoopSource(
             args.users, args.requests, args.think_time,
             prompt_dist, output_dist, seed=args.seed,
         )
+
+    return factory
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from .serving import ServingSimulator
+
+    model = get_model(args.model)
+    source = _source_factory(args)()
     engine = MeadowEngine(model, zcu102_config(args.bandwidth), _PLANS[args.plan]())
     budget = (
         int(args.kv_budget_mb * 1024 * 1024)
@@ -280,6 +340,78 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return report.metrics.format_report(title)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    from .fleet import FleetSimulator, SweepDriver
+
+    model = get_model(args.model)
+    base = MeadowEngine(
+        model, zcu102_config(args.bandwidths[0]), _PLANS[args.plan]()
+    )
+    budget = (
+        int(args.kv_budget_mb * 1024 * 1024)
+        if args.kv_budget_mb is not None
+        else None
+    )
+    factory = _source_factory(args)
+
+    if not args.sweep:
+        # One engine per *distinct* bandwidth: shards sharing hardware
+        # share the engine (and its warm latency surface), so repeated
+        # profile entries like `12 1 12 1` cost nothing extra.
+        by_bandwidth = {base.config.dram_bandwidth_gbps: base}
+        for bw in args.bandwidths:
+            if bw not in by_bandwidth:
+                by_bandwidth[bw] = base.clone(
+                    config=base.config.with_bandwidth(bw)
+                )
+        engines = [by_bandwidth[bw] for bw in args.bandwidths]
+        fleet = FleetSimulator(
+            engines,
+            policy=args.policy,
+            kv_budget_bytes=budget,
+            max_batch=args.max_batch,
+            ctx_bucket=args.ctx_bucket,
+        )
+        report = fleet.run(factory())
+        header = (
+            f"fleet bandwidth profile: "
+            f"{' '.join(f'{b:g}' for b in args.bandwidths)} Gbps — "
+            f"{args.requests} requests, {args.arrival} arrivals (seed {args.seed})"
+        )
+        return header + "\n" + report.describe()
+
+    driver = SweepDriver(
+        base,
+        bandwidths_gbps=args.bandwidths,
+        kv_budget_bytes=(
+            [budget] * len(args.bandwidths) if budget is not None else None
+        ),
+    )
+    result = driver.sweep(
+        factory,
+        n_engines_grid=args.num_engines or [len(args.bandwidths)],
+        policies=args.policies or list(POLICY_NAMES),
+        max_batch_grid=args.max_batches or [args.max_batch],
+        ctx_bucket_grid=args.ctx_buckets or [args.ctx_bucket],
+    )
+    lines = [
+        (
+            f"fleet sweep: {model.name} plan={args.plan}, profile "
+            f"{' '.join(f'{b:g}' for b in args.bandwidths)} Gbps, "
+            f"{args.requests} requests, {args.arrival} arrivals (seed {args.seed})"
+        ),
+        result.format_table(),
+        f"Pareto front: {len(result.pareto_front())} of {len(result.points)} points",
+    ]
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+        lines.append(f"wrote {args.json}")
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "ttft": _cmd_ttft,
     "tbt": _cmd_tbt,
@@ -291,6 +423,7 @@ _COMMANDS = {
     "fidelity": _cmd_fidelity,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -199,11 +199,41 @@ class MeadowEngine:
 
         return PowerModel(self.config).report(report.energy, report.latency_s)
 
-    def with_bandwidth(self, gbps: float) -> "MeadowEngine":
-        """Clone the engine at a different DRAM bandwidth (sweeps)."""
+    def clone(
+        self,
+        config: Optional[HardwareConfig] = None,
+        plan: Optional[ExecutionPlan] = None,
+    ) -> "MeadowEngine":
+        """Cheap engine variant sharing this engine's packing planner.
+
+        Packing statistics depend only on (model, packing config) — not
+        on bandwidth or PE counts — so fleet sweeps that fan one
+        deployment out across hardware variants reuse every memoized
+        stat instead of re-deriving them per clone. Caches that *do*
+        depend on hardware (the report cache, the latency surface)
+        start empty in the clone. The planner is only shared when the
+        clone keeps this engine's packing config; a different plan gets
+        its own planner.
+        """
+        plan = plan if plan is not None else self.plan
+        planner = self._sim.planner if plan.packing == self.plan.packing else None
         return MeadowEngine(
             self.model,
-            self.config.with_bandwidth(gbps),
-            self.plan,
-            self._sim.planner,
+            config if config is not None else self.config,
+            plan,
+            planner,
         )
+
+    def with_bandwidth(self, gbps: float) -> "MeadowEngine":
+        """Clone the engine at a different DRAM bandwidth (sweeps)."""
+        return self.clone(config=self.config.with_bandwidth(gbps))
+
+    def load_surface(self, data) -> LatencySurface:
+        """Adopt a serialized surface (see :meth:`LatencySurface.to_json`).
+
+        Subsequent :meth:`simulate_fast` / scheduler lookups hit the
+        loaded points without simulating; misses still fall through to
+        this engine's simulator. Replaces any surface built so far.
+        """
+        self._surface = LatencySurface.from_json(data, self._sim)
+        return self._surface

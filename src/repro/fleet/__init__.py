@@ -1,0 +1,56 @@
+"""Fleet-scale serving: multi-engine sharding, routing, Pareto sweeps.
+
+Layers a fleet of :class:`~repro.serving.ContinuousBatchingScheduler`
+shards — each backed by its own (possibly heterogeneous)
+:class:`~repro.core.MeadowEngine` — under one global request stream:
+
+* :mod:`repro.fleet.routing` — pluggable placement policies
+  (round-robin, join-shortest-queue, least-KV-pressure, and the
+  surface-informed predicted-latency router);
+* :mod:`repro.fleet.simulator` — the two-level discrete-event fleet
+  loop with per-shard event logs and conservation guarantees;
+* :mod:`repro.fleet.metrics` — merging shard results into fleet-wide
+  percentiles, throughput and exact peak-KV;
+* :mod:`repro.fleet.sweep` — the surface-powered
+  ``(engines x policy x max_batch x ctx_bucket)`` Pareto sweep driver.
+"""
+
+from .metrics import merge_results, merged_peak_kv_bytes
+from .routing import (
+    JoinShortestQueuePolicy,
+    LeastKVPressurePolicy,
+    POLICY_NAMES,
+    PredictedLatencyPolicy,
+    ROUTING_POLICIES,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    make_policy,
+)
+from .simulator import FleetReport, FleetResult, FleetSimulator, RoutingDecision
+from .sweep import (
+    FleetSweepResult,
+    SWEEP_SCHEMA_VERSION,
+    SweepDriver,
+    SweepPoint,
+)
+
+__all__ = [
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "JoinShortestQueuePolicy",
+    "LeastKVPressurePolicy",
+    "PredictedLatencyPolicy",
+    "ROUTING_POLICIES",
+    "POLICY_NAMES",
+    "make_policy",
+    "RoutingDecision",
+    "FleetResult",
+    "FleetReport",
+    "FleetSimulator",
+    "merge_results",
+    "merged_peak_kv_bytes",
+    "SweepPoint",
+    "FleetSweepResult",
+    "SweepDriver",
+    "SWEEP_SCHEMA_VERSION",
+]

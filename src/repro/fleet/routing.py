@@ -1,0 +1,213 @@
+"""Routing policies: which shard of a fleet serves the next request.
+
+A policy sees the arriving :class:`~repro.serving.Request` and one
+:class:`~repro.serving.SchedulerSnapshot` per *feasible* shard (shards
+whose model context and KV budget could ever hold the request are
+pre-filtered by the fleet simulator) and returns the chosen shard id.
+Policies are deterministic: given the same request and snapshots they
+always pick the same shard, and every tie is broken by ascending shard
+id — so a seeded scenario maps to exactly one fleet timeline.
+
+Four policies ship, in increasing awareness of shard state:
+
+* **round-robin** — cycles through the feasible shards, blind to load.
+  The baseline every load balancer is measured against.
+* **jsq** (join-shortest-queue) — fewest requests anywhere in the shard
+  (waiting or decoding). The classic heterogeneity-blind balancer.
+* **least-kv** — lowest committed-plus-queued worst-case KV demand as a
+  fraction of the shard's budget; the right signal when admission
+  control, not compute, is the bottleneck.
+* **predicted-latency** — estimates the request's TTFT on every shard
+  from the shard's own :class:`~repro.sim.surface.LatencySurface` and
+  picks the minimum. Because the surface embeds the shard's bandwidth,
+  packing plan and PE fabric, this is the only policy that exploits
+  *heterogeneous* fleets (a 12 Gbps box finishes a prefill that a
+  1 Gbps box would still be streaming weights for).
+
+The predicted-latency model mirrors the scheduler's actual policy
+(prefill-before-decode, FCFS):
+
+``wait-until-free + queued prefill work + own prefill``
+
+plus, only when the shard's KV budget could not hold the request on
+arrival, the decode-drain time to free enough reservations. All terms
+are surface lookups, so routing costs dict hits after warm-up and never
+perturbs the modeled numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..serving.request import Request
+from ..serving.scheduler import SchedulerSnapshot
+
+__all__ = [
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "JoinShortestQueuePolicy",
+    "LeastKVPressurePolicy",
+    "PredictedLatencyPolicy",
+    "ROUTING_POLICIES",
+    "make_policy",
+]
+
+
+class RoutingPolicy:
+    """Protocol for fleet routing decisions.
+
+    Subclasses override :meth:`route`; stateful policies (round-robin)
+    also override :meth:`reset`, which the fleet simulator calls once
+    per run so one policy object can drive many runs reproducibly.
+    """
+
+    name: str = "policy"
+
+    def reset(self, n_shards: int) -> None:
+        """Forget per-run state (called before every fleet run)."""
+
+    def route(
+        self,
+        request: Request,
+        now_s: float,
+        snapshots: Sequence[SchedulerSnapshot],
+    ) -> int:
+        """Pick the serving shard; return its ``shard_id``.
+
+        ``snapshots`` holds one entry per feasible shard, ordered by
+        ascending shard id (never empty).
+        """
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through the feasible shards, blind to their state."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def reset(self, n_shards: int) -> None:
+        self._turn = 0
+
+    def route(
+        self,
+        request: Request,
+        now_s: float,
+        snapshots: Sequence[SchedulerSnapshot],
+    ) -> int:
+        # The cursor counts *decisions*, not shards, so a request whose
+        # feasible set is narrower than the fleet still advances the
+        # rotation deterministically.
+        choice = snapshots[self._turn % len(snapshots)]
+        self._turn += 1
+        return choice.shard_id
+
+
+class JoinShortestQueuePolicy(RoutingPolicy):
+    """Fewest requests in the shard (waiting + decoding); ties by id."""
+
+    name = "jsq"
+
+    def route(
+        self,
+        request: Request,
+        now_s: float,
+        snapshots: Sequence[SchedulerSnapshot],
+    ) -> int:
+        best = min(snapshots, key=lambda s: (s.n_in_system, s.shard_id))
+        return best.shard_id
+
+
+class LeastKVPressurePolicy(RoutingPolicy):
+    """Lowest (reserved + queued worst-case) KV demand over budget."""
+
+    name = "least-kv"
+
+    def route(
+        self,
+        request: Request,
+        now_s: float,
+        snapshots: Sequence[SchedulerSnapshot],
+    ) -> int:
+        best = min(snapshots, key=lambda s: (s.kv_pressure, s.shard_id))
+        return best.shard_id
+
+
+class PredictedLatencyPolicy(RoutingPolicy):
+    """Minimize the surface-predicted TTFT of this request per shard."""
+
+    name = "predicted-latency"
+
+    def predicted_ttft_s(
+        self, request: Request, now_s: float, snap: SchedulerSnapshot
+    ) -> float:
+        """Model the request's TTFT were it routed to this shard now.
+
+        Exact under the shard's own scheduling policy up to batching
+        effects: prefills run before decodes and FCFS ties are id-
+        ordered, so a new arrival waits for (a) the step in flight,
+        (b) every queued prefill ahead of it, then (c) its own prefill.
+        When the KV budget cannot cover the queued demand plus this
+        request, admission additionally waits for in-flight decodes to
+        drain reservations — approximated by the remaining decode
+        tokens at the shard's current batched-decode rate.
+        """
+        surface = snap.engine.surface
+        wait_s = max(0.0, snap.clock_s - now_s)
+        queued_s = sum(
+            surface.prefill(tokens).latency_s
+            for tokens in snap.waiting_prompt_tokens
+        )
+        own_s = surface.prefill(request.prompt_tokens).latency_s
+        predicted = wait_s + queued_s + own_s
+
+        model = snap.engine.model
+        own_kv = model.n_layers * model.kv_cache_bytes_per_layer(
+            request.total_tokens, snap.engine.config.act_bits
+        )
+        demand = snap.kv_reserved_bytes + snap.waiting_kv_bytes + own_kv
+        if demand > snap.kv_budget_bytes and snap.n_decoding > 0:
+            # Admission-blocked: charge the decode drain that must free
+            # reservations first, at the shard's current batch rate.
+            ctx = min(snap.decode_context + 1, model.max_seq_len)
+            step = surface.decode(ctx, batch=snap.n_decoding).latency_s
+            steps = (snap.remaining_decode_tokens + snap.n_decoding - 1) // snap.n_decoding
+            predicted += step * steps
+        return predicted
+
+    def route(
+        self,
+        request: Request,
+        now_s: float,
+        snapshots: Sequence[SchedulerSnapshot],
+    ) -> int:
+        best = min(
+            snapshots,
+            key=lambda s: (self.predicted_ttft_s(request, now_s, s), s.shard_id),
+        )
+        return best.shard_id
+
+
+#: Name -> constructor registry (CLI / sweep grids enumerate this).
+ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    JoinShortestQueuePolicy.name: JoinShortestQueuePolicy,
+    LeastKVPressurePolicy.name: LeastKVPressurePolicy,
+    PredictedLatencyPolicy.name: PredictedLatencyPolicy,
+}
+
+#: Deterministic enumeration order for sweeps and CLI defaults.
+POLICY_NAMES: Tuple[str, ...] = tuple(sorted(ROUTING_POLICIES))
+
+
+def make_policy(name: str) -> RoutingPolicy:
+    """Instantiate a registered routing policy by name."""
+    try:
+        return ROUTING_POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown routing policy {name!r}; available: {', '.join(POLICY_NAMES)}"
+        ) from None

@@ -1,0 +1,273 @@
+"""FleetSimulator: one request stream over N engine-backed shards.
+
+A fleet is N :class:`~repro.serving.ContinuousBatchingScheduler` shards,
+each wrapping its own :class:`~repro.core.MeadowEngine` — possibly
+heterogeneous in DRAM bandwidth, KV budget, packing plan or batching
+knobs — fed from *one* global request stream through a pluggable
+:class:`~repro.fleet.routing.RoutingPolicy`.
+
+The simulation is a two-level discrete-event loop. The fleet level
+processes global arrivals in deterministic ``(arrival_s, request_id)``
+order; before each routing decision every shard is advanced to the
+arrival instant (shards never see the future), snapshotted, and the
+policy picks among the shards that could ever hold the request. Shard
+level is the unmodified continuous-batching scheduler, driven through
+its incremental ``submit``/``advance_until`` API — so per-shard
+semantics (KV-constrained FCFS admission, prefill-before-decode,
+event-log invariants) are exactly those of single-engine serving, and a
+one-shard fleet reproduces `repro serve` exactly: identical request
+records and merged metrics, field for field (only ARRIVAL observations
+interleave at finer granularity, since the fleet hands requests over at
+routing instants).
+
+Closed-loop sources compose: a completion anywhere in the fleet hands
+its follow-up back to the *global* router (completion hooks are
+intercepted per shard), so think-time users are not pinned to the shard
+that served their previous turn. Follow-ups that no shard could ever
+admit are rejected and counted, mirroring single-engine behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.meadow import MeadowEngine
+from ..errors import CapacityError, ConfigError
+from ..serving.metrics import FleetMetrics
+from ..serving.request import Request, RequestSource
+from ..serving.scheduler import ContinuousBatchingScheduler, ServingResult
+from .metrics import merge_results
+from .routing import RoutingPolicy, make_policy
+
+__all__ = ["RoutingDecision", "FleetResult", "FleetReport", "FleetSimulator"]
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """One request's placement: who asked, when, and which shard got it."""
+
+    request_id: int
+    arrival_s: float
+    shard_id: int
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything one fleet simulation produced."""
+
+    model_name: str
+    policy_name: str
+    source_name: str
+    shard_results: Tuple[ServingResult, ...]
+    decisions: Tuple[RoutingDecision, ...]
+    #: Follow-ups no shard could ever admit (rejected at submission).
+    n_rejected_followups: int
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the fleet."""
+        return len(self.shard_results)
+
+    @property
+    def requests_per_shard(self) -> Tuple[int, ...]:
+        """How many requests each shard was routed (decision counts)."""
+        counts = [0] * self.n_shards
+        for decision in self.decisions:
+            counts[decision.shard_id] += 1
+        return tuple(counts)
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """A fleet result paired with merged and per-shard summaries."""
+
+    result: FleetResult
+    metrics: FleetMetrics
+    shard_metrics: Tuple[FleetMetrics, ...]
+
+    def describe(self) -> str:
+        """Human-readable report: fleet summary plus per-shard load."""
+        title = (
+            f"fleet of {self.result.n_shards} x {self.result.model_name} "
+            f"— policy={self.result.policy_name}, "
+            f"{self.result.source_name} scenario"
+        )
+        lines = [self.metrics.format_report(title)]
+        counts = self.result.requests_per_shard
+        for shard_id, (shard, m) in enumerate(
+            zip(self.result.shard_results, self.shard_metrics)
+        ):
+            lines.append(
+                f"shard {shard_id} [{shard.plan_name}]: "
+                f"{counts[shard_id]} routed, "
+                f"{m.throughput_tok_s:.2f} tok/s, "
+                f"p99 TTFT {m.ttft.p99_s * 1e3:.3f} ms, "
+                f"peak KV {m.peak_kv_fraction:.1%}"
+            )
+        if self.result.n_rejected_followups:
+            lines.append(
+                f"rejected follow-ups: {self.result.n_rejected_followups}"
+            )
+        return "\n".join(lines)
+
+
+def _per_shard(value, n: int, name: str) -> List:
+    """Broadcast a scalar knob to n shards, or validate a sequence."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != n:
+            raise ConfigError(
+                f"{name} has {len(value)} entries for a {n}-shard fleet"
+            )
+        return list(value)
+    return [value] * n
+
+
+class FleetSimulator:
+    """Run request scenarios over a fleet of engines with one router.
+
+    Args:
+        engines: one deployed :class:`MeadowEngine` per shard. All must
+            serve the same model (one stream, one tokenizer); hardware
+            configs, plans and planners may differ freely. Engines with
+            identical configs may be shared between shards — schedulers
+            hold no engine state beyond the (append-only) surface.
+        policy: a :class:`RoutingPolicy` instance or registered name.
+        kv_budget_bytes / max_batch / ctx_bucket: scalar applied to all
+            shards, or one value per shard for heterogeneous fleets.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[MeadowEngine],
+        policy: Union[RoutingPolicy, str] = "round-robin",
+        kv_budget_bytes=None,
+        max_batch=16,
+        ctx_bucket=1,
+    ) -> None:
+        if not engines:
+            raise ConfigError("a fleet needs at least one engine")
+        model = engines[0].model
+        for i, engine in enumerate(engines):
+            if engine.model != model:
+                raise ConfigError(
+                    f"fleet engines must serve one model: shard 0 runs "
+                    f"{model.name}, shard {i} runs {engine.model.name}"
+                )
+        self.engines = tuple(engines)
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        n = len(self.engines)
+        self.kv_budget_bytes = _per_shard(kv_budget_bytes, n, "kv_budget_bytes")
+        self.max_batch = _per_shard(max_batch, n, "max_batch")
+        self.ctx_bucket = _per_shard(ctx_bucket, n, "ctx_bucket")
+
+    # ---------------------------------------------------------------- run
+    def run(self, source: RequestSource) -> FleetReport:
+        """Simulate one scenario across the fleet to completion."""
+        policy = self.policy
+        policy.reset(len(self.engines))
+
+        # (arrival_s, request_id, Request): the same deterministic FCFS
+        # total order the per-shard schedulers use.
+        arrivals: List[Tuple[float, int, Request]] = []
+        n_rejected = 0
+
+        def harvest(request: Request, finish_s: float) -> Optional[Request]:
+            # Shard completion hook: pull the follow-up back to the
+            # global router instead of letting the shard keep it.
+            nonlocal n_rejected
+            follow_up = source.on_complete(request, finish_s)
+            if follow_up is None:
+                return None
+            if any(s.can_ever_admit(follow_up) for s in shards):
+                heapq.heappush(
+                    arrivals,
+                    (follow_up.arrival_s, follow_up.request_id, follow_up),
+                )
+            else:
+                n_rejected += 1
+            return None
+
+        shards = [
+            ContinuousBatchingScheduler(
+                engine,
+                source=None,
+                kv_budget_bytes=self.kv_budget_bytes[i],
+                max_batch=self.max_batch[i],
+                ctx_bucket=self.ctx_bucket[i],
+                on_complete=harvest,
+            )
+            for i, engine in enumerate(self.engines)
+        ]
+
+        seen_ids = set()
+        for req in source.initial():
+            if req.request_id in seen_ids:
+                raise ConfigError(
+                    f"duplicate request id {req.request_id} in fleet stream"
+                )
+            seen_ids.add(req.request_id)
+            if not any(s.can_ever_admit(req) for s in shards):
+                # Mirror the single-engine fail-fast: an initial request
+                # that can never run anywhere is a configuration error.
+                shards[0]._check(req)  # raises with the precise reason
+            heapq.heappush(arrivals, (req.arrival_s, req.request_id, req))
+        if not arrivals:
+            raise ConfigError(f"source {source.name!r} produced no requests")
+
+        decisions: List[RoutingDecision] = []
+        while True:
+            if arrivals:
+                t, request_id, req = heapq.heappop(arrivals)
+                # No shard may lag the routing instant: advance each to
+                # t (steps in flight may overshoot — shards are busy
+                # until their clock, which the snapshot exposes).
+                for shard in shards:
+                    shard.advance_until(t)
+                if arrivals and arrivals[0][0] < t:
+                    # Advancing produced a closed-loop follow-up that
+                    # arrives earlier; route it first.
+                    heapq.heappush(arrivals, (t, request_id, req))
+                    continue
+                feasible = [
+                    shard.snapshot(i)
+                    for i, shard in enumerate(shards)
+                    if shard.can_ever_admit(req)
+                ]
+                choice = policy.route(req, t, feasible)
+                if choice not in {snap.shard_id for snap in feasible}:
+                    raise ConfigError(
+                        f"policy {policy.name!r} routed request "
+                        f"{request_id} to infeasible shard {choice}"
+                    )
+                shards[choice].submit(req)
+                decisions.append(RoutingDecision(request_id, t, choice))
+            else:
+                # Drain: step the earliest-clock busy shard one
+                # iteration at a time, so a completion's closed-loop
+                # follow-up re-enters global routing immediately — not
+                # after every shard has already simulated past it. This
+                # keeps a one-shard closed-loop fleet identical to
+                # single-engine serving and routing snapshots honest.
+                busy = [shard for shard in shards if not shard.idle]
+                if not busy:
+                    break
+                min(busy, key=lambda shard: shard.clock_s).advance_one()
+
+        shard_results = tuple(shard.result() for shard in shards)
+        result = FleetResult(
+            model_name=self.engines[0].model.name,
+            policy_name=policy.name,
+            source_name=source.name,
+            shard_results=shard_results,
+            decisions=tuple(decisions),
+            n_rejected_followups=n_rejected,
+        )
+        return FleetReport(
+            result=result,
+            metrics=merge_results(shard_results),
+            shard_metrics=tuple(
+                FleetMetrics.from_result(r) for r in shard_results
+            ),
+        )

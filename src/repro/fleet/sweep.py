@@ -1,0 +1,321 @@
+"""SweepDriver: Pareto fronts over fleet size, routing policy and knobs.
+
+PR 2's :class:`~repro.sim.surface.LatencySurface` made one engine
+evaluation a dict lookup per repeated operating point; this driver
+makes *fleet design* questions cheap the same way. It clones one base
+deployment across a bandwidth profile (clones share the packing
+planner, so packing statistics are derived once for the whole sweep),
+caches one engine per distinct bandwidth (so every grid point reuses
+every surface point any earlier grid point simulated), and evaluates a
+``(n_engines x policy x max_batch x ctx_bucket)`` grid of fleet
+simulations against regenerated seeded scenarios.
+
+The output is the capacity planner's curve: each grid point carries
+aggregate tokens/s and p99 TTFT / TBT, and :meth:`FleetSweepResult
+.pareto_front` extracts the non-dominated set (maximize throughput,
+minimize both tails). :meth:`FleetSweepResult.to_json` emits a
+versioned document the `repro fleet --sweep --json` CLI writes and CI's
+smoke job validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.meadow import MeadowEngine
+from ..errors import ConfigError
+from ..serving.request import RequestSource
+from .routing import POLICY_NAMES, make_policy
+from .simulator import FleetReport, FleetSimulator
+
+__all__ = ["SWEEP_SCHEMA_VERSION", "SweepPoint", "FleetSweepResult", "SweepDriver"]
+
+#: Version stamped into sweep JSON documents; bump on schema changes.
+SWEEP_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated fleet configuration and its headline metrics."""
+
+    n_engines: int
+    policy: str
+    max_batch: int
+    ctx_bucket: int
+    bandwidths_gbps: Tuple[float, ...]
+    throughput_tok_s: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tbt_p50_s: float
+    tbt_p99_s: float
+    e2e_p99_s: float
+    n_requests: int
+    total_generated_tokens: int
+    duration_s: float
+    max_queue_depth: int
+    peak_kv_fraction: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (tuples become lists)."""
+        d = asdict(self)
+        d["bandwidths_gbps"] = list(self.bandwidths_gbps)
+        return d
+
+
+def _dominates(a: SweepPoint, b: SweepPoint) -> bool:
+    """Pareto dominance: no worse on all objectives, better on one.
+
+    Objectives: maximize ``throughput_tok_s``; minimize ``ttft_p99_s``
+    and ``tbt_p99_s``.
+    """
+    no_worse = (
+        a.throughput_tok_s >= b.throughput_tok_s
+        and a.ttft_p99_s <= b.ttft_p99_s
+        and a.tbt_p99_s <= b.tbt_p99_s
+    )
+    strictly_better = (
+        a.throughput_tok_s > b.throughput_tok_s
+        or a.ttft_p99_s < b.ttft_p99_s
+        or a.tbt_p99_s < b.tbt_p99_s
+    )
+    return no_worse and strictly_better
+
+
+@dataclass(frozen=True)
+class FleetSweepResult:
+    """Every grid point of one sweep, with Pareto extraction."""
+
+    model_name: str
+    plan_name: str
+    source_name: str
+    points: Tuple[SweepPoint, ...]
+
+    def pareto_front(self) -> Tuple[SweepPoint, ...]:
+        """Non-dominated points, ordered by descending throughput.
+
+        A point survives unless some other point is at least as good on
+        throughput and both latency tails and strictly better on one;
+        ties (identical objectives) all survive, so the front is never
+        empty for a non-empty sweep.
+        """
+        front = [
+            p
+            for p in self.points
+            if not any(_dominates(q, p) for q in self.points)
+        ]
+        front.sort(
+            key=lambda p: (-p.throughput_tok_s, p.ttft_p99_s, p.tbt_p99_s)
+        )
+        return tuple(front)
+
+    def best_by(self, attribute: str, minimize: bool = True) -> SweepPoint:
+        """The grid point extremal in one metric (ties: first in grid order)."""
+        if not self.points:
+            raise ConfigError("sweep produced no points")
+        values = [getattr(p, attribute) for p in self.points]
+        pick = min(values) if minimize else max(values)
+        return self.points[values.index(pick)]
+
+    def to_json(self) -> Dict[str, Any]:
+        """Versioned JSON document: grid, objectives and Pareto front."""
+        front = self.pareto_front()
+        front_keys = {
+            (p.n_engines, p.policy, p.max_batch, p.ctx_bucket) for p in front
+        }
+        points = []
+        for p in self.points:
+            d = p.to_dict()
+            d["pareto"] = (
+                (p.n_engines, p.policy, p.max_batch, p.ctx_bucket) in front_keys
+            )
+            points.append(d)
+        return {
+            "version": SWEEP_SCHEMA_VERSION,
+            "model": self.model_name,
+            "plan": self.plan_name,
+            "source": self.source_name,
+            "objectives": {
+                "throughput_tok_s": "max",
+                "ttft_p99_s": "min",
+                "tbt_p99_s": "min",
+            },
+            "points": points,
+            "pareto_front": [p.to_dict() for p in front],
+        }
+
+    def format_table(self) -> str:
+        """Fixed-width text table with Pareto markers."""
+        from ..analysis import format_table
+
+        front_keys = {
+            (p.n_engines, p.policy, p.max_batch, p.ctx_bucket)
+            for p in self.pareto_front()
+        }
+        rows = [
+            [
+                p.n_engines,
+                p.policy,
+                p.max_batch,
+                p.ctx_bucket,
+                f"{p.throughput_tok_s:.1f}",
+                f"{p.ttft_p99_s * 1e3:.3f}",
+                f"{p.tbt_p99_s * 1e3:.3f}",
+                "*" if (p.n_engines, p.policy, p.max_batch, p.ctx_bucket)
+                in front_keys else "",
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            [
+                "engines",
+                "policy",
+                "max_batch",
+                "ctx_bucket",
+                "tok/s",
+                "p99 TTFT (ms)",
+                "p99 TBT (ms)",
+                "Pareto",
+            ],
+            rows,
+        )
+
+
+class SweepDriver:
+    """Evaluate fleet configuration grids from one base deployment.
+
+    Args:
+        base_engine: the deployment to fan out. Clones share its
+            packing planner (stats are model/packing-scoped), and one
+            engine is cached per distinct bandwidth so surfaces warm
+            monotonically across the whole sweep.
+        bandwidths_gbps: the fleet's per-shard bandwidth profile. A
+            fleet of ``k`` engines takes the first ``k`` entries,
+            cycling when ``k`` exceeds the profile — so ``[12, 1]``
+            at ``k=4`` is two fast and two slow boxes.
+        kv_budget_bytes: optional per-shard override, broadcast or
+            cycled like the bandwidth profile.
+    """
+
+    def __init__(
+        self,
+        base_engine: MeadowEngine,
+        bandwidths_gbps: Sequence[float],
+        kv_budget_bytes: Optional[Sequence[Optional[int]]] = None,
+    ) -> None:
+        if not bandwidths_gbps:
+            raise ConfigError("bandwidths_gbps must not be empty")
+        self.base_engine = base_engine
+        self.bandwidths_gbps = tuple(float(b) for b in bandwidths_gbps)
+        self.kv_budget_bytes = (
+            tuple(kv_budget_bytes) if kv_budget_bytes is not None else None
+        )
+        if self.kv_budget_bytes is not None and len(self.kv_budget_bytes) != len(
+            self.bandwidths_gbps
+        ):
+            raise ConfigError(
+                "kv_budget_bytes must match bandwidths_gbps in length"
+            )
+        self._engines: Dict[float, MeadowEngine] = {}
+
+    def engine_for(self, bandwidth_gbps: float) -> MeadowEngine:
+        """The cached clone of the base deployment at one bandwidth."""
+        engine = self._engines.get(bandwidth_gbps)
+        if engine is None:
+            if bandwidth_gbps == self.base_engine.config.dram_bandwidth_gbps:
+                engine = self.base_engine
+            else:
+                engine = self.base_engine.clone(
+                    config=self.base_engine.config.with_bandwidth(bandwidth_gbps)
+                )
+            self._engines[bandwidth_gbps] = engine
+        return engine
+
+    def fleet_profile(self, n_engines: int) -> Tuple[float, ...]:
+        """Bandwidths of a fleet of ``n_engines`` (profile cycled)."""
+        if n_engines < 1:
+            raise ConfigError(f"n_engines must be >= 1, got {n_engines}")
+        profile = self.bandwidths_gbps
+        return tuple(profile[i % len(profile)] for i in range(n_engines))
+
+    def run_point(
+        self,
+        source: RequestSource,
+        n_engines: int,
+        policy: str,
+        max_batch: int = 16,
+        ctx_bucket: int = 1,
+    ) -> FleetReport:
+        """Evaluate one grid point (exposed for benchmarks and tests)."""
+        profile = self.fleet_profile(n_engines)
+        engines = [self.engine_for(b) for b in profile]
+        budgets = None
+        if self.kv_budget_bytes is not None:
+            budgets = [
+                self.kv_budget_bytes[i % len(self.kv_budget_bytes)]
+                for i in range(n_engines)
+            ]
+        fleet = FleetSimulator(
+            engines,
+            policy=make_policy(policy),
+            kv_budget_bytes=budgets,
+            max_batch=max_batch,
+            ctx_bucket=ctx_bucket,
+        )
+        return fleet.run(source)
+
+    def sweep(
+        self,
+        stream_factory: Callable[[], RequestSource],
+        n_engines_grid: Sequence[int] = (1, 2, 4),
+        policies: Sequence[str] = POLICY_NAMES,
+        max_batch_grid: Sequence[int] = (16,),
+        ctx_bucket_grid: Sequence[int] = (1,),
+    ) -> FleetSweepResult:
+        """Evaluate the full configuration grid.
+
+        ``stream_factory`` must return a *fresh* source per call
+        (closed-loop sources are single-use); seeded factories make the
+        whole sweep reproducible. Grid order is deterministic:
+        engines, then policy, then max_batch, then ctx_bucket.
+        """
+        points: List[SweepPoint] = []
+        source_name = None
+        for n_engines in n_engines_grid:
+            for policy in policies:
+                for max_batch in max_batch_grid:
+                    for ctx_bucket in ctx_bucket_grid:
+                        source = stream_factory()
+                        source_name = source.name
+                        report = self.run_point(
+                            source, n_engines, policy, max_batch, ctx_bucket
+                        )
+                        m = report.metrics
+                        points.append(
+                            SweepPoint(
+                                n_engines=n_engines,
+                                policy=policy,
+                                max_batch=max_batch,
+                                ctx_bucket=ctx_bucket,
+                                bandwidths_gbps=self.fleet_profile(n_engines),
+                                throughput_tok_s=m.throughput_tok_s,
+                                ttft_p50_s=m.ttft.p50_s,
+                                ttft_p99_s=m.ttft.p99_s,
+                                tbt_p50_s=m.tbt.p50_s,
+                                tbt_p99_s=m.tbt.p99_s,
+                                e2e_p99_s=m.e2e.p99_s,
+                                n_requests=m.n_requests,
+                                total_generated_tokens=m.total_generated_tokens,
+                                duration_s=m.duration_s,
+                                max_queue_depth=m.max_queue_depth,
+                                peak_kv_fraction=m.peak_kv_fraction,
+                            )
+                        )
+        if not points:
+            raise ConfigError("sweep grid is empty")
+        return FleetSweepResult(
+            model_name=self.base_engine.model.name,
+            plan_name=self.base_engine.plan.name,
+            source_name=source_name or "unknown",
+            points=tuple(points),
+        )

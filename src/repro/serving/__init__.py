@@ -27,6 +27,7 @@ from .scheduler import (
     EventKind,
     RequestRecord,
     SchedulerEvent,
+    SchedulerSnapshot,
     ServingResult,
 )
 from .simulator import ServingReport, ServingSimulator
@@ -41,6 +42,7 @@ __all__ = [
     "ClosedLoopSource",
     "EventKind",
     "SchedulerEvent",
+    "SchedulerSnapshot",
     "RequestRecord",
     "ServingResult",
     "ContinuousBatchingScheduler",

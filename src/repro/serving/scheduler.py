@@ -19,6 +19,22 @@ token, across all layers) fits in the remaining DRAM budget, and the
 head of the queue never yields to a smaller request behind it — so a
 request's KV reservation can never be stranded by later arrivals.
 
+**Ordering is explicitly deterministic.** FCFS position is the total
+order ``(arrival_s, request_id)``: requests arriving at the *same
+simulated instant* (a burst, simultaneous closed-loop wake-ups) are
+processed in ascending request id, never in heap- or insertion-order
+accident. Because seeded sources assign ids in generation order, one
+seed yields exactly one timeline — submitting the same requests in any
+order produces the identical event log (property-tested in
+``tests/serving/test_scheduler_properties.py``).
+
+The scheduler can run a whole scenario in one call (:meth:`run`) or be
+driven incrementally — :meth:`submit` individual requests, interleave
+:meth:`advance_until` with outside decisions, then :meth:`result` — the
+mode the fleet simulator (:mod:`repro.fleet`) uses to interleave N
+shards on one global clock. Both modes execute the identical iteration
+sequence for the same requests.
+
 Every state change is appended to an event log; the property tests in
 ``tests/serving/`` assert the scheduler's invariants (clock
 monotonicity, prefill-before-decode, budget respect, FCFS order)
@@ -29,9 +45,10 @@ from __future__ import annotations
 
 import enum
 import heapq
+import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.meadow import MeadowEngine
 from ..errors import CapacityError, ConfigError
@@ -44,6 +61,7 @@ __all__ = [
     "SchedulerEvent",
     "RequestRecord",
     "ServingResult",
+    "SchedulerSnapshot",
     "ContinuousBatchingScheduler",
 ]
 
@@ -135,6 +153,50 @@ class ServingResult:
         return tuple((ev.t_s, ev.kv_reserved_bytes) for ev in self.events)
 
 
+@dataclass(frozen=True)
+class SchedulerSnapshot:
+    """Read-only view of one scheduler's live state, for routing policies.
+
+    Taken between iterations (the fleet simulator snapshots every shard
+    at each global arrival), so the fields describe a consistent
+    instant: the shard is busy until :attr:`clock_s` with the step it
+    last started, everything in :attr:`waiting_prompt_tokens` still owes
+    a prefill, and :attr:`remaining_decode_tokens` tokens of in-flight
+    generation remain after that.
+    """
+
+    shard_id: int
+    #: The shard's simulated clock — it is busy until this instant.
+    clock_s: float
+    #: Requests submitted but not yet prefilled (future + pending + admitted).
+    n_waiting: int
+    #: Requests in the decode phase.
+    n_decoding: int
+    #: Prompt lengths of every request still owing a prefill pass.
+    waiting_prompt_tokens: Tuple[int, ...]
+    #: Output tokens still to decode across all in-flight requests.
+    remaining_decode_tokens: int
+    #: Deepest in-flight context (0 when nothing is decoding).
+    decode_context: int
+    kv_reserved_bytes: int
+    #: Worst-case KV bytes the waiting (not yet admitted) requests will claim.
+    waiting_kv_bytes: int
+    kv_budget_bytes: int
+    max_batch: int
+    #: The shard's engine (latency surface access for predictive routers).
+    engine: MeadowEngine = field(repr=False, compare=False)
+
+    @property
+    def n_in_system(self) -> int:
+        """Requests anywhere in the shard (waiting or decoding)."""
+        return self.n_waiting + self.n_decoding
+
+    @property
+    def kv_pressure(self) -> float:
+        """Committed plus queued worst-case KV demand over the budget."""
+        return (self.kv_reserved_bytes + self.waiting_kv_bytes) / self.kv_budget_bytes
+
+
 @dataclass
 class _Active:
     """Book-keeping for one admitted request."""
@@ -156,7 +218,9 @@ class ContinuousBatchingScheduler:
         engine: the deployed model/hardware/plan to serve on. All
             concurrent requests share its packing planner and memoized
             stage reports (:meth:`MeadowEngine.simulate_cached`).
-        source: scenario generator (open- or closed-loop).
+        source: scenario generator (open- or closed-loop). Optional —
+            an externally driven scheduler (a fleet shard) passes
+            ``None`` and feeds requests through :meth:`submit` instead.
         kv_budget_bytes: DRAM bytes available for KV caches; defaults to
             :func:`repro.hardware.kv_cache_budget_bytes` for the
             engine's hardware and model.
@@ -164,6 +228,11 @@ class ContinuousBatchingScheduler:
         ctx_bucket: decode contexts are rounded up to a multiple of this
             before simulation — a modeling quantization that makes long
             streams cache-friendly (1 = exact).
+        on_complete: override for the completion hook; defaults to
+            ``source.on_complete``. The fleet simulator injects its own
+            callback here so closed-loop follow-ups re-enter the global
+            router instead of being pinned to the shard that happened
+            to serve their predecessor.
 
     Pending prefills always run before decode iterations (the classic
     continuous-batching policy: it fills the decode batch fastest);
@@ -173,10 +242,11 @@ class ContinuousBatchingScheduler:
     def __init__(
         self,
         engine: MeadowEngine,
-        source: RequestSource,
+        source: Optional[RequestSource] = None,
         kv_budget_bytes: Optional[int] = None,
         max_batch: int = 16,
         ctx_bucket: int = 1,
+        on_complete: Optional[Callable[[Request, float], Optional[Request]]] = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -200,8 +270,35 @@ class ContinuousBatchingScheduler:
             )
         self.max_batch = max_batch
         self.ctx_bucket = ctx_bucket
+        if on_complete is None and source is not None:
+            on_complete = source.on_complete
+        self._on_complete = on_complete
+
+        # ---- live simulation state (consumed by one scenario) ----
+        self._started = False
+        self._clock = 0.0
+        # (arrival_s, request_id, Request) heap: the deterministic FCFS
+        # order — ids break arrival-time ties, so submission order is
+        # irrelevant to the timeline.
+        self._future: List[Tuple[float, int, Request]] = []
+        self._pending: Deque[Request] = deque()  # arrived, awaiting KV admission
+        self._prefill_queue: Deque[_Active] = deque()  # admitted, awaiting prefill
+        self._decoding: List[_Active] = []  # generating, FCFS by admission
+        self._kv_reserved = 0
+        self._peak_kv = 0
+        self._max_queue_depth = 0
+        self._n_prefills = 0
+        self._n_decodes = 0
+        self._n_rejected = 0  # infeasible closed-loop follow-ups
+        self._events: List[SchedulerEvent] = []
+        self._records: Dict[int, RequestRecord] = {}
 
     # ------------------------------------------------------------- helpers
+    @property
+    def clock_s(self) -> float:
+        """The shard's simulated clock (busy until this instant)."""
+        return self._clock
+
     def _kv_bytes(self, tokens: int) -> int:
         """Worst-case KV footprint of ``tokens`` across all layers."""
         model = self.engine.model
@@ -225,178 +322,292 @@ class ContinuousBatchingScheduler:
             )
         return need
 
+    def can_ever_admit(self, request: Request) -> bool:
+        """Whether the request fits this shard's model and KV budget at all."""
+        try:
+            self._check(request)
+        except (CapacityError, ConfigError):
+            return False
+        return True
+
     def _bucket_ctx(self, ctx: int) -> int:
         """Round a decode context up to the cache bucket, within limits."""
         bucketed = ceil_div(ctx, self.ctx_bucket) * self.ctx_bucket
         return min(bucketed, self.engine.model.max_seq_len)
 
-    # ---------------------------------------------------------------- run
-    def run(self) -> ServingResult:
-        """Simulate the scenario to completion."""
-        engine = self.engine
-        model = engine.model
-        surface = engine.surface
+    # ------------------------------------------------------ incremental API
+    def submit(self, request: Request) -> None:
+        """Queue one request for its arrival time (validates feasibility).
 
-        # (arrival_s, request_id, Request) heap of not-yet-seen arrivals.
-        future: List[Tuple[float, int, Request]] = []
-        for req in self.source.initial():
-            self._check(req)
-            heapq.heappush(future, (req.arrival_s, req.request_id, req))
-        if not future:
-            raise ConfigError(f"source {self.source.name!r} produced no requests")
+        Requests may be submitted before or during a simulation; a
+        request whose ``arrival_s`` is already in the shard's past is
+        observed at the next iteration boundary (exactly how the
+        event-log timestamps are defined).
+        """
+        self._check(request)
+        heapq.heappush(
+            self._future, (request.arrival_s, request.request_id, request)
+        )
 
-        clock = 0.0
-        pending: Deque[Request] = deque()  # arrived, awaiting KV admission
-        prefill_queue: Deque[_Active] = deque()  # admitted, awaiting prefill
-        decoding: List[_Active] = []  # generating, FCFS by admission
-        kv_reserved = 0
-        peak_kv = 0
-        max_queue_depth = 0
-        n_prefills = 0
-        n_decodes = 0
-        n_rejected = 0  # infeasible closed-loop follow-ups
-        events: List[SchedulerEvent] = []
-        records: Dict[int, RequestRecord] = {}
+    def snapshot(self, shard_id: int = 0) -> SchedulerSnapshot:
+        """Capture the live state routing policies key on."""
+        waiting_prompts: List[int] = [
+            req.prompt_tokens for _, _, req in self._future
+        ]
+        waiting_prompts += [req.prompt_tokens for req in self._pending]
+        waiting_prompts += [a.request.prompt_tokens for a in self._prefill_queue]
+        waiting_kv = sum(
+            self._kv_bytes(req.total_tokens) for _, _, req in self._future
+        ) + sum(self._kv_bytes(req.total_tokens) for req in self._pending)
+        return SchedulerSnapshot(
+            shard_id=shard_id,
+            clock_s=self._clock,
+            n_waiting=len(self._future) + len(self._pending) + len(self._prefill_queue),
+            n_decoding=len(self._decoding),
+            waiting_prompt_tokens=tuple(waiting_prompts),
+            remaining_decode_tokens=sum(
+                a.request.output_tokens - a.generated for a in self._decoding
+            ),
+            decode_context=max((a.context for a in self._decoding), default=0),
+            kv_reserved_bytes=self._kv_reserved,
+            waiting_kv_bytes=waiting_kv,
+            kv_budget_bytes=self.kv_budget_bytes,
+            max_batch=self.max_batch,
+            engine=self.engine,
+        )
 
-        def log(kind: EventKind, request_id: int, t: float) -> None:
-            events.append(
-                SchedulerEvent(t, kind, request_id, kv_reserved, len(pending))
+    # ----------------------------------------------------------- internals
+    def _log(self, kind: EventKind, request_id: int) -> None:
+        self._events.append(
+            SchedulerEvent(
+                self._clock, kind, request_id, self._kv_reserved, len(self._pending)
             )
+        )
 
-        def ingest_arrivals() -> None:
-            while future and future[0][0] <= clock:
-                _, _, req = heapq.heappop(future)
-                pending.append(req)
-                log(EventKind.ARRIVAL, req.request_id, clock)
+    def _ingest_arrivals(self) -> None:
+        while self._future and self._future[0][0] <= self._clock:
+            _, _, req = heapq.heappop(self._future)
+            self._pending.append(req)
+            self._log(EventKind.ARRIVAL, req.request_id)
 
-        def admit() -> None:
-            nonlocal kv_reserved, peak_kv
-            # Strict FCFS: stop at the first request that does not fit.
-            while pending:
-                need = self._kv_bytes(pending[0].total_tokens)
-                if kv_reserved + need > self.kv_budget_bytes:
-                    break
-                req = pending.popleft()
-                kv_reserved += need
-                peak_kv = max(peak_kv, kv_reserved)
-                prefill_queue.append(
-                    _Active(request=req, admit_s=clock, kv_reserved_bytes=need)
+    def _admit(self) -> None:
+        # Strict FCFS: stop at the first request that does not fit.
+        while self._pending:
+            need = self._kv_bytes(self._pending[0].total_tokens)
+            if self._kv_reserved + need > self.kv_budget_bytes:
+                break
+            req = self._pending.popleft()
+            self._kv_reserved += need
+            self._peak_kv = max(self._peak_kv, self._kv_reserved)
+            self._prefill_queue.append(
+                _Active(request=req, admit_s=self._clock, kv_reserved_bytes=need)
+            )
+            self._log(EventKind.ADMIT, req.request_id)
+
+    def _complete(self, active: _Active) -> None:
+        self._kv_reserved -= active.kv_reserved_bytes
+        self._log(EventKind.COMPLETE, active.request.request_id)
+        self._records[active.request.request_id] = RequestRecord(
+            request=active.request,
+            admit_s=active.admit_s,
+            first_token_s=active.first_token_s,
+            finish_s=self._clock,
+            tbt_s=tuple(active.tbt_s),
+        )
+        if self._on_complete is None:
+            return
+        follow_up = self._on_complete(active.request, self._clock)
+        if follow_up is not None:
+            # Open-loop traces fail fast at start-up; a closed-loop
+            # follow-up drawn mid-run must not abort the simulation
+            # and discard completed work — an infeasible one is
+            # rejected (a real frontend would return an error).
+            try:
+                self._check(follow_up)
+            except (CapacityError, ConfigError):
+                self._n_rejected += 1
+            else:
+                heapq.heappush(
+                    self._future,
+                    (follow_up.arrival_s, follow_up.request_id, follow_up),
                 )
-                log(EventKind.ADMIT, req.request_id, clock)
 
-        def complete(active: _Active) -> None:
-            nonlocal kv_reserved, n_rejected
-            kv_reserved -= active.kv_reserved_bytes
-            log(EventKind.COMPLETE, active.request.request_id, clock)
-            records[active.request.request_id] = RequestRecord(
-                request=active.request,
-                admit_s=active.admit_s,
-                first_token_s=active.first_token_s,
-                finish_s=clock,
-                tbt_s=tuple(active.tbt_s),
-            )
-            follow_up = self.source.on_complete(active.request, clock)
-            if follow_up is not None:
-                # Open-loop traces fail fast at start-up; a closed-loop
-                # follow-up drawn mid-run must not abort the simulation
-                # and discard completed work — an infeasible one is
-                # rejected (a real frontend would return an error).
-                try:
-                    self._check(follow_up)
-                except (CapacityError, ConfigError):
-                    n_rejected += 1
-                else:
-                    heapq.heappush(
-                        future, (follow_up.arrival_s, follow_up.request_id, follow_up)
-                    )
+    def _prefill_step(self) -> None:
+        active = self._prefill_queue.popleft()
+        req = active.request
+        self._log(EventKind.PREFILL_START, req.request_id)
+        self._clock += self.engine.surface.prefill(req.prompt_tokens).latency_s
+        self._n_prefills += 1
+        active.context = req.prompt_tokens
+        active.generated = 1  # prefill emits the first token
+        active.first_token_s = self._clock
+        active.last_token_s = self._clock
+        self._log(EventKind.FIRST_TOKEN, req.request_id)
+        if active.generated >= req.output_tokens:
+            self._complete(active)
+        else:
+            self._decoding.append(active)
 
+    def _decode_step(self) -> None:
+        batch = self._decoding[: self.max_batch]
+        # The batch decodes at the deepest member's context; a
+        # conservative (upper-bound) latency for the shallower ones.
+        ctx = self._bucket_ctx(max(a.context + 1 for a in batch))
+        self._clock += self.engine.surface.decode(ctx, batch=len(batch)).latency_s
+        self._n_decodes += 1
+        survivors: List[_Active] = []
+        finished: List[_Active] = []
+        for active in batch:
+            active.context += 1
+            active.generated += 1
+            # Wall-clock gap since the previous token: includes any
+            # prefill iterations that stalled this request's stream,
+            # not just this decode step's latency.
+            active.tbt_s.append(self._clock - active.last_token_s)
+            active.last_token_s = self._clock
+            self._log(EventKind.DECODE_STEP, active.request.request_id)
+            if active.generated >= active.request.output_tokens:
+                finished.append(active)
+            else:
+                survivors.append(active)
+        # The batch is a prefix of ``decoding``, so one slice +
+        # partition replaces per-element list removal and
+        # membership scans (O(batch) instead of O(batch^2)).
+        waiting = self._decoding[len(batch):]
+        for active in finished:
+            self._complete(active)
+        # Round-robin the survivors of an oversubscribed batch so
+        # requests beyond max_batch are not starved.
+        if len(survivors) + len(waiting) > self.max_batch:
+            self._decoding = waiting + survivors
+        else:
+            self._decoding = survivors + waiting
+
+    # ---------------------------------------------------------------- run
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued, admitted or in flight."""
+        return not (
+            self._future or self._pending or self._prefill_queue or self._decoding
+        )
+
+    def advance_one(self) -> bool:
+        """Run exactly one latency-consuming iteration (or none if idle).
+
+        Ingests and admits whatever the clock has reached, jumps the
+        clock over idle gaps, then executes a single prefill or batched
+        decode step. Returns ``False`` when there is nothing to do.
+        The fleet simulator drains shards with this so a completion's
+        closed-loop follow-up re-enters global routing *before* other
+        shards simulate past it.
+        """
+        self._started = True
         while True:
-            ingest_arrivals()
-            admit()
+            self._ingest_arrivals()
+            self._admit()
+            self._max_queue_depth = max(self._max_queue_depth, len(self._pending))
+            if self._prefill_queue:
+                self._prefill_step()
+                return True
+            elif self._decoding:
+                self._decode_step()
+                return True
+            elif self._pending:
+                raise CapacityError(
+                    "scheduler wedged: pending head cannot be admitted into "
+                    "an empty system"
+                )
+            elif self._future:
+                self._clock = max(self._clock, self._future[0][0])
+            else:
+                return False
+
+    def advance_until(self, t_s: float = math.inf) -> None:
+        """Run scheduler iterations while the clock is before ``t_s``.
+
+        Iterations are non-preemptible: a step *started* before ``t_s``
+        runs to completion even if its modeled latency carries the clock
+        past it (so after this returns the clock may exceed ``t_s`` —
+        the shard is busy until then). With the default ``inf`` this
+        drains everything submitted so far. Chunking a simulation into
+        arbitrary ``advance_until`` calls yields the identical timeline
+        to one call: pausing changes no scheduling decision.
+        """
+        self._started = True
+        while True:
+            self._ingest_arrivals()
+            self._admit()
             # Depth is measured after admission: only requests the KV
             # budget actually held back count as queued.
-            max_queue_depth = max(max_queue_depth, len(pending))
+            self._max_queue_depth = max(self._max_queue_depth, len(self._pending))
 
-            if prefill_queue:
-                active = prefill_queue.popleft()
-                req = active.request
-                log(EventKind.PREFILL_START, req.request_id, clock)
-                clock += surface.prefill(req.prompt_tokens).latency_s
-                n_prefills += 1
-                active.context = req.prompt_tokens
-                active.generated = 1  # prefill emits the first token
-                active.first_token_s = clock
-                active.last_token_s = clock
-                log(EventKind.FIRST_TOKEN, req.request_id, clock)
-                if active.generated >= req.output_tokens:
-                    complete(active)
-                else:
-                    decoding.append(active)
-            elif decoding:
-                batch = decoding[: self.max_batch]
-                # The batch decodes at the deepest member's context; a
-                # conservative (upper-bound) latency for the shallower ones.
-                ctx = self._bucket_ctx(max(a.context + 1 for a in batch))
-                clock += surface.decode(ctx, batch=len(batch)).latency_s
-                n_decodes += 1
-                survivors: List[_Active] = []
-                finished: List[_Active] = []
-                for active in batch:
-                    active.context += 1
-                    active.generated += 1
-                    # Wall-clock gap since the previous token: includes any
-                    # prefill iterations that stalled this request's stream,
-                    # not just this decode step's latency.
-                    active.tbt_s.append(clock - active.last_token_s)
-                    active.last_token_s = clock
-                    log(EventKind.DECODE_STEP, active.request.request_id, clock)
-                    if active.generated >= active.request.output_tokens:
-                        finished.append(active)
-                    else:
-                        survivors.append(active)
-                # The batch is a prefix of ``decoding``, so one slice +
-                # partition replaces per-element list removal and
-                # membership scans (O(batch) instead of O(batch^2)).
-                waiting = decoding[len(batch):]
-                for active in finished:
-                    complete(active)
-                # Round-robin the survivors of an oversubscribed batch so
-                # requests beyond max_batch are not starved.
-                if len(survivors) + len(waiting) > self.max_batch:
-                    decoding = waiting + survivors
-                else:
-                    decoding = survivors + waiting
-            elif pending:
+            if self._prefill_queue:
+                if self._clock >= t_s:
+                    return
+                self._prefill_step()
+            elif self._decoding:
+                if self._clock >= t_s:
+                    return
+                self._decode_step()
+            elif self._pending:
                 # Head blocked on KV with nothing in flight can only mean
                 # an over-sized request, which _check() already rejected.
                 raise CapacityError(
                     "scheduler wedged: pending head cannot be admitted into "
                     "an empty system"
                 )
-            elif future:
-                clock = max(clock, future[0][0])
+            elif self._future:
+                next_arrival = self._future[0][0]
+                if next_arrival > t_s:
+                    return
+                self._clock = max(self._clock, next_arrival)
             else:
-                break
+                return
 
+    def result(self) -> ServingResult:
+        """Package everything simulated so far into a result."""
         # Stable total order: admit time, then request id.
         ordered = tuple(
             sorted(
-                records.values(),
+                self._records.values(),
                 key=lambda rec: (rec.admit_s, rec.request.request_id),
             )
         )
-        first_arrival = min(rec.request.arrival_s for rec in ordered)
+        if ordered:
+            first_arrival = min(rec.request.arrival_s for rec in ordered)
+            duration = self._clock - first_arrival
+        else:
+            duration = 0.0  # a shard that was never routed a request
         return ServingResult(
-            model_name=model.name,
-            plan_name=engine.plan.name,
-            source_name=self.source.name,
+            model_name=self.engine.model.name,
+            plan_name=self.engine.plan.name,
+            source_name=self.source.name if self.source is not None else "external",
             records=ordered,
-            events=tuple(events),
+            events=tuple(self._events),
             kv_budget_bytes=self.kv_budget_bytes,
-            peak_kv_bytes=peak_kv,
-            max_queue_depth=max_queue_depth,
-            duration_s=clock - first_arrival,
-            n_prefill_iterations=n_prefills,
-            n_decode_iterations=n_decodes,
-            n_rejected_followups=n_rejected,
+            peak_kv_bytes=self._peak_kv,
+            max_queue_depth=self._max_queue_depth,
+            duration_s=duration,
+            n_prefill_iterations=self._n_prefills,
+            n_decode_iterations=self._n_decodes,
+            n_rejected_followups=self._n_rejected,
         )
+
+    def run(self) -> ServingResult:
+        """Simulate the bound source's scenario to completion."""
+        if self.source is None:
+            raise ConfigError(
+                "scheduler has no request source: construct it with one or "
+                "drive it via submit()/advance_until()"
+            )
+        if self._started:
+            raise ConfigError(
+                "scheduler state is consumed by one scenario: construct a "
+                "fresh scheduler to re-run it"
+            )
+        for req in self.source.initial():
+            self.submit(req)
+        if not self._future:
+            raise ConfigError(f"source {self.source.name!r} produced no requests")
+        self.advance_until(math.inf)
+        return self.result()

@@ -21,14 +21,18 @@ a full :class:`StageReport` on demand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Any, Dict, Iterable, Mapping, Tuple
 
 from ..errors import SimulationError
 from ..models import Stage, Workload, decode_workload, prefill_workload
 from .breakdown import StageReport
 from .layer_sim import WorkloadSimulator
 
-__all__ = ["SurfacePoint", "LatencySurface"]
+__all__ = ["SURFACE_SCHEMA_VERSION", "SurfacePoint", "LatencySurface"]
+
+#: Version stamped into serialized surfaces; bump on any schema change
+#: so stale dumps fail loudly instead of silently misloading.
+SURFACE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -150,3 +154,77 @@ class LatencySurface:
         the materialization only when they ask.
         """
         return self._sim.simulate(workload)
+
+    # -------------------------------------------------------- serialization
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serializable dump of every materialized point.
+
+        The dump is a few floats per point (a whole serving stream's
+        surface is KBs), versioned, and keyed to the producing model so
+        a load against the wrong deployment fails instead of silently
+        serving another config's latencies. Floats round-trip exactly
+        through ``json`` (shortest-repr encoding), so a loaded surface
+        is bit-identical to a re-simulated one. Points are emitted in
+        sorted (stage, tokens, batch) order for byte-stable dumps.
+        """
+        return {
+            "version": SURFACE_SCHEMA_VERSION,
+            "model": self._sim.model.name,
+            "plan": self._sim.plan.name,
+            "points": [
+                {
+                    "stage": stage.value,
+                    "tokens": tokens,
+                    "batch": batch,
+                    "latency_s": point.latency_s,
+                    "total_cycles": point.total_cycles,
+                    "energy_uj": point.energy_uj,
+                }
+                for (stage, tokens, batch), point in sorted(
+                    self._points.items(),
+                    key=lambda item: (item[0][0].value, item[0][1], item[0][2]),
+                )
+            ],
+        }
+
+    @classmethod
+    def from_json(
+        cls, data: Mapping[str, Any], simulator: WorkloadSimulator
+    ) -> "LatencySurface":
+        """Rebuild a surface from :meth:`to_json` output.
+
+        The surface binds to ``simulator`` for future misses; loaded
+        points fill the table directly, so sweeps and notebooks skip
+        simulation entirely for every dumped operating point. Raises
+        :class:`SimulationError` on version or model mismatch — a dump
+        only speaks for the (model, plan) that produced it.
+        """
+        version = data.get("version")
+        if version != SURFACE_SCHEMA_VERSION:
+            raise SimulationError(
+                f"surface dump version {version!r} is not the supported "
+                f"version {SURFACE_SCHEMA_VERSION}"
+            )
+        if data.get("model") != simulator.model.name:
+            raise SimulationError(
+                f"surface dump was produced for model {data.get('model')!r}, "
+                f"not {simulator.model.name!r}"
+            )
+        if data.get("plan") != simulator.plan.name:
+            raise SimulationError(
+                f"surface dump was produced for plan {data.get('plan')!r}, "
+                f"not {simulator.plan.name!r}"
+            )
+        surface = cls(simulator)
+        for entry in data["points"]:
+            stage = Stage(entry["stage"])
+            point = SurfacePoint(
+                stage=stage,
+                tokens=int(entry["tokens"]),
+                batch=int(entry["batch"]),
+                latency_s=float(entry["latency_s"]),
+                total_cycles=float(entry["total_cycles"]),
+                energy_uj=float(entry["energy_uj"]),
+            )
+            surface._points[(stage, point.tokens, point.batch)] = point
+        return surface

@@ -1,0 +1,83 @@
+"""Tests for the ``fleet`` CLI subcommand (single run and sweep modes)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestFleetParser:
+    def test_fleet_registered_with_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.command == "fleet"
+        assert args.bandwidths == [12.0, 6.0, 3.0, 1.0]
+        assert args.policy == "predicted-latency"
+        assert not args.sweep
+
+    def test_sweep_knobs_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "fleet", "--sweep", "--num-engines", "1", "2", "4",
+                "--policies", "jsq", "round-robin",
+                "--max-batches", "8", "16", "--ctx-buckets", "16",
+                "--json", "out.json",
+            ]
+        )
+        assert args.sweep
+        assert args.num_engines == [1, 2, 4]
+        assert args.policies == ["jsq", "round-robin"]
+        assert args.json == "out.json"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--policy", "telepathic"])
+
+
+class TestFleetRun:
+    def test_heterogeneous_run_prints_per_shard_lines(self, capsys):
+        argv = [
+            "fleet", "--model", "opt-125m", "--plan", "gemm",
+            "--bandwidths", "12", "1", "--requests", "8",
+            "--arrival", "bursty", "--burst-size", "4", "--seed", "0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2 x opt-125m" in out
+        assert "shard 0" in out and "shard 1" in out
+        assert "policy=predicted-latency" in out
+        assert "throughput" in out
+
+    def test_same_seed_byte_identical(self, capsys):
+        argv = [
+            "fleet", "--plan", "gemm", "--bandwidths", "12", "6",
+            "--requests", "8", "--seed", "4",
+        ]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestFleetSweep:
+    def test_sweep_writes_valid_pareto_json(self, capsys, tmp_path):
+        out_path = tmp_path / "pareto.json"
+        argv = [
+            "fleet", "--model", "opt-125m", "--plan", "gemm",
+            "--bandwidths", "12", "1", "--requests", "8",
+            "--arrival", "bursty", "--burst-size", "4", "--seed", "0",
+            "--sweep", "--num-engines", "1", "2",
+            "--policies", "round-robin", "predicted-latency",
+            "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out and "Pareto" in out
+
+        doc = json.loads(out_path.read_text())
+        assert doc["version"] == 1
+        assert doc["model"] == "opt-125m"
+        assert len(doc["points"]) == 4
+        assert doc["pareto_front"]
+        assert all(p["throughput_tok_s"] > 0 for p in doc["points"])

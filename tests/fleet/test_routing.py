@@ -1,0 +1,161 @@
+"""Unit tests for the routing policies and their registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import (
+    JoinShortestQueuePolicy,
+    LeastKVPressurePolicy,
+    POLICY_NAMES,
+    PredictedLatencyPolicy,
+    ROUTING_POLICIES,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.serving import Request, SchedulerSnapshot
+
+
+def _snap(shard_id, engine, **overrides):
+    defaults = dict(
+        shard_id=shard_id,
+        clock_s=0.0,
+        n_waiting=0,
+        n_decoding=0,
+        waiting_prompt_tokens=(),
+        remaining_decode_tokens=0,
+        decode_context=0,
+        kv_reserved_bytes=0,
+        waiting_kv_bytes=0,
+        kv_budget_bytes=1_000_000,
+        max_batch=8,
+        engine=engine,
+    )
+    defaults.update(overrides)
+    return SchedulerSnapshot(**defaults)
+
+
+@pytest.fixture()
+def request_8x4() -> Request:
+    return Request(request_id=0, arrival_s=0.0, prompt_tokens=8, output_tokens=4)
+
+
+class TestRegistry:
+    def test_all_four_policies_registered(self):
+        assert set(POLICY_NAMES) == {
+            "round-robin", "jsq", "least-kv", "predicted-latency",
+        }
+
+    def test_make_policy_instantiates_each(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name)
+            assert policy.name == name
+            assert type(policy) is ROUTING_POLICIES[name]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("random")
+
+
+class TestRoundRobin:
+    def test_cycles_and_resets(self, fast_engine, request_8x4):
+        policy = RoundRobinPolicy()
+        policy.reset(3)
+        snaps = [_snap(i, fast_engine) for i in range(3)]
+        picks = [policy.route(request_8x4, 0.0, snaps) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        policy.reset(3)
+        assert policy.route(request_8x4, 0.0, snaps) == 0
+
+    def test_narrowed_feasible_set_still_cycles(self, fast_engine, request_8x4):
+        policy = RoundRobinPolicy()
+        policy.reset(3)
+        snaps = [_snap(i, fast_engine) for i in (0, 2)]  # shard 1 infeasible
+        picks = [policy.route(request_8x4, 0.0, snaps) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+
+class TestJoinShortestQueue:
+    def test_picks_emptiest_shard(self, fast_engine, request_8x4):
+        policy = JoinShortestQueuePolicy()
+        snaps = [
+            _snap(0, fast_engine, n_waiting=3),
+            _snap(1, fast_engine, n_waiting=1, n_decoding=1),
+            _snap(2, fast_engine, n_decoding=1),
+        ]
+        assert policy.route(request_8x4, 0.0, snaps) == 2
+
+    def test_ties_break_by_shard_id(self, fast_engine, request_8x4):
+        policy = JoinShortestQueuePolicy()
+        snaps = [_snap(2, fast_engine), _snap(0, fast_engine), _snap(1, fast_engine)]
+        assert policy.route(request_8x4, 0.0, snaps) == 0
+
+
+class TestLeastKVPressure:
+    def test_picks_lowest_pressure(self, fast_engine, request_8x4):
+        policy = LeastKVPressurePolicy()
+        snaps = [
+            _snap(0, fast_engine, kv_reserved_bytes=500_000),
+            _snap(1, fast_engine, kv_reserved_bytes=100_000,
+                  waiting_kv_bytes=100_000),
+            _snap(2, fast_engine, kv_reserved_bytes=100_000),
+        ]
+        assert policy.route(request_8x4, 0.0, snaps) == 2
+
+    def test_queued_demand_counts(self, fast_engine, request_8x4):
+        # A shard with little *reserved* KV but a deep unadmitted queue
+        # is under pressure; the policy must see through it.
+        policy = LeastKVPressurePolicy()
+        snaps = [
+            _snap(0, fast_engine, waiting_kv_bytes=900_000),
+            _snap(1, fast_engine, kv_reserved_bytes=300_000),
+        ]
+        assert policy.route(request_8x4, 0.0, snaps) == 1
+
+
+class TestPredictedLatency:
+    def test_prefers_faster_engine_when_idle(
+        self, fast_engine, slow_engine, request_8x4
+    ):
+        policy = PredictedLatencyPolicy()
+        snaps = [_snap(0, slow_engine), _snap(1, fast_engine)]
+        assert policy.route(request_8x4, 0.0, snaps) == 1
+
+    def test_backlog_outweighs_raw_speed(
+        self, fast_engine, slow_engine, request_8x4
+    ):
+        # Pile enough queued prefill work on the fast shard and the
+        # idle slow shard wins despite 12x less bandwidth.
+        policy = PredictedLatencyPolicy()
+        fast_loaded = _snap(
+            1, fast_engine, n_waiting=64, waiting_prompt_tokens=(64,) * 64
+        )
+        snaps = [_snap(0, slow_engine), fast_loaded]
+        assert policy.route(request_8x4, 0.0, snaps) == 0
+
+    def test_prediction_accounts_for_busy_until(
+        self, fast_engine, request_8x4
+    ):
+        policy = PredictedLatencyPolicy()
+        busy = _snap(0, fast_engine, clock_s=10.0)
+        idle = _snap(1, fast_engine)
+        assert policy.predicted_ttft_s(request_8x4, 0.0, busy) > (
+            policy.predicted_ttft_s(request_8x4, 0.0, idle)
+        )
+        assert policy.route(request_8x4, 0.0, [busy, idle]) == 1
+
+    def test_kv_overflow_charges_decode_drain(self, fast_engine, request_8x4):
+        policy = PredictedLatencyPolicy()
+        tight = _snap(
+            0, fast_engine,
+            kv_budget_bytes=1_000,
+            kv_reserved_bytes=990,
+            n_decoding=2,
+            remaining_decode_tokens=20,
+            decode_context=64,
+        )
+        roomy = _snap(1, fast_engine)
+        assert policy.predicted_ttft_s(request_8x4, 0.0, tight) > (
+            policy.predicted_ttft_s(request_8x4, 0.0, roomy)
+        )

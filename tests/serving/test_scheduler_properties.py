@@ -205,3 +205,87 @@ class TestSchedulerConfigValidation:
             ContinuousBatchingScheduler(serving_engine, stream, ctx_bucket=0)
         with pytest.raises(ConfigError):
             ContinuousBatchingScheduler(serving_engine, stream, kv_budget_bytes=-1)
+
+
+class TestDeterministicOrdering:
+    """FCFS position is the explicit total order (arrival_s, request_id)."""
+
+    def _tied_requests(self, reversed_submission: bool):
+        from repro.serving import Request
+
+        # Four requests arriving at the same instant, ids deliberately
+        # shuffled relative to any submission order.
+        reqs = [
+            Request(request_id=i, arrival_s=0.5, prompt_tokens=8 + i, output_tokens=4)
+            for i in (3, 1, 2, 0)
+        ]
+        return list(reversed(reqs)) if reversed_submission else reqs
+
+    def test_equal_arrival_times_processed_in_id_order(
+        self, serving_engine, make_scenario
+    ):
+        from repro.serving import ContinuousBatchingScheduler
+
+        scheduler = ContinuousBatchingScheduler(serving_engine, max_batch=8)
+        for req in self._tied_requests(reversed_submission=False):
+            scheduler.submit(req)
+        scheduler.advance_until()
+        result = scheduler.result()
+        admits = [ev.request_id for ev in result.events if ev.kind is EventKind.ADMIT]
+        assert admits == [0, 1, 2, 3]
+
+    def test_submission_order_is_irrelevant_to_the_timeline(self, serving_engine):
+        from repro.serving import ContinuousBatchingScheduler
+
+        results = []
+        for reverse in (False, True):
+            scheduler = ContinuousBatchingScheduler(serving_engine, max_batch=8)
+            for req in self._tied_requests(reversed_submission=reverse):
+                scheduler.submit(req)
+            scheduler.advance_until()
+            results.append(scheduler.result())
+        assert results[0].events == results[1].events
+        assert results[0].records == results[1].records
+
+
+class TestIncrementalDriving:
+    """submit()/advance_until() chunks reproduce run() exactly."""
+
+    @given(seeds, rates)
+    @settings(max_examples=8, deadline=None)
+    def test_chunked_advance_matches_one_shot_run(
+        self, make_scenario, serving_engine, prompt_dist, output_dist, seed, rate
+    ):
+        from repro.serving import ContinuousBatchingScheduler, poisson_stream
+
+        stream = poisson_stream(10, rate, prompt_dist, output_dist, seed=seed)
+        budget = make_scenario(seed=seed).kv_budget_bytes
+        one_shot = ContinuousBatchingScheduler(
+            serving_engine, stream, kv_budget_bytes=budget, max_batch=8
+        ).run()
+
+        chunked = ContinuousBatchingScheduler(
+            serving_engine, kv_budget_bytes=budget, max_batch=8
+        )
+        # Submit each request only when the global clock reaches it, and
+        # advance in arbitrary slices — pausing must change nothing.
+        for req in stream.initial():
+            chunked.advance_until(req.arrival_s)
+            chunked.submit(req)
+        chunked.advance_until()
+        result = chunked.result()
+        assert result.events == one_shot.events
+        assert result.records == one_shot.records
+        assert result.duration_s == one_shot.duration_s
+
+    def test_run_requires_a_source(self, serving_engine):
+        from repro.serving import ContinuousBatchingScheduler
+
+        with pytest.raises(ConfigError):
+            ContinuousBatchingScheduler(serving_engine).run()
+
+    def test_run_is_single_use(self, serving_engine, make_scenario):
+        scheduler = make_scenario(seed=7)
+        scheduler.run()
+        with pytest.raises(ConfigError):
+            scheduler.run()

@@ -101,3 +101,83 @@ class TestMaterialization:
         surface.decode(64)  # warm the (DECODE, 64, 1) key
         with pytest.raises(SimulationError):
             surface.point(decode_workload(tiny_model, 64))
+
+
+class TestSerialization:
+    """to_json()/from_json(): versioned, exact, model-guarded."""
+
+    def test_round_trip_is_exact(self, surface, small_model):
+        import json
+
+        surface.prefill(64)
+        surface.prefill(128)
+        surface.decode(128, batch=2)
+        surface.decode(144)
+        dump = json.loads(json.dumps(surface.to_json()))
+
+        from repro.sim import LatencySurface
+
+        loaded = LatencySurface.from_json(dump, surface.simulator)
+        assert len(loaded) == len(surface) == 4
+        # Bit-exact: a loaded point equals the freshly simulated one.
+        assert loaded.prefill(64) == surface.prefill(64)
+        assert loaded.decode(128, batch=2) == surface.decode(128, batch=2)
+
+    def test_loaded_points_skip_simulation(self, surface, small_model):
+        from repro.sim import LatencySurface
+
+        surface.decode(160)
+        loaded = LatencySurface.from_json(surface.to_json(), surface.simulator)
+
+        class Exploding:
+            def __getattr__(self, name):
+                raise AssertionError("simulated on what should be a hit")
+
+        loaded._sim = Exploding()  # any miss would now blow up
+        assert loaded.decode(160).latency_s == surface.decode(160).latency_s
+
+    def test_dump_is_versioned_and_sorted(self, surface):
+        from repro.sim.surface import SURFACE_SCHEMA_VERSION
+
+        surface.decode(96)
+        surface.prefill(32)
+        surface.decode(64)
+        dump = surface.to_json()
+        assert dump["version"] == SURFACE_SCHEMA_VERSION
+        keys = [(p["stage"], p["tokens"], p["batch"]) for p in dump["points"]]
+        assert keys == sorted(keys)
+
+    def test_wrong_version_rejected(self, surface):
+        from repro.errors import SimulationError
+        from repro.sim import LatencySurface
+
+        dump = surface.to_json()
+        dump["version"] = 999
+        with pytest.raises(SimulationError):
+            LatencySurface.from_json(dump, surface.simulator)
+
+    def test_foreign_model_dump_rejected(self, surface, tiny_model):
+        from repro.core import ExecutionPlan
+        from repro.errors import SimulationError
+        from repro.sim import LatencySurface, WorkloadSimulator
+
+        dump = surface.to_json()
+        foreign = WorkloadSimulator(
+            tiny_model, surface.simulator.config, ExecutionPlan.meadow()
+        )
+        with pytest.raises(SimulationError):
+            LatencySurface.from_json(dump, foreign)
+
+    def test_engine_load_surface(self, small_model, zcu12, shared_planner):
+        from repro.core import ExecutionPlan, MeadowEngine
+
+        engine = MeadowEngine(
+            small_model, zcu12, ExecutionPlan.meadow(), shared_planner
+        )
+        engine.surface.decode(128)
+        dump = engine.surface.to_json()
+        clone = engine.clone()
+        loaded = clone.load_surface(dump)
+        assert clone.surface is loaded
+        assert len(loaded) == 1
+        assert loaded.decode(128) == engine.surface.decode(128)
