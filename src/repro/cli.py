@@ -115,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "before simulation (1 = exact; larger = faster)")
     p.add_argument("--kv-budget-mb", type=float, default=None,
                    help="override the DRAM-derived KV budget")
+    p.add_argument("--no-token-events", action="store_true",
+                   help="skip per-token DECODE_STEP/FIRST_TOKEN event "
+                        "materialization (metrics are identical; long "
+                        "streams run lighter)")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="force the per-token reference scheduler walk "
+                        "instead of the bit-identical event-compressed "
+                        "hot loop (debugging aid)")
 
     p = sub.add_parser(
         "fleet", help="multi-engine sharded serving and Pareto sweeps"
@@ -146,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ctx-bucket", type=int, default=16)
     p.add_argument("--kv-budget-mb", type=float, default=None,
                    help="per-shard override of the DRAM-derived KV budget")
+    p.add_argument("--no-token-events", action="store_true",
+                   help="skip per-token event materialization in every "
+                        "shard (sweep mode always skips it)")
     p.add_argument("--sweep", action="store_true",
                    help="evaluate the (engines x policy x knob) grid and "
                         "report the Pareto front instead of one run")
@@ -330,6 +341,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         kv_budget_bytes=budget,
         max_batch=args.max_batch,
         ctx_bucket=args.ctx_bucket,
+        coalesce=not args.no_coalesce,
+        token_events=not args.no_token_events,
     )
     report = sim.run(source)
     title = (
@@ -371,6 +384,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             kv_budget_bytes=budget,
             max_batch=args.max_batch,
             ctx_bucket=args.ctx_bucket,
+            token_events=not args.no_token_events,
         )
         report = fleet.run(factory())
         header = (

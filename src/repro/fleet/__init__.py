@@ -26,7 +26,13 @@ from .routing import (
     RoutingPolicy,
     make_policy,
 )
-from .simulator import FleetReport, FleetResult, FleetSimulator, RoutingDecision
+from .simulator import (
+    FleetReport,
+    FleetResult,
+    FleetSimulator,
+    RoutingDecision,
+    TTFTCalibration,
+)
 from .sweep import (
     FleetSweepResult,
     SWEEP_SCHEMA_VERSION,
@@ -44,6 +50,7 @@ __all__ = [
     "POLICY_NAMES",
     "make_policy",
     "RoutingDecision",
+    "TTFTCalibration",
     "FleetResult",
     "FleetReport",
     "FleetSimulator",

@@ -37,7 +37,8 @@ perturbs the modeled numbers.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence, Tuple
+import math
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 from ..serving.request import Request
@@ -79,6 +80,18 @@ class RoutingPolicy:
         ascending shard id (never empty).
         """
         raise NotImplementedError
+
+    def predicted_ttft_s(
+        self, request: Request, now_s: float, snap: SchedulerSnapshot
+    ) -> Optional[float]:
+        """The TTFT this policy predicts for the request on one shard.
+
+        ``None`` for policies that do not model latency (round-robin,
+        JSQ, least-KV). The fleet simulator records the chosen shard's
+        prediction on every :class:`~repro.fleet.RoutingDecision`, which
+        is what powers the predicted-vs-realized calibration report.
+        """
+        return None
 
 
 class RoundRobinPolicy(RoutingPolicy):
@@ -141,6 +154,16 @@ class PredictedLatencyPolicy(RoutingPolicy):
 
     name = "predicted-latency"
 
+    def __init__(self) -> None:
+        # Last decision's scores, so the fleet simulator's calibration
+        # lookup for the chosen shard reuses what route() just computed
+        # instead of re-deriving it. Keyed to (request, instant); the
+        # model is pure, so a replay returns the identical float.
+        self._scored: Tuple[int, float, Dict[int, float]] = (-1, math.nan, {})
+
+    def reset(self, n_shards: int) -> None:
+        self._scored = (-1, math.nan, {})
+
     def predicted_ttft_s(
         self, request: Request, now_s: float, snap: SchedulerSnapshot
     ) -> float:
@@ -155,11 +178,19 @@ class PredictedLatencyPolicy(RoutingPolicy):
         drain reservations — approximated by the remaining decode
         tokens at the shard's current batched-decode rate.
         """
+        req_id, at_s, scores = self._scored
+        if req_id == request.request_id and at_s == now_s:
+            cached = scores.get(snap.shard_id)
+            if cached is not None:
+                return cached
         surface = snap.engine.surface
         wait_s = max(0.0, snap.clock_s - now_s)
+        # The snapshot carries queued prompts as a (length, count)
+        # histogram — sized by distinct lengths, not backlog depth — so
+        # the queued-work term costs O(distinct) surface hits.
         queued_s = sum(
-            surface.prefill(tokens).latency_s
-            for tokens in snap.waiting_prompt_tokens
+            count * surface.prefill(tokens).latency_s
+            for tokens, count in snap.waiting_prompt_hist
         )
         own_s = surface.prefill(request.prompt_tokens).latency_s
         predicted = wait_s + queued_s + own_s
@@ -184,11 +215,15 @@ class PredictedLatencyPolicy(RoutingPolicy):
         now_s: float,
         snapshots: Sequence[SchedulerSnapshot],
     ) -> int:
-        best = min(
-            snapshots,
-            key=lambda s: (self.predicted_ttft_s(request, now_s, s), s.shard_id),
-        )
-        return best.shard_id
+        self._scored = (-1, math.nan, {})
+        scores = {
+            snap.shard_id: self.predicted_ttft_s(request, now_s, snap)
+            for snap in snapshots
+        }
+        self._scored = (request.request_id, now_s, scores)
+        return min(
+            snapshots, key=lambda s: (scores[s.shard_id], s.shard_id)
+        ).shard_id
 
 
 #: Name -> constructor registry (CLI / sweep grids enumerate this).

@@ -30,8 +30,9 @@ admit are rejected and counted, mirroring single-engine behaviour.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.meadow import MeadowEngine
 from ..errors import CapacityError, ConfigError
@@ -41,7 +42,13 @@ from ..serving.scheduler import ContinuousBatchingScheduler, ServingResult
 from .metrics import merge_results
 from .routing import RoutingPolicy, make_policy
 
-__all__ = ["RoutingDecision", "FleetResult", "FleetReport", "FleetSimulator"]
+__all__ = [
+    "RoutingDecision",
+    "TTFTCalibration",
+    "FleetResult",
+    "FleetReport",
+    "FleetSimulator",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +58,26 @@ class RoutingDecision:
     request_id: int
     arrival_s: float
     shard_id: int
+    #: The routing policy's TTFT model for the chosen shard at decision
+    #: time; ``None`` for policies that do not predict latency. Compared
+    #: against the realized TTFT by :meth:`FleetReport.ttft_calibration`.
+    predicted_ttft_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TTFTCalibration:
+    """Predicted-vs-realized TTFT error over one fleet run's decisions.
+
+    Errors are signed ``predicted - realized`` seconds, so a positive
+    mean means the router over-estimates (conservative placement) and a
+    negative one that it under-estimates — typically decode interleaving
+    after admission, which the prediction model deliberately ignores.
+    """
+
+    n_predictions: int
+    mean_error_s: float
+    mean_abs_error_s: float
+    max_abs_error_s: float
 
 
 @dataclass(frozen=True)
@@ -87,6 +114,32 @@ class FleetReport:
     metrics: FleetMetrics
     shard_metrics: Tuple[FleetMetrics, ...]
 
+    def ttft_calibration(self) -> Optional[TTFTCalibration]:
+        """Aggregate predicted-vs-realized TTFT error, or ``None``.
+
+        ``None`` when no decision carried a prediction (non-predictive
+        policy) or no predicted request completed. Realized TTFT is read
+        from the request records, so rejected follow-ups never enter.
+        """
+        realized: Dict[int, float] = {}
+        for shard in self.result.shard_results:
+            for rec in shard.records:
+                realized[rec.request.request_id] = rec.ttft_s
+        errors = [
+            decision.predicted_ttft_s - realized[decision.request_id]
+            for decision in self.result.decisions
+            if decision.predicted_ttft_s is not None
+            and decision.request_id in realized
+        ]
+        if not errors:
+            return None
+        return TTFTCalibration(
+            n_predictions=len(errors),
+            mean_error_s=sum(errors) / len(errors),
+            mean_abs_error_s=sum(abs(e) for e in errors) / len(errors),
+            max_abs_error_s=max(abs(e) for e in errors),
+        )
+
     def describe(self) -> str:
         """Human-readable report: fleet summary plus per-shard load."""
         title = (
@@ -105,6 +158,15 @@ class FleetReport:
                 f"{m.throughput_tok_s:.2f} tok/s, "
                 f"p99 TTFT {m.ttft.p99_s * 1e3:.3f} ms, "
                 f"peak KV {m.peak_kv_fraction:.1%}"
+            )
+        calibration = self.ttft_calibration()
+        if calibration is not None:
+            lines.append(
+                f"predicted TTFT error: "
+                f"mean {calibration.mean_error_s * 1e3:+.3f} ms, "
+                f"mean |err| {calibration.mean_abs_error_s * 1e3:.3f} ms, "
+                f"max |err| {calibration.max_abs_error_s * 1e3:.3f} ms "
+                f"over {calibration.n_predictions} decisions"
             )
         if self.result.n_rejected_followups:
             lines.append(
@@ -136,6 +198,13 @@ class FleetSimulator:
         policy: a :class:`RoutingPolicy` instance or registered name.
         kv_budget_bytes / max_batch / ctx_bucket: scalar applied to all
             shards, or one value per shard for heterogeneous fleets.
+        coalesce: let every shard advance stable decode runs in one
+            event-compressed pass (bit-identical; ``False`` forces the
+            per-token reference walk everywhere).
+        token_events: materialize per-token DECODE_STEP / FIRST_TOKEN
+            events in every shard's log. Flip off for long sweeps —
+            records, merged metrics and peak-KV accounting are exact
+            either way.
     """
 
     def __init__(
@@ -145,6 +214,8 @@ class FleetSimulator:
         kv_budget_bytes=None,
         max_batch=16,
         ctx_bucket=1,
+        coalesce: bool = True,
+        token_events: bool = True,
     ) -> None:
         if not engines:
             raise ConfigError("a fleet needs at least one engine")
@@ -161,6 +232,8 @@ class FleetSimulator:
         self.kv_budget_bytes = _per_shard(kv_budget_bytes, n, "kv_budget_bytes")
         self.max_batch = _per_shard(max_batch, n, "max_batch")
         self.ctx_bucket = _per_shard(ctx_bucket, n, "ctx_bucket")
+        self.coalesce = coalesce
+        self.token_events = token_events
 
     # ---------------------------------------------------------------- run
     def run(self, source: RequestSource) -> FleetReport:
@@ -197,9 +270,21 @@ class FleetSimulator:
                 max_batch=self.max_batch[i],
                 ctx_bucket=self.ctx_bucket[i],
                 on_complete=harvest,
+                coalesce=self.coalesce,
+                token_events=self.token_events,
             )
             for i, engine in enumerate(self.engines)
         ]
+        # Open-loop sources never inject follow-ups, so once the arrival
+        # heap drains the shards are fully independent and each can run
+        # dry in one coalesced advance instead of the per-iteration
+        # stepping closed-loop routing fidelity requires. A source is
+        # open-loop only when on_complete is the base-class no-op and no
+        # instance-level hook shadows it.
+        open_loop = (
+            type(source).on_complete is RequestSource.on_complete
+            and "on_complete" not in getattr(source, "__dict__", {})
+        )
 
         seen_ids = set()
         for req in source.initial():
@@ -236,13 +321,23 @@ class FleetSimulator:
                     if shard.can_ever_admit(req)
                 ]
                 choice = policy.route(req, t, feasible)
-                if choice not in {snap.shard_id for snap in feasible}:
+                chosen = next(
+                    (snap for snap in feasible if snap.shard_id == choice), None
+                )
+                if chosen is None:
                     raise ConfigError(
                         f"policy {policy.name!r} routed request "
                         f"{request_id} to infeasible shard {choice}"
                     )
                 shards[choice].submit(req)
-                decisions.append(RoutingDecision(request_id, t, choice))
+                decisions.append(
+                    RoutingDecision(
+                        request_id,
+                        t,
+                        choice,
+                        policy.predicted_ttft_s(req, t, chosen),
+                    )
+                )
             else:
                 # Drain: step the earliest-clock busy shard one
                 # iteration at a time, so a completion's closed-loop
@@ -250,10 +345,16 @@ class FleetSimulator:
                 # after every shard has already simulated past it. This
                 # keeps a one-shard closed-loop fleet identical to
                 # single-engine serving and routing snapshots honest.
+                # Open-loop streams have no follow-ups to interleave, so
+                # each shard drains in one coalesced pass instead.
                 busy = [shard for shard in shards if not shard.idle]
                 if not busy:
                     break
-                min(busy, key=lambda shard: shard.clock_s).advance_one()
+                if open_loop:
+                    for shard in busy:
+                        shard.advance_until(math.inf)
+                else:
+                    min(busy, key=lambda shard: shard.clock_s).advance_one()
 
         shard_results = tuple(shard.result() for shard in shards)
         result = FleetResult(

@@ -32,7 +32,8 @@ from .simulator import FleetReport, FleetSimulator
 __all__ = ["SWEEP_SCHEMA_VERSION", "SweepPoint", "FleetSweepResult", "SweepDriver"]
 
 #: Version stamped into sweep JSON documents; bump on schema changes.
-SWEEP_SCHEMA_VERSION = 1
+#: v2 added the energy axis (``energy_uj`` / ``energy_per_token_uj``).
+SWEEP_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,12 @@ class SweepPoint:
     duration_s: float
     max_queue_depth: int
     peak_kv_fraction: float
+    #: Modeled energy of every iteration the fleet executed, summed from
+    #: the shards' surface points — the power-budget axis the paper
+    #: targets. Reported (and selectable via :meth:`FleetSweepResult
+    #: .best_by`), not a Pareto-front objective.
+    energy_uj: float = 0.0
+    energy_per_token_uj: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form (tuples become lists)."""
@@ -67,7 +74,11 @@ def _dominates(a: SweepPoint, b: SweepPoint) -> bool:
     """Pareto dominance: no worse on all objectives, better on one.
 
     Objectives: maximize ``throughput_tok_s``; minimize ``ttft_p99_s``
-    and ``tbt_p99_s``.
+    and ``tbt_p99_s``. The energy axis (``energy_uj`` /
+    ``energy_per_token_uj``) is deliberately *not* an objective — the
+    front stays comparable across schema versions; energy-constrained
+    planners read it off the points or pick via
+    ``best_by("energy_per_token_uj")``.
     """
     no_worse = (
         a.throughput_tok_s >= b.throughput_tok_s
@@ -245,8 +256,15 @@ class SweepDriver:
         policy: str,
         max_batch: int = 16,
         ctx_bucket: int = 1,
+        token_events: bool = False,
     ) -> FleetReport:
-        """Evaluate one grid point (exposed for benchmarks and tests)."""
+        """Evaluate one grid point (exposed for benchmarks and tests).
+
+        ``token_events`` defaults *off* here, unlike the interactive
+        simulators: a sweep materializes millions of per-token event
+        tuples nobody reads, and the grid metrics are provably identical
+        without them.
+        """
         profile = self.fleet_profile(n_engines)
         engines = [self.engine_for(b) for b in profile]
         budgets = None
@@ -261,6 +279,7 @@ class SweepDriver:
             kv_budget_bytes=budgets,
             max_batch=max_batch,
             ctx_bucket=ctx_bucket,
+            token_events=token_events,
         )
         return fleet.run(source)
 
@@ -271,6 +290,7 @@ class SweepDriver:
         policies: Sequence[str] = POLICY_NAMES,
         max_batch_grid: Sequence[int] = (16,),
         ctx_bucket_grid: Sequence[int] = (1,),
+        token_events: bool = False,
     ) -> FleetSweepResult:
         """Evaluate the full configuration grid.
 
@@ -278,6 +298,9 @@ class SweepDriver:
         (closed-loop sources are single-use); seeded factories make the
         whole sweep reproducible. Grid order is deterministic:
         engines, then policy, then max_batch, then ctx_bucket.
+        Per-token event materialization is off by default (see
+        :meth:`run_point`); every reported metric is identical with it
+        on, just slower and heavier.
         """
         points: List[SweepPoint] = []
         source_name = None
@@ -288,9 +311,14 @@ class SweepDriver:
                         source = stream_factory()
                         source_name = source.name
                         report = self.run_point(
-                            source, n_engines, policy, max_batch, ctx_bucket
+                            source, n_engines, policy, max_batch, ctx_bucket,
+                            token_events=token_events,
                         )
                         m = report.metrics
+                        energy_uj = sum(
+                            r.total_energy_uj
+                            for r in report.result.shard_results
+                        )
                         points.append(
                             SweepPoint(
                                 n_engines=n_engines,
@@ -309,6 +337,12 @@ class SweepDriver:
                                 duration_s=m.duration_s,
                                 max_queue_depth=m.max_queue_depth,
                                 peak_kv_fraction=m.peak_kv_fraction,
+                                energy_uj=energy_uj,
+                                energy_per_token_uj=(
+                                    energy_uj / m.total_generated_tokens
+                                    if m.total_generated_tokens
+                                    else 0.0
+                                ),
                             )
                         )
         if not points:

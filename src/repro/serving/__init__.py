@@ -29,6 +29,7 @@ from .scheduler import (
     SchedulerEvent,
     SchedulerSnapshot,
     ServingResult,
+    TOKEN_EVENT_KINDS,
 )
 from .simulator import ServingReport, ServingSimulator
 
@@ -41,6 +42,7 @@ __all__ = [
     "bursty_stream",
     "ClosedLoopSource",
     "EventKind",
+    "TOKEN_EVENT_KINDS",
     "SchedulerEvent",
     "SchedulerSnapshot",
     "RequestRecord",

@@ -13,6 +13,22 @@ full :class:`~repro.sim.breakdown.StageReport` would carry, but each
 distinct (stage, context, batch) point is simulated once and held as a
 few floats, so simulator overhead no longer dominates long streams.
 
+**The hot loop is event-compressed.** A decode batch is *stable* while
+no member completes, no arrival is due, and the bucketed context key is
+constant (``ctx_bucket`` consecutive contexts share one surface point).
+The default ``coalesce=True`` path advances such runs of ``k``
+iterations with O(batch) bookkeeping plus O(k) scalar clock arithmetic
+instead of ``k`` full Python iterations — and is **bit-identical** to
+the per-token walk (same records, same events, same clock: the clock
+series is reproduced by the very float additions the walk would issue).
+The per-token walk is retained as the property-tested reference path
+(``coalesce=False``), mirroring how the simulator keeps
+``simulate_reference`` next to its fast path. Long streams where nobody
+reads per-token events can additionally pass ``token_events=False`` to
+elide DECODE_STEP / FIRST_TOKEN event materialization; records, metrics
+and the peak-KV accounting are unaffected (KV only changes at ADMIT /
+COMPLETE, which are always logged).
+
 Admission is KV-memory constrained and strictly FCFS: a request is
 admitted only when its *worst-case* KV footprint (prompt + every output
 token, across all layers) fits in the remaining DRAM budget, and the
@@ -33,12 +49,18 @@ driven incrementally — :meth:`submit` individual requests, interleave
 :meth:`advance_until` with outside decisions, then :meth:`result` — the
 mode the fleet simulator (:mod:`repro.fleet`) uses to interleave N
 shards on one global clock. Both modes execute the identical iteration
-sequence for the same requests.
+sequence for the same requests: ``advance_until`` defers its boundary
+work (arrival ingestion, admission) when the clock has reached the
+horizon, so pausing between iterations can never reorder the event log
+relative to a one-shot run.
 
 Every state change is appended to an event log; the property tests in
 ``tests/serving/`` assert the scheduler's invariants (clock
 monotonicity, prefill-before-decode, budget respect, FCFS order)
-directly against it.
+directly against it. Routing-facing state (:meth:`snapshot`) is served
+from incremental aggregates maintained at submit / ingest / admit /
+prefill / complete time, so snapshotting is O(1) in queue depth — the
+fleet loop takes one per shard per routing decision.
 """
 
 from __future__ import annotations
@@ -58,6 +80,7 @@ from .request import Request, RequestSource
 
 __all__ = [
     "EventKind",
+    "TOKEN_EVENT_KINDS",
     "SchedulerEvent",
     "RequestRecord",
     "ServingResult",
@@ -75,6 +98,12 @@ class EventKind(enum.Enum):
     FIRST_TOKEN = "first_token"
     DECODE_STEP = "decode_step"
     COMPLETE = "complete"
+
+
+#: The per-token observations elided by ``token_events=False``; every
+#: KV-reservation change (ADMIT / COMPLETE) is always logged, so peak-KV
+#: accounting over the thinned log stays exact.
+TOKEN_EVENT_KINDS = frozenset({EventKind.FIRST_TOKEN, EventKind.DECODE_STEP})
 
 
 @dataclass(frozen=True)
@@ -142,11 +171,21 @@ class ServingResult:
     #: Closed-loop follow-ups whose drawn lengths could never fit the KV
     #: budget or model context; rejected at submission, never simulated.
     n_rejected_followups: int = 0
+    #: Modeled energy of every executed iteration (surface point energy,
+    #: accumulated in iteration order so the coalesced and reference
+    #: paths agree bit for bit).
+    total_energy_uj: float = 0.0
 
     @property
     def total_generated_tokens(self) -> int:
         """Tokens emitted across the whole fleet."""
         return sum(r.generated_tokens for r in self.records)
+
+    @property
+    def energy_per_token_uj(self) -> float:
+        """Modeled energy per generated token (0 for an empty run)."""
+        tokens = self.total_generated_tokens
+        return self.total_energy_uj / tokens if tokens else 0.0
 
     def kv_timeline(self) -> Tuple[Tuple[float, int], ...]:
         """(time, reserved KV bytes) at every state change."""
@@ -160,9 +199,14 @@ class SchedulerSnapshot:
     Taken between iterations (the fleet simulator snapshots every shard
     at each global arrival), so the fields describe a consistent
     instant: the shard is busy until :attr:`clock_s` with the step it
-    last started, everything in :attr:`waiting_prompt_tokens` still owes
+    last started, everything in :attr:`waiting_prompt_hist` still owes
     a prefill, and :attr:`remaining_decode_tokens` tokens of in-flight
     generation remain after that.
+
+    Every field is served from aggregates the scheduler maintains
+    incrementally (at submit / ingest / admit / prefill / complete), so
+    taking a snapshot never walks the queues — routing cost is
+    independent of backlog depth.
     """
 
     shard_id: int
@@ -172,8 +216,10 @@ class SchedulerSnapshot:
     n_waiting: int
     #: Requests in the decode phase.
     n_decoding: int
-    #: Prompt lengths of every request still owing a prefill pass.
-    waiting_prompt_tokens: Tuple[int, ...]
+    #: Histogram of prompt lengths still owing a prefill pass, as sorted
+    #: ``(prompt_tokens, count)`` pairs — the run-length form of the old
+    #: per-request tuple, sized by *distinct* lengths, not queue depth.
+    waiting_prompt_hist: Tuple[Tuple[int, int], ...]
     #: Output tokens still to decode across all in-flight requests.
     remaining_decode_tokens: int
     #: Deepest in-flight context (0 when nothing is decoding).
@@ -227,12 +273,20 @@ class ContinuousBatchingScheduler:
         max_batch: cap on concurrently decoded requests per iteration.
         ctx_bucket: decode contexts are rounded up to a multiple of this
             before simulation — a modeling quantization that makes long
-            streams cache-friendly (1 = exact).
+            streams cache-friendly (1 = exact) and bounds how many
+            consecutive decode iterations one coalesced run can cover.
         on_complete: override for the completion hook; defaults to
             ``source.on_complete``. The fleet simulator injects its own
             callback here so closed-loop follow-ups re-enter the global
             router instead of being pinned to the shard that happened
             to serve their predecessor.
+        coalesce: advance stable decode runs in one pass (bit-identical
+            to the per-token walk). ``False`` forces the reference
+            per-token path the equivalence tests compare against.
+        token_events: materialize per-token FIRST_TOKEN / DECODE_STEP
+            events. ``False`` thins the event log to state changes only
+            (ARRIVAL / ADMIT / PREFILL_START / COMPLETE); records,
+            metrics and peak-KV accounting are unchanged.
 
     Pending prefills always run before decode iterations (the classic
     continuous-batching policy: it fills the decode batch fastest);
@@ -247,6 +301,8 @@ class ContinuousBatchingScheduler:
         max_batch: int = 16,
         ctx_bucket: int = 1,
         on_complete: Optional[Callable[[Request, float], Optional[Request]]] = None,
+        coalesce: bool = True,
+        token_events: bool = True,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -270,6 +326,8 @@ class ContinuousBatchingScheduler:
             )
         self.max_batch = max_batch
         self.ctx_bucket = ctx_bucket
+        self.coalesce = coalesce
+        self.token_events = token_events
         if on_complete is None and source is not None:
             on_complete = source.on_complete
         self._on_complete = on_complete
@@ -290,8 +348,15 @@ class ContinuousBatchingScheduler:
         self._n_prefills = 0
         self._n_decodes = 0
         self._n_rejected = 0  # infeasible closed-loop follow-ups
+        self._energy_uj = 0.0
         self._events: List[SchedulerEvent] = []
         self._records: Dict[int, RequestRecord] = {}
+        # ---- incremental aggregates backing O(1) snapshots ----
+        self._kv_bytes_cache: Dict[int, int] = {}  # token count -> KV bytes
+        self._waiting_kv = 0  # worst-case KV over future + pending
+        self._waiting_prompts: Dict[int, int] = {}  # prompt len -> count waiting
+        self._remaining_decode = 0  # tokens left across self._decoding
+        self._decode_ctx = 0  # max context across self._decoding
 
     # ------------------------------------------------------------- helpers
     @property
@@ -300,11 +365,20 @@ class ContinuousBatchingScheduler:
         return self._clock
 
     def _kv_bytes(self, tokens: int) -> int:
-        """Worst-case KV footprint of ``tokens`` across all layers."""
-        model = self.engine.model
-        return model.n_layers * model.kv_cache_bytes_per_layer(
-            tokens, self.engine.config.act_bits
-        )
+        """Worst-case KV footprint of ``tokens`` across all layers.
+
+        Memoized per token count: the fleet loop probes every waiting
+        request's footprint at every ``can_ever_admit`` check, and token
+        counts repeat heavily across a stream.
+        """
+        need = self._kv_bytes_cache.get(tokens)
+        if need is None:
+            model = self.engine.model
+            need = model.n_layers * model.kv_cache_bytes_per_layer(
+                tokens, self.engine.config.act_bits
+            )
+            self._kv_bytes_cache[tokens] = need
+        return need
 
     def _check(self, request: Request) -> int:
         """Validate one request against model and budget; return its KV."""
@@ -336,6 +410,15 @@ class ContinuousBatchingScheduler:
         return min(bucketed, self.engine.model.max_seq_len)
 
     # ------------------------------------------------------ incremental API
+    def _enqueue(self, request: Request, need: int) -> None:
+        """Push a validated request into the future heap (+ aggregates)."""
+        heapq.heappush(
+            self._future, (request.arrival_s, request.request_id, request)
+        )
+        self._waiting_kv += need
+        prompts = self._waiting_prompts
+        prompts[request.prompt_tokens] = prompts.get(request.prompt_tokens, 0) + 1
+
     def submit(self, request: Request) -> None:
         """Queue one request for its arrival time (validates feasibility).
 
@@ -344,33 +427,24 @@ class ContinuousBatchingScheduler:
         observed at the next iteration boundary (exactly how the
         event-log timestamps are defined).
         """
-        self._check(request)
-        heapq.heappush(
-            self._future, (request.arrival_s, request.request_id, request)
-        )
+        self._enqueue(request, self._check(request))
 
     def snapshot(self, shard_id: int = 0) -> SchedulerSnapshot:
-        """Capture the live state routing policies key on."""
-        waiting_prompts: List[int] = [
-            req.prompt_tokens for _, _, req in self._future
-        ]
-        waiting_prompts += [req.prompt_tokens for req in self._pending]
-        waiting_prompts += [a.request.prompt_tokens for a in self._prefill_queue]
-        waiting_kv = sum(
-            self._kv_bytes(req.total_tokens) for _, _, req in self._future
-        ) + sum(self._kv_bytes(req.total_tokens) for req in self._pending)
+        """Capture the live state routing policies key on.
+
+        O(1) in queue depth: every field is an incrementally maintained
+        aggregate (the prompt histogram is sized by distinct lengths).
+        """
         return SchedulerSnapshot(
             shard_id=shard_id,
             clock_s=self._clock,
             n_waiting=len(self._future) + len(self._pending) + len(self._prefill_queue),
             n_decoding=len(self._decoding),
-            waiting_prompt_tokens=tuple(waiting_prompts),
-            remaining_decode_tokens=sum(
-                a.request.output_tokens - a.generated for a in self._decoding
-            ),
-            decode_context=max((a.context for a in self._decoding), default=0),
+            waiting_prompt_hist=tuple(sorted(self._waiting_prompts.items())),
+            remaining_decode_tokens=self._remaining_decode,
+            decode_context=self._decode_ctx,
             kv_reserved_bytes=self._kv_reserved,
-            waiting_kv_bytes=waiting_kv,
+            waiting_kv_bytes=self._waiting_kv,
             kv_budget_bytes=self.kv_budget_bytes,
             max_batch=self.max_batch,
             engine=self.engine,
@@ -398,6 +472,7 @@ class ContinuousBatchingScheduler:
                 break
             req = self._pending.popleft()
             self._kv_reserved += need
+            self._waiting_kv -= need
             self._peak_kv = max(self._peak_kv, self._kv_reserved)
             self._prefill_queue.append(
                 _Active(request=req, admit_s=self._clock, kv_reserved_bytes=need)
@@ -423,40 +498,55 @@ class ContinuousBatchingScheduler:
             # and discard completed work — an infeasible one is
             # rejected (a real frontend would return an error).
             try:
-                self._check(follow_up)
+                need = self._check(follow_up)
             except (CapacityError, ConfigError):
                 self._n_rejected += 1
             else:
-                heapq.heappush(
-                    self._future,
-                    (follow_up.arrival_s, follow_up.request_id, follow_up),
-                )
+                self._enqueue(follow_up, need)
 
     def _prefill_step(self) -> None:
         active = self._prefill_queue.popleft()
         req = active.request
         self._log(EventKind.PREFILL_START, req.request_id)
-        self._clock += self.engine.surface.prefill(req.prompt_tokens).latency_s
+        point = self.engine.surface.prefill(req.prompt_tokens)
+        self._clock += point.latency_s
+        self._energy_uj += point.energy_uj
         self._n_prefills += 1
+        count = self._waiting_prompts[req.prompt_tokens] - 1
+        if count:
+            self._waiting_prompts[req.prompt_tokens] = count
+        else:
+            del self._waiting_prompts[req.prompt_tokens]
         active.context = req.prompt_tokens
         active.generated = 1  # prefill emits the first token
         active.first_token_s = self._clock
         active.last_token_s = self._clock
-        self._log(EventKind.FIRST_TOKEN, req.request_id)
+        if self.token_events:
+            self._log(EventKind.FIRST_TOKEN, req.request_id)
         if active.generated >= req.output_tokens:
             self._complete(active)
         else:
             self._decoding.append(active)
+            self._remaining_decode += req.output_tokens - 1
+            if active.context > self._decode_ctx:
+                self._decode_ctx = active.context
 
     def _decode_step(self) -> None:
+        """One batched decode iteration — the per-token reference path."""
         batch = self._decoding[: self.max_batch]
         # The batch decodes at the deepest member's context; a
         # conservative (upper-bound) latency for the shallower ones.
-        ctx = self._bucket_ctx(max(a.context + 1 for a in batch))
-        self._clock += self.engine.surface.decode(ctx, batch=len(batch)).latency_s
+        raw_ctx = max(a.context + 1 for a in batch)
+        point = self.engine.surface.decode(
+            self._bucket_ctx(raw_ctx), batch=len(batch)
+        )
+        self._clock += point.latency_s
+        self._energy_uj += point.energy_uj
         self._n_decodes += 1
+        self._remaining_decode -= len(batch)
         survivors: List[_Active] = []
         finished: List[_Active] = []
+        log_tokens = self.token_events
         for active in batch:
             active.context += 1
             active.generated += 1
@@ -465,7 +555,8 @@ class ContinuousBatchingScheduler:
             # not just this decode step's latency.
             active.tbt_s.append(self._clock - active.last_token_s)
             active.last_token_s = self._clock
-            self._log(EventKind.DECODE_STEP, active.request.request_id)
+            if log_tokens:
+                self._log(EventKind.DECODE_STEP, active.request.request_id)
             if active.generated >= active.request.output_tokens:
                 finished.append(active)
             else:
@@ -482,6 +573,106 @@ class ContinuousBatchingScheduler:
             self._decoding = waiting + survivors
         else:
             self._decoding = survivors + waiting
+        if finished:
+            self._decode_ctx = max(
+                (a.context for a in self._decoding), default=0
+            )
+        elif raw_ctx > self._decode_ctx:
+            self._decode_ctx = raw_ctx
+
+    def _decode_run(self, t_s: float) -> None:
+        """Coalesce a stable run of decode iterations (bit-identical).
+
+        A run covers ``k = min(tokens-to-next-completion,
+        tokens-to-bucket-boundary)`` iterations, cut short the moment the
+        clock reaches ``t_s`` or crosses the next submitted arrival (the
+        boundary where the reference walk would ingest it). Within a run
+        the batch, the surface point, the KV reservation and the queue
+        depth are all provably constant, so the per-iteration work
+        collapses to O(batch) bookkeeping; the clock and energy series
+        are still produced by the same sequential float additions the
+        reference walk performs, so every timestamp, TBT gap and
+        accumulator matches bit for bit.
+        """
+        decoding = self._decoding
+        if len(decoding) > self.max_batch:
+            # Oversubscribed: survivor rotation changes the batch every
+            # iteration — nothing to coalesce.
+            self._decode_step()
+            return
+        batch = decoding
+        n = len(batch)
+        raw_ctx = max(a.context for a in batch) + 1
+        point, bucket_run = self.engine.surface.decode_run(
+            raw_ctx, batch=n, ctx_bucket=self.ctx_bucket
+        )
+        to_complete = min(a.request.output_tokens - a.generated for a in batch)
+        k_cap = min(to_complete, bucket_run)
+        next_arrival = self._future[0][0] if self._future else math.inf
+        lat = point.latency_s
+        step_energy = point.energy_uj
+        # Reproduce the reference walk's clock/energy series exactly:
+        # sequential float addition is order-sensitive, so k*lat would
+        # drift in the last bits where lat+lat+... does not.
+        clocks: List[float] = []
+        c = self._clock
+        energy = self._energy_uj
+        while len(clocks) < k_cap and c < t_s:
+            c += lat
+            energy += step_energy
+            clocks.append(c)
+            if c >= next_arrival:
+                break
+        k = len(clocks)
+        self._clock = c
+        self._energy_uj = energy
+        self._n_decodes += k
+        self._remaining_decode -= k * n
+        # Inter-token gaps: the first gap of the run is member-specific
+        # (it includes any stall since that member's previous token);
+        # gaps 2..k are the shared consecutive-clock deltas.
+        shared = [b - a for a, b in zip(clocks, clocks[1:])]
+        finished: List[_Active] = []
+        for active in batch:
+            active.context += k
+            active.generated += k
+            active.tbt_s.append(clocks[0] - active.last_token_s)
+            if shared:
+                active.tbt_s.extend(shared)
+            active.last_token_s = c
+            if active.generated >= active.request.output_tokens:
+                finished.append(active)
+        if self.token_events:
+            events = self._events
+            kv = self._kv_reserved
+            depth = len(self._pending)
+            for t in clocks:
+                for active in batch:
+                    events.append(
+                        SchedulerEvent(
+                            t,
+                            EventKind.DECODE_STEP,
+                            active.request.request_id,
+                            kv,
+                            depth,
+                        )
+                    )
+        if finished:
+            # Completions only happen on the run's final iteration (the
+            # run length is capped at tokens-to-next-completion), so one
+            # partition reproduces the reference step's reordering.
+            self._decoding = [
+                a for a in batch if a.generated < a.request.output_tokens
+            ]
+            for active in finished:
+                self._complete(active)
+            self._decode_ctx = max(
+                (a.context for a in self._decoding), default=0
+            )
+        else:
+            end_ctx = raw_ctx + k - 1
+            if end_ctx > self._decode_ctx:
+                self._decode_ctx = end_ctx
 
     # ---------------------------------------------------------------- run
     @property
@@ -496,10 +687,11 @@ class ContinuousBatchingScheduler:
 
         Ingests and admits whatever the clock has reached, jumps the
         clock over idle gaps, then executes a single prefill or batched
-        decode step. Returns ``False`` when there is nothing to do.
-        The fleet simulator drains shards with this so a completion's
-        closed-loop follow-up re-enters global routing *before* other
-        shards simulate past it.
+        decode step — never a coalesced run, so callers that interleave
+        decisions between iterations observe every boundary. The fleet
+        simulator drains closed-loop shards with this so a completion's
+        follow-up re-enters global routing *before* other shards
+        simulate past it. Returns ``False`` when there is nothing to do.
         """
         self._started = True
         while True:
@@ -531,10 +723,16 @@ class ContinuousBatchingScheduler:
         the shard is busy until then). With the default ``inf`` this
         drains everything submitted so far. Chunking a simulation into
         arbitrary ``advance_until`` calls yields the identical timeline
-        to one call: pausing changes no scheduling decision.
+        *and event log* to one call: the horizon check runs before any
+        boundary work, so arrivals due exactly at the pause instant are
+        ingested by the next call together with anything submitted in
+        between — exactly as the one-shot walk would observe them.
         """
         self._started = True
+        coalesce = self.coalesce
         while True:
+            if self._clock >= t_s:
+                return
             self._ingest_arrivals()
             self._admit()
             # Depth is measured after admission: only requests the KV
@@ -542,13 +740,12 @@ class ContinuousBatchingScheduler:
             self._max_queue_depth = max(self._max_queue_depth, len(self._pending))
 
             if self._prefill_queue:
-                if self._clock >= t_s:
-                    return
                 self._prefill_step()
             elif self._decoding:
-                if self._clock >= t_s:
-                    return
-                self._decode_step()
+                if coalesce:
+                    self._decode_run(t_s)
+                else:
+                    self._decode_step()
             elif self._pending:
                 # Head blocked on KV with nothing in flight can only mean
                 # an over-sized request, which _check() already rejected.
@@ -591,6 +788,7 @@ class ContinuousBatchingScheduler:
             n_prefill_iterations=self._n_prefills,
             n_decode_iterations=self._n_decodes,
             n_rejected_followups=self._n_rejected,
+            total_energy_uj=self._energy_uj,
         )
 
     def run(self) -> ServingResult:

@@ -48,7 +48,14 @@ class ServingReport:
 
 
 class ServingSimulator:
-    """Run request scenarios against one deployed engine."""
+    """Run request scenarios against one deployed engine.
+
+    ``coalesce`` / ``token_events`` pass straight through to the
+    scheduler: the former selects the event-compressed hot loop (on by
+    default; bit-identical to the per-token reference walk), the latter
+    controls per-token event materialization (metrics are identical
+    either way — flip it off for long streams nobody introspects).
+    """
 
     def __init__(
         self,
@@ -56,11 +63,15 @@ class ServingSimulator:
         kv_budget_bytes: Optional[int] = None,
         max_batch: int = 16,
         ctx_bucket: int = 1,
+        coalesce: bool = True,
+        token_events: bool = True,
     ) -> None:
         self.engine = engine
         self.kv_budget_bytes = kv_budget_bytes
         self.max_batch = max_batch
         self.ctx_bucket = ctx_bucket
+        self.coalesce = coalesce
+        self.token_events = token_events
 
     def run(self, source: RequestSource) -> ServingReport:
         """Simulate one scenario to completion."""
@@ -70,6 +81,8 @@ class ServingSimulator:
             kv_budget_bytes=self.kv_budget_bytes,
             max_batch=self.max_batch,
             ctx_bucket=self.ctx_bucket,
+            coalesce=self.coalesce,
+            token_events=self.token_events,
         )
         result = scheduler.run()
         return ServingReport(result=result, metrics=FleetMetrics.from_result(result))

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, Mapping, Tuple
 
 from ..errors import SimulationError
 from ..models import Stage, Workload, decode_workload, prefill_workload
+from ..utils import ceil_div
 from .breakdown import StageReport
 from .layer_sim import WorkloadSimulator
 
@@ -106,6 +107,28 @@ class LatencySurface:
         if point is None:
             point = self._insert(decode_workload(self._sim.model, context_len, batch))
         return point
+
+    def decode_run(
+        self, context_len: int, batch: int = 1, ctx_bucket: int = 1
+    ) -> Tuple[SurfacePoint, int]:
+        """Bucketed decode point plus the run length that shares it.
+
+        Serving schedulers quantize decode contexts to ``ctx_bucket``
+        before lookup, so consecutive contexts ``context_len,
+        context_len + 1, ...`` map onto one surface point until the next
+        bucket boundary. Returns that point and the number of
+        consecutive single-token steps it covers — the run length the
+        event-compressed scheduler coalesces in one pass. At the model's
+        ``max_seq_len`` the key saturates, so the run extends to the
+        deepest legal context.
+        """
+        if ctx_bucket < 1:
+            raise SimulationError(f"ctx_bucket must be >= 1, got {ctx_bucket}")
+        max_len = self._sim.model.max_seq_len
+        bucketed = ceil_div(context_len, ctx_bucket) * ctx_bucket
+        if bucketed >= max_len:
+            return self.decode(max_len, batch=batch), max_len - context_len + 1
+        return self.decode(bucketed, batch=batch), bucketed - context_len + 1
 
     def point(self, workload: Workload) -> SurfacePoint:
         """Point for an arbitrary workload of the surface's model."""

@@ -1,0 +1,100 @@
+"""Predicted-vs-realized TTFT calibration of the routing decisions.
+
+The ROADMAP follow-on this closes: the predictive router's TTFT model
+ignores decode interleaving after admission, so logging its prediction
+on every :class:`~repro.fleet.RoutingDecision` lets a run (and a sweep)
+quantify the router's model error instead of trusting it blindly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetSimulator, TTFTCalibration
+
+
+@pytest.fixture()
+def heterogeneous_report(fast_engine, slow_engine, shard_budget, make_stream):
+    """Predicted-latency routing over the 12 + 1 Gbps two-shard fleet."""
+    fleet = FleetSimulator(
+        [fast_engine, slow_engine],
+        policy="predicted-latency",
+        kv_budget_bytes=shard_budget,
+        max_batch=8,
+    )
+    return fleet.run(make_stream("bursty", n=24, seed=0))
+
+
+class TestDecisionPredictions:
+    def test_predictive_policy_stamps_every_decision(self, heterogeneous_report):
+        decisions = heterogeneous_report.result.decisions
+        assert decisions
+        assert all(d.predicted_ttft_s is not None for d in decisions)
+        assert all(d.predicted_ttft_s >= 0.0 for d in decisions)
+
+    def test_non_predictive_policies_stamp_none(
+        self, fast_engine, slow_engine, shard_budget, make_stream
+    ):
+        for policy in ("round-robin", "jsq", "least-kv"):
+            report = FleetSimulator(
+                [fast_engine, slow_engine],
+                policy=policy,
+                kv_budget_bytes=shard_budget,
+                max_batch=8,
+            ).run(make_stream("poisson", n=8, seed=1))
+            assert all(
+                d.predicted_ttft_s is None for d in report.result.decisions
+            )
+            assert report.ttft_calibration() is None
+            assert "predicted TTFT error" not in report.describe()
+
+
+class TestCalibrationSummary:
+    def test_matches_hand_computed_errors(self, heterogeneous_report):
+        report = heterogeneous_report
+        realized = {
+            rec.request.request_id: rec.ttft_s
+            for shard in report.result.shard_results
+            for rec in shard.records
+        }
+        errors = [
+            d.predicted_ttft_s - realized[d.request_id]
+            for d in report.result.decisions
+        ]
+        calibration = report.ttft_calibration()
+        assert isinstance(calibration, TTFTCalibration)
+        assert calibration.n_predictions == len(errors)
+        assert calibration.mean_error_s == pytest.approx(
+            sum(errors) / len(errors)
+        )
+        assert calibration.mean_abs_error_s == pytest.approx(
+            sum(abs(e) for e in errors) / len(errors)
+        )
+        assert calibration.max_abs_error_s == pytest.approx(
+            max(abs(e) for e in errors)
+        )
+        assert calibration.mean_abs_error_s <= calibration.max_abs_error_s
+        # |mean signed error| can never exceed the mean absolute error.
+        assert abs(calibration.mean_error_s) <= calibration.mean_abs_error_s
+
+    def test_describe_reports_calibration_line(self, heterogeneous_report):
+        text = heterogeneous_report.describe()
+        assert "predicted TTFT error" in text
+        assert "max |err|" in text
+
+    def test_prediction_is_exact_when_uncontended(
+        self, fast_engine, shard_budget, make_stream
+    ):
+        # A single request on an idle shard hits the prediction model's
+        # exact regime: no queue, no decode interleaving — predicted
+        # TTFT equals realized TTFT to float precision.
+        report = FleetSimulator(
+            [fast_engine],
+            policy="predicted-latency",
+            kv_budget_bytes=shard_budget,
+            max_batch=8,
+        ).run(make_stream("poisson", n=1, seed=3))
+        calibration = report.ttft_calibration()
+        assert calibration is not None
+        assert calibration.n_predictions == 1
+        assert calibration.max_abs_error_s == pytest.approx(0.0, abs=1e-12)

@@ -76,8 +76,13 @@ class TestFleetSweep:
         assert "Pareto front" in out and "Pareto" in out
 
         doc = json.loads(out_path.read_text())
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["model"] == "opt-125m"
         assert len(doc["points"]) == 4
         assert doc["pareto_front"]
         assert all(p["throughput_tok_s"] > 0 for p in doc["points"])
+        # v2: the energy axis is reported on every point but is not a
+        # Pareto objective.
+        assert all(p["energy_uj"] > 0 for p in doc["points"])
+        assert all(p["energy_per_token_uj"] > 0 for p in doc["points"])
+        assert "energy_uj" not in doc["objectives"]

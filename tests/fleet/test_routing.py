@@ -23,7 +23,7 @@ def _snap(shard_id, engine, **overrides):
         clock_s=0.0,
         n_waiting=0,
         n_decoding=0,
-        waiting_prompt_tokens=(),
+        waiting_prompt_hist=(),
         remaining_decode_tokens=0,
         decode_context=0,
         kv_reserved_bytes=0,
@@ -129,7 +129,7 @@ class TestPredictedLatency:
         # idle slow shard wins despite 12x less bandwidth.
         policy = PredictedLatencyPolicy()
         fast_loaded = _snap(
-            1, fast_engine, n_waiting=64, waiting_prompt_tokens=(64,) * 64
+            1, fast_engine, n_waiting=64, waiting_prompt_hist=((64, 64),)
         )
         snaps = [_snap(0, slow_engine), fast_loaded]
         assert policy.route(request_8x4, 0.0, snaps) == 0

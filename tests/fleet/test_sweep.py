@@ -24,6 +24,7 @@ def _point(**overrides) -> SweepPoint:
         ttft_p50_s=0.1, ttft_p99_s=0.2, tbt_p50_s=0.01, tbt_p99_s=0.02,
         e2e_p99_s=1.0, n_requests=10, total_generated_tokens=100,
         duration_s=1.0, max_queue_depth=0, peak_kv_fraction=0.5,
+        energy_uj=1000.0, energy_per_token_uj=10.0,
     )
     defaults.update(overrides)
     return SweepPoint(**defaults)
@@ -43,6 +44,16 @@ class TestDominance:
 
     def test_identical_points_do_not_dominate_each_other(self):
         assert not _dominates(_point(), _point())
+
+    def test_energy_is_not_a_front_objective(self):
+        # v2 reports energy but the dominance relation ignores it: a
+        # power-hungry point with better latency/throughput still wins.
+        hungry = _point(throughput_tok_s=200.0, ttft_p99_s=0.1,
+                        tbt_p99_s=0.01, energy_uj=1e9,
+                        energy_per_token_uj=1e7)
+        frugal = _point(energy_uj=1.0, energy_per_token_uj=0.01)
+        assert _dominates(hungry, frugal)
+        assert not _dominates(frugal, hungry)
 
 
 class TestDriverMechanics:
@@ -119,6 +130,38 @@ class TestSweepGrid:
             by_policy["predicted-latency"].ttft_p99_s
             < by_policy["round-robin"].ttft_p99_s
         )
+
+    def test_energy_axis_populated_and_consistent(self, sweep_result):
+        for p in sweep_result.points:
+            assert p.energy_uj > 0
+            assert p.energy_per_token_uj == pytest.approx(
+                p.energy_uj / p.total_generated_tokens
+            )
+        # Energy is selectable through best_by even though the Pareto
+        # objectives ignore it.
+        frugal = sweep_result.best_by("energy_per_token_uj")
+        assert frugal in sweep_result.points
+
+    def test_token_events_knob_does_not_move_sweep_metrics(
+        self, fast_engine, shard_budget, make_stream, sweep_result
+    ):
+        # The acceptance criterion: grid evaluation with per-token event
+        # materialization re-enabled yields the *exact* same points as
+        # the lean default (which sweep_result used).
+        driver = SweepDriver(
+            fast_engine,
+            bandwidths_gbps=[12.0, 1.0],
+            kv_budget_bytes=[shard_budget, shard_budget],
+        )
+        heavy = driver.sweep(
+            lambda: make_stream("bursty", n=24, seed=0),
+            n_engines_grid=[1, 2],
+            policies=["round-robin", "predicted-latency"],
+            max_batch_grid=[8],
+            ctx_bucket_grid=[1],
+            token_events=True,
+        )
+        assert heavy.points == sweep_result.points
 
 
 class TestParetoJson:

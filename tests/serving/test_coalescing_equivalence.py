@@ -1,0 +1,296 @@
+"""Equivalence proofs for the event-compressed serving core.
+
+Three guarantees, each tested against the retained per-token reference
+path (``coalesce=False``) the same way the simulator's fast path is
+tested against ``simulate_reference``:
+
+1. **Decode-run coalescing is bit-identical**: the coalesced scheduler
+   produces the *same* :class:`~repro.serving.ServingResult` — records,
+   events, clock, energy — field for field, across plans, sources,
+   ``ctx_bucket`` and ``max_batch``, and under arbitrary chunked
+   ``advance_until`` driving.
+2. **Lean event logging changes nothing but the log**: with
+   ``token_events=False`` the per-token DECODE_STEP / FIRST_TOKEN
+   entries vanish and everything else — records, metrics, peak KV,
+   state-change events — is exactly equal.
+3. **Snapshot aggregates match recomputation**: the O(1)
+   :class:`~repro.serving.SchedulerSnapshot` fields maintained
+   incrementally equal a brute-force walk of the queues at every
+   iteration boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ExecutionPlan, MeadowEngine
+from repro.serving import (
+    ClosedLoopSource,
+    ContinuousBatchingScheduler,
+    EventKind,
+    FleetMetrics,
+    bursty_stream,
+    poisson_stream,
+)
+from repro.serving.scheduler import TOKEN_EVENT_KINDS
+
+seeds = st.integers(0, 2**16)
+ctx_buckets = st.sampled_from([1, 8, 64])
+max_batches = st.sampled_from([2, 8])
+source_kinds = st.sampled_from(["poisson", "bursty", "closed-loop"])
+
+
+@pytest.fixture(scope="module")
+def gemm_engine(serving_model, serving_hardware) -> MeadowEngine:
+    """A second plan so the equivalence sweep crosses plans, not configs."""
+    return MeadowEngine(
+        serving_model, serving_hardware, ExecutionPlan.gemm_baseline()
+    )
+
+
+@pytest.fixture(scope="module")
+def make_source(prompt_dist, output_dist):
+    """Fresh seeded source per call (closed-loop sources are single-use)."""
+
+    def _make(kind: str, seed: int):
+        if kind == "poisson":
+            return poisson_stream(14, 30.0, prompt_dist, output_dist, seed=seed)
+        if kind == "bursty":
+            return bursty_stream(16, 8, 0.02, prompt_dist, output_dist, seed=seed)
+        return ClosedLoopSource(
+            n_users=3, total_requests=12, think_time_s=0.002,
+            prompt_dist=prompt_dist, output_dist=output_dist, seed=seed,
+        )
+
+    return _make
+
+
+def _budget(engine, requests: float = 4.0) -> int:
+    model = engine.model
+    worst = model.n_layers * model.kv_cache_bytes_per_layer(
+        model.max_seq_len, engine.config.act_bits
+    )
+    return int(worst * requests)
+
+
+def _run(engine, source, *, coalesce, token_events=True, ctx_bucket=1,
+         max_batch=8, budget_requests=4.0):
+    return ContinuousBatchingScheduler(
+        engine,
+        source,
+        kv_budget_bytes=_budget(engine, budget_requests),
+        max_batch=max_batch,
+        ctx_bucket=ctx_bucket,
+        coalesce=coalesce,
+        token_events=token_events,
+    ).run()
+
+
+def _assert_identical(fast, ref):
+    """Field-for-field bit-identity of two ServingResults."""
+    assert fast.events == ref.events
+    assert fast.records == ref.records
+    assert fast.duration_s == ref.duration_s
+    assert fast.total_energy_uj == ref.total_energy_uj
+    assert fast.n_decode_iterations == ref.n_decode_iterations
+    assert fast == ref  # every remaining field too
+
+
+class TestCoalescedEqualsReference:
+    @given(seeds, source_kinds, ctx_buckets, max_batches)
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_across_sources_and_knobs(
+        self, serving_engine, make_source, seed, kind, ctx_bucket, max_batch
+    ):
+        ref = _run(
+            serving_engine, make_source(kind, seed), coalesce=False,
+            ctx_bucket=ctx_bucket, max_batch=max_batch,
+        )
+        fast = _run(
+            serving_engine, make_source(kind, seed), coalesce=True,
+            ctx_bucket=ctx_bucket, max_batch=max_batch,
+        )
+        _assert_identical(fast, ref)
+
+    @given(seeds, ctx_buckets)
+    @settings(max_examples=10, deadline=None)
+    def test_bit_identical_on_unpacked_plan(
+        self, gemm_engine, make_source, seed, ctx_bucket
+    ):
+        ref = _run(
+            gemm_engine, make_source("poisson", seed), coalesce=False,
+            ctx_bucket=ctx_bucket,
+        )
+        fast = _run(
+            gemm_engine, make_source("poisson", seed), coalesce=True,
+            ctx_bucket=ctx_bucket,
+        )
+        _assert_identical(fast, ref)
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_tight_budget_oversubscribed_batch(
+        self, serving_engine, make_source, seed
+    ):
+        # max_batch=2 under a 2-request budget: rotation and admission
+        # stalls everywhere — the paths where coalescing must bail out.
+        ref = _run(
+            serving_engine, make_source("bursty", seed), coalesce=False,
+            ctx_bucket=8, max_batch=2, budget_requests=2.0,
+        )
+        fast = _run(
+            serving_engine, make_source("bursty", seed), coalesce=True,
+            ctx_bucket=8, max_batch=2, budget_requests=2.0,
+        )
+        _assert_identical(fast, ref)
+
+    @given(seeds, ctx_buckets)
+    @settings(max_examples=10, deadline=None)
+    def test_chunked_advance_until_driving(
+        self, serving_engine, make_source, prompt_dist, output_dist,
+        seed, ctx_bucket,
+    ):
+        # Coalesced + chunked incremental driving (the fleet's mode)
+        # against one-shot reference: runs must split at every pause and
+        # still reproduce the identical timeline and event log.
+        stream = poisson_stream(12, 40.0, prompt_dist, output_dist, seed=seed)
+        budget = _budget(serving_engine)
+        ref = ContinuousBatchingScheduler(
+            serving_engine, stream, kv_budget_bytes=budget,
+            max_batch=8, ctx_bucket=ctx_bucket, coalesce=False,
+        ).run()
+        chunked = ContinuousBatchingScheduler(
+            serving_engine, kv_budget_bytes=budget,
+            max_batch=8, ctx_bucket=ctx_bucket, coalesce=True,
+        )
+        for req in stream.initial():
+            chunked.advance_until(req.arrival_s)
+            chunked.submit(req)
+        chunked.advance_until()
+        # An externally driven scheduler reports source_name="external";
+        # everything simulated must still match bit for bit.
+        _assert_identical(
+            dataclasses.replace(chunked.result(), source_name=ref.source_name),
+            ref,
+        )
+
+
+class TestLeanEventLogging:
+    @given(seeds, source_kinds)
+    @settings(max_examples=15, deadline=None)
+    def test_only_token_events_are_elided(
+        self, serving_engine, make_source, seed, kind
+    ):
+        full = _run(
+            serving_engine, make_source(kind, seed),
+            coalesce=True, token_events=True, ctx_bucket=8,
+        )
+        lean = _run(
+            serving_engine, make_source(kind, seed),
+            coalesce=True, token_events=False, ctx_bucket=8,
+        )
+        # The thinned log is exactly the full log minus per-token kinds.
+        assert lean.events == tuple(
+            ev for ev in full.events if ev.kind not in TOKEN_EVENT_KINDS
+        )
+        assert all(
+            ev.kind not in TOKEN_EVENT_KINDS for ev in lean.events
+        )
+        # Everything a planner reads is untouched.
+        assert lean.records == full.records
+        assert lean.peak_kv_bytes == full.peak_kv_bytes
+        assert lean.duration_s == full.duration_s
+        assert lean.total_energy_uj == full.total_energy_uj
+        assert FleetMetrics.from_result(lean) == FleetMetrics.from_result(full)
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_lean_reference_walk_matches_too(
+        self, serving_engine, make_source, seed
+    ):
+        # token_events composes with coalesce=False identically.
+        a = _run(serving_engine, make_source("poisson", seed),
+                 coalesce=False, token_events=False, ctx_bucket=8)
+        b = _run(serving_engine, make_source("poisson", seed),
+                 coalesce=True, token_events=False, ctx_bucket=8)
+        _assert_identical(b, a)
+
+
+def _recomputed_snapshot(scheduler, shard_id=0):
+    """Brute-force the snapshot fields straight from the queues."""
+    s = scheduler
+    prompts = Counter(req.prompt_tokens for _, _, req in s._future)
+    prompts.update(req.prompt_tokens for req in s._pending)
+    prompts.update(a.request.prompt_tokens for a in s._prefill_queue)
+    model = s.engine.model
+    act_bits = s.engine.config.act_bits
+
+    def kv(tokens):
+        return model.n_layers * model.kv_cache_bytes_per_layer(tokens, act_bits)
+
+    return dict(
+        n_waiting=len(s._future) + len(s._pending) + len(s._prefill_queue),
+        n_decoding=len(s._decoding),
+        waiting_prompt_hist=tuple(sorted(prompts.items())),
+        remaining_decode_tokens=sum(
+            a.request.output_tokens - a.generated for a in s._decoding
+        ),
+        decode_context=max((a.context for a in s._decoding), default=0),
+        kv_reserved_bytes=s._kv_reserved,
+        waiting_kv_bytes=sum(kv(req.total_tokens) for _, _, req in s._future)
+        + sum(kv(req.total_tokens) for req in s._pending),
+    )
+
+
+class TestSnapshotAggregates:
+    @given(seeds, source_kinds)
+    @settings(max_examples=12, deadline=None)
+    def test_incremental_equals_recomputed_at_every_boundary(
+        self, serving_engine, make_source, seed, kind
+    ):
+        source = make_source(kind, seed)
+        scheduler = ContinuousBatchingScheduler(
+            serving_engine, source,
+            kv_budget_bytes=_budget(serving_engine, 3.0),
+            max_batch=4, ctx_bucket=8,
+        )
+        for req in source.initial():
+            scheduler.submit(req)
+        checked = 0
+        while True:
+            snap = scheduler.snapshot()
+            expected = _recomputed_snapshot(scheduler)
+            for field_name, value in expected.items():
+                assert getattr(snap, field_name) == value, field_name
+            checked += 1
+            if not scheduler.advance_one():
+                break
+        assert checked > 1
+        # Fully drained: the aggregates must return to exact zeros.
+        final = scheduler.snapshot()
+        assert final.n_waiting == 0
+        assert final.waiting_kv_bytes == 0
+        assert final.waiting_prompt_hist == ()
+        assert final.remaining_decode_tokens == 0
+        assert final.decode_context == 0
+
+    def test_snapshot_never_walks_queues(self, serving_engine, prompt_dist,
+                                         output_dist):
+        # Load thousands of future requests; snapshotting must not scale
+        # with the backlog (guard: identical output, and the hot fields
+        # come from plain attributes, not comprehensions over queues).
+        stream = poisson_stream(2000, 1e6, prompt_dist, output_dist, seed=0)
+        scheduler = ContinuousBatchingScheduler(
+            serving_engine, kv_budget_bytes=_budget(serving_engine),
+        )
+        for req in stream.initial():
+            scheduler.submit(req)
+        snap = scheduler.snapshot()
+        expected = _recomputed_snapshot(scheduler)
+        assert snap.n_waiting == 2000
+        for field_name, value in expected.items():
+            assert getattr(snap, field_name) == value, field_name

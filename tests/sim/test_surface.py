@@ -73,6 +73,41 @@ class TestCaching:
         assert len(surface) == before
 
 
+class TestDecodeRun:
+    """Run-length lookups powering the event-compressed scheduler."""
+
+    def test_point_is_the_bucketed_decode_point(self, surface):
+        point, run = surface.decode_run(130, batch=2, ctx_bucket=16)
+        assert point is surface.decode(144, batch=2)
+        assert run == 144 - 130 + 1
+
+    def test_exact_buckets_have_unit_runs(self, surface):
+        point, run = surface.decode_run(100, ctx_bucket=1)
+        assert point is surface.decode(100)
+        assert run == 1
+
+    def test_boundary_context_runs_one_step(self, surface):
+        _, run = surface.decode_run(144, ctx_bucket=16)
+        assert run == 1
+        _, run = surface.decode_run(145, ctx_bucket=16)
+        assert run == 16
+
+    def test_run_saturates_at_max_seq_len(self, surface, small_model):
+        max_len = small_model.max_seq_len
+        ctx = max_len - 3
+        point, run = surface.decode_run(ctx, ctx_bucket=64)
+        # The bucket rounds past the model limit: the key pins to
+        # max_seq_len and the run covers every remaining legal context.
+        assert point is surface.decode(max_len)
+        assert run == max_len - ctx + 1
+
+    def test_rejects_bad_bucket(self, surface):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            surface.decode_run(100, ctx_bucket=0)
+
+
 class TestMaterialization:
     def test_report_returns_full_breakdown(self, surface, small_model):
         wl = prefill_workload(small_model, 64)
