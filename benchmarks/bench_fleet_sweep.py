@@ -11,20 +11,32 @@ some; the surface-informed predicted-latency router — the only one that
 *knows* a 1 Gbps prefill costs ~12x a 12 Gbps one — strictly dominates
 round-robin on p99 TTFT and throughput.
 
+This file is also the tracked before/after evidence for the
+**event-calendar fleet core**: the closed-loop decode-heavy fleet below
+is the workload shape where the per-iteration reference walk used to
+dominate wall-clock (a min-scan over shards per scheduler step), and the
+calendar drain must reproduce its records exactly while clearing a
+wall-clock speedup floor — alongside the work-stealing tail-latency
+claim on the bursty heterogeneous fleet.
+
 Standalone mode (CI smoke)::
 
     PYTHONPATH=src python benchmarks/bench_fleet_sweep.py \
         --quick --json results/fleet_sweep.json
+    PYTHONPATH=src python benchmarks/bench_fleet_sweep.py \
+        --drain-throughput --quick --min-speedup 3 \
+        --json results/fleet_throughput.json
 """
 
 import argparse
 import json
 import sys
+import time
 
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.analysis import banner, format_table
-from repro.fleet import POLICY_NAMES, SweepDriver
-from repro.serving import LengthDistribution, bursty_stream
+from repro.fleet import FleetSimulator, POLICY_NAMES, SweepDriver
+from repro.serving import ClosedLoopSource, LengthDistribution, bursty_stream
 
 #: Two fast and two slow boxes — the heterogeneity the predictive
 #: router exploits and the blind ones squander.
@@ -86,6 +98,115 @@ def render_policy_comparison(rows) -> str:
     )
 
 
+# --------------------------------------------------------------------------
+# Event-calendar fleet drain: calendar vs per-iteration reference walk
+# --------------------------------------------------------------------------
+
+#: Decode-heavy closed-loop fleet the drain floor is pinned on: a 12/1
+#: Gbps pair under predicted-latency routing keeps the fast shard's
+#: horizon far away (the slow shard's steps are ~12x longer), so the
+#: calendar coalesces long decode runs the reference walk steps through
+#: one token at a time.
+DRAIN_CTX_BUCKET = 256
+DRAIN_PROMPTS = LengthDistribution("uniform", 32, 128)
+DRAIN_OUTPUTS = LengthDistribution("geometric", 256, 1024)
+
+
+def drain_source_factory(quick: bool = False):
+    n_users = 2 if quick else 3
+    total = 32 if quick else 48
+    think = 0.05 if quick else 0.02
+
+    def factory():
+        return ClosedLoopSource(
+            n_users=n_users, total_requests=total, think_time_s=think,
+            prompt_dist=DRAIN_PROMPTS, output_dist=DRAIN_OUTPUTS, seed=0,
+        )
+
+    return factory
+
+
+def run_drain_bench(driver: SweepDriver, quick: bool = False) -> dict:
+    """Time the per-iteration reference walk vs the calendar drain.
+
+    Surfaces are warmed first so both timed runs measure pure fleet-loop
+    overhead. The calendar run must reproduce the reference's merged
+    metrics, per-shard records and routing decisions exactly, or this
+    raises ``AssertionError``.
+    """
+    engines = [driver.engine_for(b) for b in driver.fleet_profile(2)]
+    factory = drain_source_factory(quick)
+
+    def fleet(calendar: bool) -> FleetSimulator:
+        return FleetSimulator(
+            engines, policy="predicted-latency", max_batch=4,
+            ctx_bucket=DRAIN_CTX_BUCKET, calendar=calendar,
+            token_events=False,
+        )
+
+    fleet(True).run(factory())  # warm every surface point both paths touch
+
+    t0 = time.perf_counter()
+    ref = fleet(False).run(factory())
+    ref_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cal = fleet(True).run(factory())
+    cal_s = time.perf_counter() - t0
+
+    # Correctness gate: the identical fleet timeline, not approximation.
+    assert cal.metrics == ref.metrics
+    assert cal.result.decisions == ref.result.decisions
+    for cal_shard, ref_shard in zip(
+        cal.result.shard_results, ref.result.shard_results
+    ):
+        assert cal_shard.records == ref_shard.records
+
+    return {
+        "model": OPT_125M.name,
+        "n_shards": 2,
+        "bandwidths_gbps": list(driver.fleet_profile(2)),
+        "policy": "predicted-latency",
+        "n_requests": sum(len(s.records) for s in ref.result.shard_results),
+        "ctx_bucket": DRAIN_CTX_BUCKET,
+        "max_batch": 4,
+        "generated_tokens": ref.metrics.total_generated_tokens,
+        "reference_wall_s": ref_s,
+        "calendar_wall_s": cal_s,
+        "speedup": ref_s / cal_s,
+        "exact_match": True,
+    }
+
+
+def run_steal_claim(driver: SweepDriver, n_requests: int) -> dict:
+    """Work stealing on the bursty 12/1/12/1 fleet under round-robin.
+
+    The load-blind router parks bursts on the 1 Gbps boxes; idle fast
+    shards must pull waiting requests off them — but only when the
+    steal's profitability guard says the move beats staying put — and
+    that must *strictly* reduce p99 TTFT.
+    """
+    by_steal = {}
+    for steal in (False, True):
+        report = driver.run_point(
+            _stream_factory(n_requests)(),
+            n_engines=4, policy="round-robin", max_batch=16,
+            ctx_bucket=16, steal=steal,
+        )
+        by_steal[steal] = report
+    off, on = by_steal[False].metrics, by_steal[True].metrics
+    return {
+        "policy": "round-robin",
+        "n_requests": n_requests,
+        "ttft_p99_s_steal_off": off.ttft.p99_s,
+        "ttft_p99_s_steal_on": on.ttft.p99_s,
+        "throughput_tok_s_steal_off": off.throughput_tok_s,
+        "throughput_tok_s_steal_on": on.throughput_tok_s,
+        "n_migrations": by_steal[True].result.n_migrations,
+        "steal_reduces_p99_ttft": on.ttft.p99_s < off.ttft.p99_s,
+    }
+
+
 def run_record(n_requests: int, driver: SweepDriver, rows) -> dict:
     """The CI/JSON record: the policy comparison plus a Pareto sweep.
 
@@ -125,9 +246,52 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized workload")
     parser.add_argument("--json", type=str, default=None, help="write record here")
+    parser.add_argument(
+        "--drain-throughput", action="store_true",
+        help="benchmark the calendar drain against the reference walk "
+        "(plus the work-stealing tail-latency claim) instead of the sweep",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="fail when calendar/reference speedup drops below this "
+        "(--drain-throughput only)",
+    )
     args = parser.parse_args(argv)
 
     n_requests = 24 if args.quick else 64
+    if args.drain_throughput:
+        driver = _driver()
+        record = run_drain_bench(driver, quick=args.quick)
+        record["steal"] = run_steal_claim(driver, n_requests)
+        print(
+            f"closed-loop fleet drain ({record['n_requests']} requests, "
+            f"{record['generated_tokens']} tokens, "
+            f"ctx_bucket={record['ctx_bucket']}) on {record['model']} "
+            f"@ {record['bandwidths_gbps']} Gbps:\n"
+            f"  reference walk: {record['reference_wall_s'] * 1e3:.1f} ms\n"
+            f"  calendar:       {record['calendar_wall_s'] * 1e3:.1f} ms "
+            f"({record['speedup']:.1f}x)\n"
+            f"work stealing (round-robin, bursty 12/1/12/1): p99 TTFT "
+            f"{record['steal']['ttft_p99_s_steal_off'] * 1e3:.0f} -> "
+            f"{record['steal']['ttft_p99_s_steal_on'] * 1e3:.0f} ms "
+            f"({record['steal']['n_migrations']} migrations)"
+        )
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2)
+            print(f"wrote {args.json}")
+        ok = True
+        if record["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: calendar speedup {record['speedup']:.1f}x "
+                f"< {args.min_speedup}x"
+            )
+            ok = False
+        if not record["steal"]["steal_reduces_p99_ttft"]:
+            print("FAIL: work stealing does not reduce round-robin p99 TTFT")
+            ok = False
+        return 0 if ok else 1
+
     driver = _driver()
     rows = run_policy_comparison(driver, n_requests)
     record = run_record(n_requests, driver, rows)
@@ -165,6 +329,32 @@ def test_predicted_latency_dominates_round_robin(benchmark, emit):
     pl = rows["predicted-latency"].metrics
     assert pl.ttft.p99_s < rr.ttft.p99_s
     assert pl.throughput_tok_s >= rr.throughput_tok_s
+
+
+def test_calendar_drain_speedup(results_dir):
+    """Calendar drain >= 3x the per-iteration walk, timeline identical."""
+    record = run_drain_bench(_driver())
+    (results_dir / "fleet_throughput.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    assert record["exact_match"]
+    assert record["speedup"] >= 3.0, record
+
+
+def test_work_stealing_reduces_tail_latency(emit):
+    """The steal claim: on the bursty 12/1/12/1 fleet, letting idle fast
+    shards pull waiting work off the backlogged slow boxes strictly
+    reduces round-robin's p99 TTFT."""
+    record = run_steal_claim(_driver(), 48)
+    emit(
+        "fleet_work_stealing",
+        f"round-robin p99 TTFT: steal off "
+        f"{record['ttft_p99_s_steal_off'] * 1e3:.0f} ms, steal on "
+        f"{record['ttft_p99_s_steal_on'] * 1e3:.0f} ms "
+        f"({record['n_migrations']} migrations)",
+    )
+    assert record["steal_reduces_p99_ttft"], record
+    assert record["n_migrations"] > 0
 
 
 def test_pareto_front_nonempty_and_consistent(emit):

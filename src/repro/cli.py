@@ -157,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-token-events", action="store_true",
                    help="skip per-token event materialization in every "
                         "shard (sweep mode always skips it)")
+    p.add_argument("--steal", action="store_true",
+                   help="work stealing: an idle shard pulls still-waiting "
+                        "requests off the deepest-backlog shard")
+    p.add_argument("--no-calendar", action="store_true",
+                   help="drain with the per-iteration reference walk "
+                        "instead of the bit-identical event calendar "
+                        "(debugging aid)")
     p.add_argument("--sweep", action="store_true",
                    help="evaluate the (engines x policy x knob) grid and "
                         "report the Pareto front instead of one run")
@@ -168,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep: max_batch grid (default: [--max-batch])")
     p.add_argument("--ctx-buckets", type=int, nargs="+", default=None,
                    help="sweep: ctx_bucket grid (default: [--ctx-bucket])")
+    p.add_argument("--steal-grid", action="store_true",
+                   help="sweep: evaluate every grid point with work "
+                        "stealing both off and on (default: honor --steal)")
+    p.add_argument("--max-energy-per-token-uj", type=float, default=None,
+                   help="sweep: drop grid points above this modeled "
+                        "energy-per-token ceiling before the Pareto front")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="sweep: also write the versioned Pareto document")
     return parser
@@ -385,6 +398,8 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             max_batch=args.max_batch,
             ctx_bucket=args.ctx_bucket,
             token_events=not args.no_token_events,
+            calendar=not args.no_calendar,
+            steal=args.steal,
         )
         report = fleet.run(factory())
         header = (
@@ -407,6 +422,8 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         policies=args.policies or list(POLICY_NAMES),
         max_batch_grid=args.max_batches or [args.max_batch],
         ctx_bucket_grid=args.ctx_buckets or [args.ctx_bucket],
+        steal_grid=(False, True) if args.steal_grid else (args.steal,),
+        max_energy_per_token_uj=args.max_energy_per_token_uj,
     )
     lines = [
         (

@@ -5,18 +5,22 @@ shards — each backed by its own (possibly heterogeneous)
 :class:`~repro.core.MeadowEngine` — under one global request stream:
 
 * :mod:`repro.fleet.routing` — pluggable placement policies
-  (round-robin, join-shortest-queue, least-KV-pressure, and the
-  surface-informed predicted-latency router);
-* :mod:`repro.fleet.simulator` — the two-level discrete-event fleet
-  loop with per-shard event logs and conservation guarantees;
+  (round-robin, join-shortest-queue, least-KV-pressure, the
+  surface-informed predicted-latency router, and its
+  calibration-fed ``calibrated-latency`` variant);
+* :mod:`repro.fleet.simulator` — the event-calendar discrete-event
+  fleet loop with per-shard event logs, optional work stealing and
+  conservation guarantees;
 * :mod:`repro.fleet.metrics` — merging shard results into fleet-wide
   percentiles, throughput and exact peak-KV;
 * :mod:`repro.fleet.sweep` — the surface-powered
-  ``(engines x policy x max_batch x ctx_bucket)`` Pareto sweep driver.
+  ``(engines x policy x max_batch x ctx_bucket x steal)`` Pareto
+  sweep driver with an optional energy-per-token ceiling.
 """
 
 from .metrics import merge_results, merged_peak_kv_bytes
 from .routing import (
+    CalibratedLatencyPolicy,
     JoinShortestQueuePolicy,
     LeastKVPressurePolicy,
     POLICY_NAMES,
@@ -46,6 +50,7 @@ __all__ = [
     "JoinShortestQueuePolicy",
     "LeastKVPressurePolicy",
     "PredictedLatencyPolicy",
+    "CalibratedLatencyPolicy",
     "ROUTING_POLICIES",
     "POLICY_NAMES",
     "make_policy",

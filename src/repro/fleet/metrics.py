@@ -13,7 +13,7 @@ numbers are directly comparable with `repro serve` output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..errors import ConfigError
 from ..sim.metrics import LatencySummary, tokens_per_second
@@ -41,11 +41,15 @@ def merged_peak_kv_bytes(shard_results: Sequence[ServingResult]) -> int:
             for seq, ev in enumerate(result.events)
         )
     tagged.sort(key=lambda item: (item[0], item[1], item[2]))
-    current: Dict[int, int] = {}
+    # The running fleet total is maintained by per-shard delta — each
+    # event replaces one shard's contribution — so the sweep costs
+    # O(events), not O(shards * events).
+    current = [0] * len(shard_results)
+    total = 0
     peak = 0
     for _, shard_id, _, reserved in tagged:
+        total += reserved - current[shard_id]
         current[shard_id] = reserved
-        total = sum(current.values())
         if total > peak:
             peak = total
     return peak

@@ -8,7 +8,7 @@ Policies are deterministic: given the same request and snapshots they
 always pick the same shard, and every tie is broken by ascending shard
 id — so a seeded scenario maps to exactly one fleet timeline.
 
-Four policies ship, in increasing awareness of shard state:
+Five policies ship, in increasing awareness of shard state:
 
 * **round-robin** — cycles through the feasible shards, blind to load.
   The baseline every load balancer is measured against.
@@ -23,6 +23,11 @@ Four policies ship, in increasing awareness of shard state:
   packing plan and PE fabric, this is the only policy that exploits
   *heterogeneous* fleets (a 12 Gbps box finishes a prefill that a
   1 Gbps box would still be streaming weights for).
+* **calibrated-latency** — predicted-latency plus a feedback loop: the
+  signed predicted-vs-realized TTFT error of every completion it
+  placed folds into a per-shard EWMA bias that corrects later
+  predictions, so systematic model error (decode interleaving the
+  prediction ignores) is learned away mid-run.
 
 The predicted-latency model mirrors the scheduler's actual policy
 (prefill-before-decode, FCFS):
@@ -50,6 +55,7 @@ __all__ = [
     "JoinShortestQueuePolicy",
     "LeastKVPressurePolicy",
     "PredictedLatencyPolicy",
+    "CalibratedLatencyPolicy",
     "ROUTING_POLICIES",
     "make_policy",
 ]
@@ -92,6 +98,20 @@ class RoutingPolicy:
         is what powers the predicted-vs-realized calibration report.
         """
         return None
+
+    def observe(
+        self, shard_id: int, predicted_ttft_s: float, realized_ttft_s: float
+    ) -> None:
+        """Feedback hook: a predicted request completed on its shard.
+
+        The fleet simulator calls this at completion time with the TTFT
+        the policy predicted when it placed the request and the TTFT the
+        shard realized. The default is a no-op; calibration-aware
+        policies (``calibrated-latency``) fold the signed error into a
+        per-shard bias so later predictions self-correct mid-run.
+        Requests migrated away by work stealing are never observed —
+        their original prediction no longer describes any placement.
+        """
 
 
 class RoundRobinPolicy(RoutingPolicy):
@@ -167,6 +187,22 @@ class PredictedLatencyPolicy(RoutingPolicy):
     def predicted_ttft_s(
         self, request: Request, now_s: float, snap: SchedulerSnapshot
     ) -> float:
+        """The (possibly bias-corrected) TTFT prediction for one shard.
+
+        A cache wrapper over :meth:`_model_ttft_s`: the fleet
+        simulator's calibration lookup for the chosen shard reuses the
+        score :meth:`route` just computed instead of re-deriving it.
+        """
+        req_id, at_s, scores = self._scored
+        if req_id == request.request_id and at_s == now_s:
+            cached = scores.get(snap.shard_id)
+            if cached is not None:
+                return cached
+        return self._model_ttft_s(request, now_s, snap)
+
+    def _model_ttft_s(
+        self, request: Request, now_s: float, snap: SchedulerSnapshot
+    ) -> float:
         """Model the request's TTFT were it routed to this shard now.
 
         Exact under the shard's own scheduling policy up to batching
@@ -178,11 +214,6 @@ class PredictedLatencyPolicy(RoutingPolicy):
         drain reservations — approximated by the remaining decode
         tokens at the shard's current batched-decode rate.
         """
-        req_id, at_s, scores = self._scored
-        if req_id == request.request_id and at_s == now_s:
-            cached = scores.get(snap.shard_id)
-            if cached is not None:
-                return cached
         surface = snap.engine.surface
         wait_s = max(0.0, snap.clock_s - now_s)
         # The snapshot carries queued prompts as a (length, count)
@@ -226,12 +257,57 @@ class PredictedLatencyPolicy(RoutingPolicy):
         ).shard_id
 
 
+class CalibratedLatencyPolicy(PredictedLatencyPolicy):
+    """Predicted-latency routing with completion-time error feedback.
+
+    The plain predictive model has a known, *measured* bias — the
+    calibration report exists precisely because the model ignores
+    decode interleaving after admission. This policy closes that loop:
+    every completion of a request it placed feeds the signed
+    ``predicted - realized`` TTFT error into a per-shard bias via
+    :meth:`observe`, and later predictions subtract the bias (clamped
+    at zero — a negative TTFT is meaningless). The integral update
+    ``bias += alpha * error`` on corrected predictions is exactly an
+    EWMA of the *raw* model error with smoothing ``alpha``: if the raw
+    error on a shard settles at ``d``, the bias converges to ``d`` and
+    the corrected error to zero. Feedback arrives in completion order,
+    which is deterministic for a seeded scenario, so calibrated runs
+    stay reproducible.
+    """
+
+    name = "calibrated-latency"
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._bias: Dict[int, float] = {}
+
+    def reset(self, n_shards: int) -> None:
+        super().reset(n_shards)
+        self._bias = {}
+
+    def _model_ttft_s(
+        self, request: Request, now_s: float, snap: SchedulerSnapshot
+    ) -> float:
+        raw = super()._model_ttft_s(request, now_s, snap)
+        return max(0.0, raw - self._bias.get(snap.shard_id, 0.0))
+
+    def observe(
+        self, shard_id: int, predicted_ttft_s: float, realized_ttft_s: float
+    ) -> None:
+        error = predicted_ttft_s - realized_ttft_s
+        self._bias[shard_id] = self._bias.get(shard_id, 0.0) + self.alpha * error
+
+
 #: Name -> constructor registry (CLI / sweep grids enumerate this).
 ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     JoinShortestQueuePolicy.name: JoinShortestQueuePolicy,
     LeastKVPressurePolicy.name: LeastKVPressurePolicy,
     PredictedLatencyPolicy.name: PredictedLatencyPolicy,
+    CalibratedLatencyPolicy.name: CalibratedLatencyPolicy,
 }
 
 #: Deterministic enumeration order for sweeps and CLI defaults.

@@ -20,11 +20,34 @@ records and merged metrics, field for field (only ARRIVAL observations
 interleave at finer granularity, since the fleet hands requests over at
 routing instants).
 
+**Drain is driven by a global next-event calendar.** Between arrivals
+the fleet holds its busy shards in a heap keyed by
+:meth:`~repro.serving.ContinuousBatchingScheduler.next_event_s` — the
+instant each shard's next iteration would start — pops the global
+minimum and advances that shard in one coalesced pass up to the
+runner-up's key, interrupted the moment a completion injects a global
+follow-up. That makes closed-loop drain cost O(fleet events) while
+executing the *identical* iteration sequence as the retained
+per-iteration reference walk (``calendar=False``: pick the minimal
+shard, run exactly one iteration, repeat), which the equivalence tests
+compare against bit for bit — records, events, decisions and merged
+metrics.
+
 Closed-loop sources compose: a completion anywhere in the fleet hands
 its follow-up back to the *global* router (completion hooks are
 intercepted per shard), so think-time users are not pinned to the shard
 that served their previous turn. Follow-ups that no shard could ever
 admit are rejected and counted, mirroring single-engine behaviour.
+
+Two flag-gated layers ride on the calendar. **Work stealing**
+(``steal=True``): a shard going idle pulls the youngest still-waiting
+request it can hold off the deepest-backlog shard (which must stay
+busy afterwards), recorded as a migration decision — the antidote to
+pin-once-forever routing stranding backlogs behind a slow box.
+**Calibration feedback**: completions of predicted placements report
+their realized TTFT to ``policy.observe``, which the
+``calibrated-latency`` policy folds into a per-shard bias correcting
+later predictions.
 """
 
 from __future__ import annotations
@@ -50,10 +73,19 @@ __all__ = [
     "FleetSimulator",
 ]
 
+#: Memoization sentinel (a cached calibration may legitimately be None).
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class RoutingDecision:
-    """One request's placement: who asked, when, and which shard got it."""
+    """One request's placement: who asked, when, and which shard got it.
+
+    A migrated (stolen) request carries one decision per placement: the
+    original routing decision plus one with :attr:`migrated_from` set
+    per steal. The *last* decision for a request id is its final
+    placement — the one its record lives on.
+    """
 
     request_id: int
     arrival_s: float
@@ -62,6 +94,9 @@ class RoutingDecision:
     #: time; ``None`` for policies that do not predict latency. Compared
     #: against the realized TTFT by :meth:`FleetReport.ttft_calibration`.
     predicted_ttft_s: Optional[float] = None
+    #: The shard a work-stealing migration pulled this request from;
+    #: ``None`` for ordinary routing decisions.
+    migrated_from: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -99,11 +134,27 @@ class FleetResult:
 
     @property
     def requests_per_shard(self) -> Tuple[int, ...]:
-        """How many requests each shard was routed (decision counts)."""
-        counts = [0] * self.n_shards
+        """How many requests each shard finally served.
+
+        Counts *final* placements: a migrated request counts only for
+        the shard that actually ran it (its last decision), so the
+        tuple always sums to the number of distinct requests.
+        """
+        placement: Dict[int, int] = {}
         for decision in self.decisions:
-            counts[decision.shard_id] += 1
+            placement[decision.request_id] = decision.shard_id
+        counts = [0] * self.n_shards
+        for shard_id in placement.values():
+            counts[shard_id] += 1
         return tuple(counts)
+
+    @property
+    def n_migrations(self) -> int:
+        """Work-stealing migrations performed during the run."""
+        return sum(
+            1 for decision in self.decisions
+            if decision.migrated_from is not None
+        )
 
 
 @dataclass(frozen=True)
@@ -119,26 +170,40 @@ class FleetReport:
 
         ``None`` when no decision carried a prediction (non-predictive
         policy) or no predicted request completed. Realized TTFT is read
-        from the request records, so rejected follow-ups never enter.
+        from the request records, so rejected follow-ups never enter;
+        only each request's *final* decision is paired (a migrated
+        request's original prediction describes a placement that never
+        ran). The O(records) pass is memoized on this frozen report —
+        ``describe()`` and sweep loops hit the cache after the first
+        call.
         """
+        cached = self.__dict__.get("_ttft_calibration_cache", _UNSET)
+        if cached is not _UNSET:
+            return cached
         realized: Dict[int, float] = {}
         for shard in self.result.shard_results:
             for rec in shard.records:
                 realized[rec.request.request_id] = rec.ttft_s
+        final: Dict[int, RoutingDecision] = {}
+        for decision in self.result.decisions:
+            final[decision.request_id] = decision
         errors = [
-            decision.predicted_ttft_s - realized[decision.request_id]
-            for decision in self.result.decisions
+            decision.predicted_ttft_s - realized[request_id]
+            for request_id, decision in final.items()
             if decision.predicted_ttft_s is not None
-            and decision.request_id in realized
+            and request_id in realized
         ]
         if not errors:
-            return None
-        return TTFTCalibration(
-            n_predictions=len(errors),
-            mean_error_s=sum(errors) / len(errors),
-            mean_abs_error_s=sum(abs(e) for e in errors) / len(errors),
-            max_abs_error_s=max(abs(e) for e in errors),
-        )
+            value = None
+        else:
+            value = TTFTCalibration(
+                n_predictions=len(errors),
+                mean_error_s=sum(errors) / len(errors),
+                mean_abs_error_s=sum(abs(e) for e in errors) / len(errors),
+                max_abs_error_s=max(abs(e) for e in errors),
+            )
+        object.__setattr__(self, "_ttft_calibration_cache", value)
+        return value
 
     def describe(self) -> str:
         """Human-readable report: fleet summary plus per-shard load."""
@@ -154,10 +219,14 @@ class FleetReport:
         ):
             lines.append(
                 f"shard {shard_id} [{shard.plan_name}]: "
-                f"{counts[shard_id]} routed, "
+                f"{counts[shard_id]} served, "
                 f"{m.throughput_tok_s:.2f} tok/s, "
                 f"p99 TTFT {m.ttft.p99_s * 1e3:.3f} ms, "
                 f"peak KV {m.peak_kv_fraction:.1%}"
+            )
+        if self.result.n_migrations:
+            lines.append(
+                f"work stealing: {self.result.n_migrations} migrations"
             )
         calibration = self.ttft_calibration()
         if calibration is not None:
@@ -205,6 +274,16 @@ class FleetSimulator:
             events in every shard's log. Flip off for long sweeps —
             records, merged metrics and peak-KV accounting are exact
             either way.
+        calendar: drive the drain phase from the global next-event
+            calendar (heap of per-shard ``next_event_s`` keys, coalesced
+            advances between keys) — O(fleet events). ``False`` retains
+            the per-iteration reference walk (globally minimal shard,
+            one iteration at a time) the equivalence tests compare
+            against; both produce bit-identical timelines.
+        steal: let a shard going idle pull the youngest still-waiting
+            request it can hold off the deepest-backlog shard (which
+            must stay busy afterwards). Each migration is recorded as a
+            :class:`RoutingDecision` with ``migrated_from`` set.
     """
 
     def __init__(
@@ -216,6 +295,8 @@ class FleetSimulator:
         ctx_bucket=1,
         coalesce: bool = True,
         token_events: bool = True,
+        calendar: bool = True,
+        steal: bool = False,
     ) -> None:
         if not engines:
             raise ConfigError("a fleet needs at least one engine")
@@ -234,6 +315,8 @@ class FleetSimulator:
         self.ctx_bucket = _per_shard(ctx_bucket, n, "ctx_bucket")
         self.coalesce = coalesce
         self.token_events = token_events
+        self.calendar = calendar
+        self.steal = steal
 
     # ---------------------------------------------------------------- run
     def run(self, source: RequestSource) -> FleetReport:
@@ -245,45 +328,60 @@ class FleetSimulator:
         # total order the per-shard schedulers use.
         arrivals: List[Tuple[float, int, Request]] = []
         n_rejected = 0
+        # Predictions awaiting realization (request id -> predicted
+        # TTFT on its current shard). Entries are dropped when a steal
+        # migrates the request, so completions only report placements
+        # that actually ran.
+        pending_predictions: Dict[int, float] = {}
+        shards: List[ContinuousBatchingScheduler] = []
 
-        def harvest(request: Request, finish_s: float) -> Optional[Request]:
-            # Shard completion hook: pull the follow-up back to the
-            # global router instead of letting the shard keep it.
-            nonlocal n_rejected
-            follow_up = source.on_complete(request, finish_s)
-            if follow_up is None:
+        def make_harvest(shard_id: int):
+            # Shard completion hook: feed realized TTFT back to the
+            # policy, then pull any follow-up back to the global router
+            # instead of letting the shard keep it.
+            def harvest(request: Request, finish_s: float) -> Optional[Request]:
+                nonlocal n_rejected
+                predicted = pending_predictions.pop(request.request_id, None)
+                if predicted is not None:
+                    record = shards[shard_id].record_for(request.request_id)
+                    policy.observe(shard_id, predicted, record.ttft_s)
+                follow_up = source.on_complete(request, finish_s)
+                if follow_up is None:
+                    return None
+                if any(s.can_ever_admit(follow_up) for s in shards):
+                    heapq.heappush(
+                        arrivals,
+                        (follow_up.arrival_s, follow_up.request_id, follow_up),
+                    )
+                else:
+                    n_rejected += 1
                 return None
-            if any(s.can_ever_admit(follow_up) for s in shards):
-                heapq.heappush(
-                    arrivals,
-                    (follow_up.arrival_s, follow_up.request_id, follow_up),
-                )
-            else:
-                n_rejected += 1
-            return None
 
-        shards = [
+            return harvest
+
+        shards.extend(
             ContinuousBatchingScheduler(
                 engine,
                 source=None,
                 kv_budget_bytes=self.kv_budget_bytes[i],
                 max_batch=self.max_batch[i],
                 ctx_bucket=self.ctx_bucket[i],
-                on_complete=harvest,
+                on_complete=make_harvest(i),
                 coalesce=self.coalesce,
                 token_events=self.token_events,
             )
             for i, engine in enumerate(self.engines)
-        ]
+        )
         # Open-loop sources never inject follow-ups, so once the arrival
         # heap drains the shards are fully independent and each can run
-        # dry in one coalesced advance instead of the per-iteration
-        # stepping closed-loop routing fidelity requires. A source is
-        # open-loop only when on_complete is the base-class no-op and no
-        # instance-level hook shadows it.
+        # dry in one coalesced advance instead of the boundary-level
+        # stepping closed-loop routing fidelity (and steal checks)
+        # requires. A source is open-loop only when on_complete is the
+        # base-class no-op and no instance-level hook shadows it.
         open_loop = (
             type(source).on_complete is RequestSource.on_complete
             and "on_complete" not in getattr(source, "__dict__", {})
+            and not self.steal
         )
 
         seen_ids = set()
@@ -302,17 +400,104 @@ class FleetSimulator:
             raise ConfigError(f"source {source.name!r} produced no requests")
 
         decisions: List[RoutingDecision] = []
+
+        def steal_pass() -> bool:
+            """Idle thieves pull waiting work off backlogged donors.
+
+            Deterministic: thieves are visited in ascending shard id;
+            each scans donors by (deepest stealable backlog, lowest id)
+            and takes the *oldest* still-waiting request it could ever
+            admit — the one with the worst accumulated wait, whose
+            departure also shortens the queue for everything behind it
+            — provided the donor stays non-idle after losing it and
+            the move is profitable: the idle thief's first-token
+            instant (its clock plus its surface's prefill) must beat a
+            *lower bound* on the donor's (busy-until plus the donor's
+            prefill, ignoring the donor's queue), so work never
+            migrates onto a shard slow enough to make the wait look
+            good. One steal per thief per pass (the thief is busy
+            afterwards). Returns whether anything moved.
+            """
+
+            def helps(thief, donor, candidate):
+                first_token_thief = max(
+                    thief.clock_s, candidate.arrival_s
+                ) + thief.engine.surface.prefill(
+                    candidate.prompt_tokens
+                ).latency_s
+                donor_lower_bound = max(
+                    donor.clock_s, candidate.arrival_s
+                ) + donor.engine.surface.prefill(
+                    candidate.prompt_tokens
+                ).latency_s
+                return first_token_thief < donor_lower_bound
+
+            stole = False
+            for thief_id, thief in enumerate(shards):
+                if not thief.idle:
+                    continue
+                donors = sorted(
+                    (d_id for d_id, d in enumerate(shards) if d.n_stealable),
+                    key=lambda d_id: (-shards[d_id].n_stealable, d_id),
+                )
+                for donor_id in donors:
+                    donor = shards[donor_id]
+                    if donor.snapshot(donor_id).n_in_system < 2:
+                        continue  # donor would go idle: nothing gained
+                    victim = next(
+                        (
+                            candidate
+                            for candidate in donor.steal_candidates()
+                            if thief.can_ever_admit(candidate)
+                            and helps(thief, donor, candidate)
+                        ),
+                        None,
+                    )
+                    if victim is None:
+                        continue
+                    donor.withdraw(victim.request_id)
+                    # The original prediction describes a placement
+                    # that will never run; drop it from calibration.
+                    pending_predictions.pop(victim.request_id, None)
+                    thief.submit(victim)
+                    decisions.append(
+                        RoutingDecision(
+                            victim.request_id,
+                            max(thief.clock_s, victim.arrival_s),
+                            thief_id,
+                            migrated_from=donor_id,
+                        )
+                    )
+                    stole = True
+                    break
+            return stole
+
+        # The drain calendar: (next_event_s, shard_id) per busy shard.
+        # Rebuilt lazily whenever routing, stealing or an arrival sync
+        # touched shard state; between rebuilds only the shard just
+        # advanced needs re-keying.
+        calendar: List[Tuple[float, int]] = []
+        calendar_stale = True
         while True:
+            if self.steal and steal_pass():
+                calendar_stale = True
             if arrivals:
+                calendar_stale = True
                 t, request_id, req = heapq.heappop(arrivals)
                 # No shard may lag the routing instant: advance each to
                 # t (steps in flight may overshoot — shards are busy
-                # until their clock, which the snapshot exposes).
+                # until their clock, which the snapshot exposes). The
+                # advance stops the moment a completion injects a
+                # follow-up due *before* t: that follow-up must be
+                # routed — and submitted to its shard — before any
+                # shard simulates past its arrival, or prefills that
+                # should preempt in-flight decodes run too late.
+                preempted = lambda: bool(arrivals) and arrivals[0][0] < t
                 for shard in shards:
-                    shard.advance_until(t)
-                if arrivals and arrivals[0][0] < t:
-                    # Advancing produced a closed-loop follow-up that
-                    # arrives earlier; route it first.
+                    shard.advance_until(t, interrupt=preempted)
+                if preempted():
+                    # Route the earlier follow-up first; the popped
+                    # arrival goes back and re-advances from here.
                     heapq.heappush(arrivals, (t, request_id, req))
                     continue
                 feasible = [
@@ -330,31 +515,64 @@ class FleetSimulator:
                         f"{request_id} to infeasible shard {choice}"
                     )
                 shards[choice].submit(req)
+                predicted = policy.predicted_ttft_s(req, t, chosen)
+                if predicted is not None:
+                    pending_predictions[request_id] = predicted
                 decisions.append(
-                    RoutingDecision(
-                        request_id,
-                        t,
-                        choice,
-                        policy.predicted_ttft_s(req, t, chosen),
-                    )
+                    RoutingDecision(request_id, t, choice, predicted)
                 )
-            else:
-                # Drain: step the earliest-clock busy shard one
-                # iteration at a time, so a completion's closed-loop
-                # follow-up re-enters global routing immediately — not
-                # after every shard has already simulated past it. This
-                # keeps a one-shard closed-loop fleet identical to
-                # single-engine serving and routing snapshots honest.
-                # Open-loop streams have no follow-ups to interleave, so
-                # each shard drains in one coalesced pass instead.
+            elif open_loop:
+                # Open-loop fast path: no follow-ups can ever appear,
+                # so each shard runs dry independently in one coalesced
+                # advance.
                 busy = [shard for shard in shards if not shard.idle]
                 if not busy:
                     break
-                if open_loop:
-                    for shard in busy:
-                        shard.advance_until(math.inf)
+                for shard in busy:
+                    shard.advance_until(math.inf)
+            elif self.calendar:
+                # Event-calendar drain: pop the globally next-acting
+                # shard and advance it in one coalesced pass up to the
+                # runner-up's key, bailing out the moment a completion
+                # injects a global follow-up — so closed-loop arrivals
+                # re-enter routing at exactly the same instant the
+                # reference walk would surface them.
+                if calendar_stale:
+                    calendar = [
+                        (shard.next_event_s(), i)
+                        for i, shard in enumerate(shards)
+                        if not shard.idle
+                    ]
+                    heapq.heapify(calendar)
+                    calendar_stale = False
+                if not calendar:
+                    break
+                key, idx = heapq.heappop(calendar)
+                shard = shards[idx]
+                horizon = calendar[0][0] if calendar else math.inf
+                if key >= horizon:
+                    # Exact tie with the runner-up: run one iteration,
+                    # matching the reference walk's id-ordered pick.
+                    shard.advance_one()
                 else:
-                    min(busy, key=lambda shard: shard.clock_s).advance_one()
+                    shard.advance_until(
+                        horizon, interrupt=lambda: bool(arrivals)
+                    )
+                if not shard.idle:
+                    heapq.heappush(calendar, (shard.next_event_s(), idx))
+            else:
+                # Reference drain: step the globally next-acting busy
+                # shard one iteration at a time, so a completion's
+                # closed-loop follow-up re-enters global routing
+                # immediately — not after every shard has already
+                # simulated past it. This keeps a one-shard closed-loop
+                # fleet identical to single-engine serving and routing
+                # snapshots honest. The calendar path above executes
+                # the identical iteration sequence in coalesced runs.
+                busy = [shard for shard in shards if not shard.idle]
+                if not busy:
+                    break
+                min(busy, key=lambda shard: shard.next_event_s()).advance_one()
 
         shard_results = tuple(shard.result() for shard in shards)
         result = FleetResult(

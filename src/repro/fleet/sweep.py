@@ -7,8 +7,9 @@ deployment across a bandwidth profile (clones share the packing
 planner, so packing statistics are derived once for the whole sweep),
 caches one engine per distinct bandwidth (so every grid point reuses
 every surface point any earlier grid point simulated), and evaluates a
-``(n_engines x policy x max_batch x ctx_bucket)`` grid of fleet
-simulations against regenerated seeded scenarios.
+``(n_engines x policy x max_batch x ctx_bucket x steal)`` grid of
+fleet simulations against regenerated seeded scenarios, optionally
+filtered to an energy-per-token ceiling before Pareto extraction.
 
 The output is the capacity planner's curve: each grid point carries
 aggregate tokens/s and p99 TTFT / TBT, and :meth:`FleetSweepResult
@@ -33,7 +34,9 @@ __all__ = ["SWEEP_SCHEMA_VERSION", "SweepPoint", "FleetSweepResult", "SweepDrive
 
 #: Version stamped into sweep JSON documents; bump on schema changes.
 #: v2 added the energy axis (``energy_uj`` / ``energy_per_token_uj``).
-SWEEP_SCHEMA_VERSION = 2
+#: v3 added the work-stealing axis (``steal``) and the optional
+#: ``filters`` block (``max_energy_per_token_uj``).
+SWEEP_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,15 @@ class SweepPoint:
     #: .best_by`), not a Pareto-front objective.
     energy_uj: float = 0.0
     energy_per_token_uj: float = 0.0
+    #: Whether the fleet ran with work stealing enabled (v3 grid axis).
+    steal: bool = False
+
+    def key(self) -> Tuple[int, str, int, int, bool]:
+        """The configuration axes identifying this grid point."""
+        return (
+            self.n_engines, self.policy, self.max_batch,
+            self.ctx_bucket, self.steal,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form (tuples become lists)."""
@@ -101,6 +113,9 @@ class FleetSweepResult:
     plan_name: str
     source_name: str
     points: Tuple[SweepPoint, ...]
+    #: Energy ceiling (uJ/token) the grid was filtered by before Pareto
+    #: extraction; ``None`` when unconstrained.
+    max_energy_per_token_uj: Optional[float] = None
 
     def pareto_front(self) -> Tuple[SweepPoint, ...]:
         """Non-dominated points, ordered by descending throughput.
@@ -131,17 +146,13 @@ class FleetSweepResult:
     def to_json(self) -> Dict[str, Any]:
         """Versioned JSON document: grid, objectives and Pareto front."""
         front = self.pareto_front()
-        front_keys = {
-            (p.n_engines, p.policy, p.max_batch, p.ctx_bucket) for p in front
-        }
+        front_keys = {p.key() for p in front}
         points = []
         for p in self.points:
             d = p.to_dict()
-            d["pareto"] = (
-                (p.n_engines, p.policy, p.max_batch, p.ctx_bucket) in front_keys
-            )
+            d["pareto"] = p.key() in front_keys
             points.append(d)
-        return {
+        doc = {
             "version": SWEEP_SCHEMA_VERSION,
             "model": self.model_name,
             "plan": self.plan_name,
@@ -154,26 +165,28 @@ class FleetSweepResult:
             "points": points,
             "pareto_front": [p.to_dict() for p in front],
         }
+        if self.max_energy_per_token_uj is not None:
+            doc["filters"] = {
+                "max_energy_per_token_uj": self.max_energy_per_token_uj
+            }
+        return doc
 
     def format_table(self) -> str:
         """Fixed-width text table with Pareto markers."""
         from ..analysis import format_table
 
-        front_keys = {
-            (p.n_engines, p.policy, p.max_batch, p.ctx_bucket)
-            for p in self.pareto_front()
-        }
+        front_keys = {p.key() for p in self.pareto_front()}
         rows = [
             [
                 p.n_engines,
                 p.policy,
                 p.max_batch,
                 p.ctx_bucket,
+                "on" if p.steal else "",
                 f"{p.throughput_tok_s:.1f}",
                 f"{p.ttft_p99_s * 1e3:.3f}",
                 f"{p.tbt_p99_s * 1e3:.3f}",
-                "*" if (p.n_engines, p.policy, p.max_batch, p.ctx_bucket)
-                in front_keys else "",
+                "*" if p.key() in front_keys else "",
             ]
             for p in self.points
         ]
@@ -183,6 +196,7 @@ class FleetSweepResult:
                 "policy",
                 "max_batch",
                 "ctx_bucket",
+                "steal",
                 "tok/s",
                 "p99 TTFT (ms)",
                 "p99 TBT (ms)",
@@ -257,6 +271,7 @@ class SweepDriver:
         max_batch: int = 16,
         ctx_bucket: int = 1,
         token_events: bool = False,
+        steal: bool = False,
     ) -> FleetReport:
         """Evaluate one grid point (exposed for benchmarks and tests).
 
@@ -280,6 +295,7 @@ class SweepDriver:
             max_batch=max_batch,
             ctx_bucket=ctx_bucket,
             token_events=token_events,
+            steal=steal,
         )
         return fleet.run(source)
 
@@ -291,16 +307,24 @@ class SweepDriver:
         max_batch_grid: Sequence[int] = (16,),
         ctx_bucket_grid: Sequence[int] = (1,),
         token_events: bool = False,
+        steal_grid: Sequence[bool] = (False,),
+        max_energy_per_token_uj: Optional[float] = None,
     ) -> FleetSweepResult:
         """Evaluate the full configuration grid.
 
         ``stream_factory`` must return a *fresh* source per call
         (closed-loop sources are single-use); seeded factories make the
         whole sweep reproducible. Grid order is deterministic:
-        engines, then policy, then max_batch, then ctx_bucket.
-        Per-token event materialization is off by default (see
+        engines, then policy, then max_batch, then ctx_bucket, then
+        steal. Per-token event materialization is off by default (see
         :meth:`run_point`); every reported metric is identical with it
         on, just slower and heavier.
+
+        ``max_energy_per_token_uj`` drops grid points whose modeled
+        ``energy_per_token_uj`` exceeds the ceiling *before* Pareto
+        extraction — the front's objectives are unchanged, only its
+        candidate set shrinks. Raises :class:`ConfigError` if the
+        filter rejects every point.
         """
         points: List[SweepPoint] = []
         source_name = None
@@ -308,48 +332,64 @@ class SweepDriver:
             for policy in policies:
                 for max_batch in max_batch_grid:
                     for ctx_bucket in ctx_bucket_grid:
-                        source = stream_factory()
-                        source_name = source.name
-                        report = self.run_point(
-                            source, n_engines, policy, max_batch, ctx_bucket,
-                            token_events=token_events,
-                        )
-                        m = report.metrics
-                        energy_uj = sum(
-                            r.total_energy_uj
-                            for r in report.result.shard_results
-                        )
-                        points.append(
-                            SweepPoint(
-                                n_engines=n_engines,
-                                policy=policy,
-                                max_batch=max_batch,
-                                ctx_bucket=ctx_bucket,
-                                bandwidths_gbps=self.fleet_profile(n_engines),
-                                throughput_tok_s=m.throughput_tok_s,
-                                ttft_p50_s=m.ttft.p50_s,
-                                ttft_p99_s=m.ttft.p99_s,
-                                tbt_p50_s=m.tbt.p50_s,
-                                tbt_p99_s=m.tbt.p99_s,
-                                e2e_p99_s=m.e2e.p99_s,
-                                n_requests=m.n_requests,
-                                total_generated_tokens=m.total_generated_tokens,
-                                duration_s=m.duration_s,
-                                max_queue_depth=m.max_queue_depth,
-                                peak_kv_fraction=m.peak_kv_fraction,
-                                energy_uj=energy_uj,
-                                energy_per_token_uj=(
-                                    energy_uj / m.total_generated_tokens
-                                    if m.total_generated_tokens
-                                    else 0.0
-                                ),
+                        for steal in steal_grid:
+                            source = stream_factory()
+                            source_name = source.name
+                            report = self.run_point(
+                                source, n_engines, policy, max_batch,
+                                ctx_bucket, token_events=token_events,
+                                steal=steal,
                             )
-                        )
+                            m = report.metrics
+                            energy_uj = sum(
+                                r.total_energy_uj
+                                for r in report.result.shard_results
+                            )
+                            points.append(
+                                SweepPoint(
+                                    n_engines=n_engines,
+                                    policy=policy,
+                                    max_batch=max_batch,
+                                    ctx_bucket=ctx_bucket,
+                                    bandwidths_gbps=self.fleet_profile(n_engines),
+                                    throughput_tok_s=m.throughput_tok_s,
+                                    ttft_p50_s=m.ttft.p50_s,
+                                    ttft_p99_s=m.ttft.p99_s,
+                                    tbt_p50_s=m.tbt.p50_s,
+                                    tbt_p99_s=m.tbt.p99_s,
+                                    e2e_p99_s=m.e2e.p99_s,
+                                    n_requests=m.n_requests,
+                                    total_generated_tokens=m.total_generated_tokens,
+                                    duration_s=m.duration_s,
+                                    max_queue_depth=m.max_queue_depth,
+                                    peak_kv_fraction=m.peak_kv_fraction,
+                                    energy_uj=energy_uj,
+                                    energy_per_token_uj=(
+                                        energy_uj / m.total_generated_tokens
+                                        if m.total_generated_tokens
+                                        else 0.0
+                                    ),
+                                    steal=steal,
+                                )
+                            )
         if not points:
             raise ConfigError("sweep grid is empty")
+        if max_energy_per_token_uj is not None:
+            kept = [
+                p for p in points
+                if p.energy_per_token_uj <= max_energy_per_token_uj
+            ]
+            if not kept:
+                raise ConfigError(
+                    f"energy filter {max_energy_per_token_uj} uJ/token "
+                    f"rejected all {len(points)} sweep points (min is "
+                    f"{min(p.energy_per_token_uj for p in points):.3f})"
+                )
+            points = kept
         return FleetSweepResult(
             model_name=self.base_engine.model.name,
             plan_name=self.base_engine.plan.name,
             source_name=source_name or "unknown",
             points=tuple(points),
+            max_energy_per_token_uj=max_energy_per_token_uj,
         )

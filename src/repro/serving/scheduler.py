@@ -98,6 +98,9 @@ class EventKind(enum.Enum):
     FIRST_TOKEN = "first_token"
     DECODE_STEP = "decode_step"
     COMPLETE = "complete"
+    #: A queued request was withdrawn (work stealing): it leaves this
+    #: shard before running, releasing any ADMIT-time KV reservation.
+    WITHDRAW = "withdraw"
 
 
 #: The per-token observations elided by ``token_events=False``; every
@@ -450,6 +453,96 @@ class ContinuousBatchingScheduler:
             engine=self.engine,
         )
 
+    def next_event_s(self) -> float:
+        """The instant this scheduler's next iteration would start.
+
+        The fleet calendar's heap key: a shard with runnable work
+        (queued prefill, in-flight decode, or a pending request the
+        next boundary may admit) acts at its own clock; a shard whose
+        only work is a future arrival acts when that arrival is due
+        (never before its clock — steps are non-preemptible); an idle
+        shard never acts (``inf``). Advancing the globally minimal
+        shard therefore executes fleet iterations in exactly the order
+        the per-iteration reference walk does.
+        """
+        if self._prefill_queue or self._decoding or self._pending:
+            return self._clock
+        if self._future:
+            return max(self._clock, self._future[0][0])
+        return math.inf
+
+    def record_for(self, request_id: int) -> Optional[RequestRecord]:
+        """The completed record of one request, or ``None`` if not done.
+
+        The fleet simulator reads this inside its completion hook to
+        feed realized TTFT back into calibration-aware routing policies.
+        """
+        return self._records.get(request_id)
+
+    # ------------------------------------------------------- work stealing
+    @property
+    def n_stealable(self) -> int:
+        """Requests another shard could take over (not yet prefilled)."""
+        return len(self._future) + len(self._pending) + len(self._prefill_queue)
+
+    def steal_candidates(self) -> List[Request]:
+        """Every not-yet-prefilled request, in FCFS order.
+
+        Candidates span the future heap, the pending (admission) queue
+        and the admitted-but-unprefilled queue: all of them still owe
+        their prefill, so migrating one discards no simulated work.
+        """
+        candidates = [req for _, _, req in self._future]
+        candidates.extend(self._pending)
+        candidates.extend(active.request for active in self._prefill_queue)
+        candidates.sort(key=lambda r: (r.arrival_s, r.request_id))
+        return candidates
+
+    def _forget_waiting(self, request: Request) -> None:
+        """Drop one waiting request from the prompt-histogram aggregate."""
+        count = self._waiting_prompts[request.prompt_tokens] - 1
+        if count:
+            self._waiting_prompts[request.prompt_tokens] = count
+        else:
+            del self._waiting_prompts[request.prompt_tokens]
+
+    def withdraw(self, request_id: int) -> Request:
+        """Remove a not-yet-prefilled request (the work-stealing donor op).
+
+        Releases the ADMIT-time KV reservation when the request had
+        already been admitted, and logs a WITHDRAW event whenever the
+        shard had observed the request (so the event timeline stays an
+        honest account of this shard's KV and queue state). Withdrawing
+        a request the shard never heard of — or one already prefilled —
+        is a caller bug and raises :class:`ConfigError`.
+        """
+        for i, active in enumerate(self._prefill_queue):
+            if active.request.request_id == request_id:
+                del self._prefill_queue[i]
+                self._kv_reserved -= active.kv_reserved_bytes
+                self._forget_waiting(active.request)
+                self._log(EventKind.WITHDRAW, request_id)
+                return active.request
+        for i, req in enumerate(self._pending):
+            if req.request_id == request_id:
+                del self._pending[i]
+                self._waiting_kv -= self._kv_bytes(req.total_tokens)
+                self._forget_waiting(req)
+                self._log(EventKind.WITHDRAW, request_id)
+                return req
+        for i, (_, _, req) in enumerate(self._future):
+            if req.request_id == request_id:
+                # Never ingested, so never logged: remove silently.
+                self._future[i] = self._future[-1]
+                self._future.pop()
+                heapq.heapify(self._future)
+                self._waiting_kv -= self._kv_bytes(req.total_tokens)
+                self._forget_waiting(req)
+                return req
+        raise ConfigError(
+            f"cannot withdraw request {request_id}: not waiting on this shard"
+        )
+
     # ----------------------------------------------------------- internals
     def _log(self, kind: EventKind, request_id: int) -> None:
         self._events.append(
@@ -714,7 +807,11 @@ class ContinuousBatchingScheduler:
             else:
                 return False
 
-    def advance_until(self, t_s: float = math.inf) -> None:
+    def advance_until(
+        self,
+        t_s: float = math.inf,
+        interrupt: Optional[Callable[[], bool]] = None,
+    ) -> None:
         """Run scheduler iterations while the clock is before ``t_s``.
 
         Iterations are non-preemptible: a step *started* before ``t_s``
@@ -727,11 +824,22 @@ class ContinuousBatchingScheduler:
         boundary work, so arrivals due exactly at the pause instant are
         ingested by the next call together with anything submitted in
         between — exactly as the one-shot walk would observe them.
+
+        ``interrupt`` is polled at every iteration boundary — before
+        any boundary work, so a stop here and a later resume observe
+        exactly what the uninterrupted walk would. The fleet uses it to
+        stop an advance the instant a completion injects a global
+        follow-up arrival: completion hooks only fire at step ends, so
+        polling each boundary reproduces the per-iteration walk's
+        one-step-then-reroute behaviour at coalesced speed (coalesced
+        decode runs already end at the first in-run completion).
         """
         self._started = True
         coalesce = self.coalesce
         while True:
             if self._clock >= t_s:
+                return
+            if interrupt is not None and interrupt():
                 return
             self._ingest_arrivals()
             self._admit()

@@ -14,6 +14,16 @@ class TestFleetParser:
         assert args.bandwidths == [12.0, 6.0, 3.0, 1.0]
         assert args.policy == "predicted-latency"
         assert not args.sweep
+        assert not args.steal
+        assert not args.no_calendar
+        assert not args.steal_grid
+        assert args.max_energy_per_token_uj is None
+
+    def test_steal_and_calendar_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["fleet", "--steal", "--no-calendar"]
+        )
+        assert args.steal and args.no_calendar
 
     def test_sweep_knobs_parsed(self):
         args = build_parser().parse_args(
@@ -76,7 +86,7 @@ class TestFleetSweep:
         assert "Pareto front" in out and "Pareto" in out
 
         doc = json.loads(out_path.read_text())
-        assert doc["version"] == 2
+        assert doc["version"] == 3
         assert doc["model"] == "opt-125m"
         assert len(doc["points"]) == 4
         assert doc["pareto_front"]
@@ -86,3 +96,24 @@ class TestFleetSweep:
         assert all(p["energy_uj"] > 0 for p in doc["points"])
         assert all(p["energy_per_token_uj"] > 0 for p in doc["points"])
         assert "energy_uj" not in doc["objectives"]
+        # v3: every point carries the steal axis; no filter block unless
+        # an energy ceiling was requested.
+        assert all(p["steal"] is False for p in doc["points"])
+        assert "filters" not in doc
+
+    def test_energy_filter_and_steal_grid(self, capsys, tmp_path):
+        out_path = tmp_path / "pareto.json"
+        argv = [
+            "fleet", "--model", "opt-125m", "--plan", "gemm",
+            "--bandwidths", "12", "1", "--requests", "8",
+            "--arrival", "bursty", "--burst-size", "4", "--seed", "0",
+            "--sweep", "--num-engines", "2",
+            "--policies", "round-robin", "--steal-grid",
+            "--max-energy-per-token-uj", "1e12",
+            "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        doc = json.loads(out_path.read_text())
+        assert doc["filters"] == {"max_energy_per_token_uj": 1e12}
+        assert [p["steal"] for p in doc["points"]] == [False, True]

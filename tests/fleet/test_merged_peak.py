@@ -1,0 +1,78 @@
+"""Fleet metric merging: the incremental peak sweep and report caching.
+
+``merged_peak_kv_bytes`` maintains the fleet-wide running KV total by
+per-shard delta — O(events), not O(shards * events). These tests check
+it against a brute-force re-sum over all shards at every event, and pin
+the ``ttft_calibration`` memoization on :class:`FleetReport`.
+"""
+
+from __future__ import annotations
+
+from repro.fleet import FleetSimulator
+from repro.fleet.metrics import merged_peak_kv_bytes
+
+
+def _brute_force_peak(shard_results):
+    """Recompute the merged peak by summing every shard at every event."""
+    tagged = []
+    for shard_id, result in enumerate(shard_results):
+        tagged.extend(
+            (ev.t_s, shard_id, seq, ev.kv_reserved_bytes)
+            for seq, ev in enumerate(result.events)
+        )
+    tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+    current = {}
+    peak = 0
+    for _, shard_id, _, reserved in tagged:
+        current[shard_id] = reserved
+        peak = max(peak, sum(current.values()))
+    return peak
+
+
+class TestMergedPeak:
+    def test_incremental_sweep_matches_brute_force(
+        self, fast_engine, slow_engine, shard_budget, make_stream
+    ):
+        fleet = FleetSimulator(
+            [fast_engine, slow_engine, fast_engine],
+            policy="jsq",
+            kv_budget_bytes=shard_budget,
+            max_batch=8,
+        )
+        report = fleet.run(make_stream("bursty", n=24, seed=1))
+        shard_results = report.result.shard_results
+        assert merged_peak_kv_bytes(shard_results) == _brute_force_peak(shard_results)
+        assert report.metrics.peak_kv_bytes == _brute_force_peak(shard_results)
+
+    def test_merged_peak_exceeds_any_single_shard(
+        self, fast_engine, shard_budget, make_stream
+    ):
+        fleet = FleetSimulator(
+            [fast_engine, fast_engine],
+            policy="round-robin",
+            kv_budget_bytes=shard_budget,
+            max_batch=8,
+        )
+        report = fleet.run(make_stream("bursty", n=16, seed=0))
+        per_shard = [s.peak_kv_bytes for s in report.result.shard_results]
+        merged = report.metrics.peak_kv_bytes
+        # The merged-timeline peak is at least the worst shard and at
+        # most the (generally looser) sum of per-shard peaks.
+        assert max(per_shard) <= merged <= sum(per_shard)
+
+
+class TestTtftCalibrationMemo:
+    def test_repeated_calls_return_cached_tuple(
+        self, fast_engine, slow_engine, shard_budget, make_stream
+    ):
+        fleet = FleetSimulator(
+            [fast_engine, slow_engine],
+            policy="predicted-latency",
+            kv_budget_bytes=shard_budget,
+            max_batch=8,
+        )
+        report = fleet.run(make_stream("bursty", n=16, seed=2))
+        first = report.ttft_calibration()
+        assert first  # predictive policy: every served request has a pair
+        # Memoized: the identical object, not a recomputation.
+        assert report.ttft_calibration() is first

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.fleet import (
+    CalibratedLatencyPolicy,
     JoinShortestQueuePolicy,
     LeastKVPressurePolicy,
     POLICY_NAMES,
@@ -42,9 +43,10 @@ def request_8x4() -> Request:
 
 
 class TestRegistry:
-    def test_all_four_policies_registered(self):
+    def test_all_five_policies_registered(self):
         assert set(POLICY_NAMES) == {
             "round-robin", "jsq", "least-kv", "predicted-latency",
+            "calibrated-latency",
         }
 
     def test_make_policy_instantiates_each(self):
@@ -159,3 +161,65 @@ class TestPredictedLatency:
         assert policy.predicted_ttft_s(request_8x4, 0.0, tight) > (
             policy.predicted_ttft_s(request_8x4, 0.0, roomy)
         )
+
+
+class TestCalibratedLatency:
+    def test_alpha_validated(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigError):
+                CalibratedLatencyPolicy(alpha=bad)
+        assert CalibratedLatencyPolicy(alpha=1.0).alpha == 1.0
+
+    def test_uncalibrated_matches_predicted_latency(
+        self, fast_engine, request_8x4
+    ):
+        # Before any feedback the bias is zero everywhere: the corrected
+        # model must be the plain predictive model, bit for bit.
+        plain = PredictedLatencyPolicy()
+        calibrated = CalibratedLatencyPolicy()
+        snap = _snap(0, fast_engine, clock_s=0.5)
+        assert calibrated.predicted_ttft_s(request_8x4, 0.0, snap) == (
+            plain.predicted_ttft_s(request_8x4, 0.0, snap)
+        )
+
+    def test_observe_is_an_ewma_of_signed_error(
+        self, fast_engine, request_8x4
+    ):
+        policy = CalibratedLatencyPolicy(alpha=0.5)
+        snap = _snap(0, fast_engine)
+        raw = policy.predicted_ttft_s(request_8x4, 0.0, snap)
+
+        # Over-prediction by half the raw value: bias += 0.5 * (raw/2),
+        # so the next prediction on that shard drops by the new bias.
+        policy.observe(0, predicted_ttft_s=raw, realized_ttft_s=raw / 2)
+        assert policy.predicted_ttft_s(request_8x4, 0.0, snap) == (
+            pytest.approx(0.75 * raw)
+        )
+        # An under-prediction of the *corrected* value walks the bias
+        # halfway back: integral feedback on signed error.
+        policy.observe(0, predicted_ttft_s=0.75 * raw, realized_ttft_s=raw)
+        assert policy.predicted_ttft_s(request_8x4, 0.0, snap) == (
+            pytest.approx(0.875 * raw)
+        )
+
+    def test_bias_is_per_shard_and_clamped_at_zero(
+        self, fast_engine, request_8x4
+    ):
+        policy = CalibratedLatencyPolicy(alpha=1.0)
+        here, there = _snap(0, fast_engine), _snap(1, fast_engine)
+        raw = policy.predicted_ttft_s(request_8x4, 0.0, here)
+        # An absurd over-prediction drives the bias past the raw model;
+        # the corrected prediction floors at zero rather than going
+        # negative, and shard 1 is untouched.
+        policy.observe(0, predicted_ttft_s=raw + 100.0, realized_ttft_s=raw)
+        assert policy.predicted_ttft_s(request_8x4, 0.0, here) == 0.0
+        assert policy.predicted_ttft_s(request_8x4, 0.0, there) == raw
+
+    def test_reset_clears_learned_bias(self, fast_engine, request_8x4):
+        policy = CalibratedLatencyPolicy(alpha=1.0)
+        snap = _snap(0, fast_engine)
+        raw = policy.predicted_ttft_s(request_8x4, 0.0, snap)
+        policy.observe(0, predicted_ttft_s=raw, realized_ttft_s=raw - 0.01)
+        assert policy.predicted_ttft_s(request_8x4, 0.0, snap) != raw
+        policy.reset(2)
+        assert policy.predicted_ttft_s(request_8x4, 0.0, snap) == raw

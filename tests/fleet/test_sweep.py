@@ -212,10 +212,10 @@ class TestGoldenPareto:
     """
 
     GOLDEN = {
-        (1, "round-robin"): (5462.662283090287, 0.0010965808266666652),
-        (1, "predicted-latency"): (5462.662283090287, 0.0010965808266666652),
-        (2, "round-robin"): (3963.3931523406377, 0.00550845056),
-        (2, "predicted-latency"): (5469.569217975018, 0.0010475086933333293),
+        (1, "round-robin"): (5463.184162257127, 0.0010955888266666657),
+        (1, "predicted-latency"): (5463.184162257127, 0.0010955888266666657),
+        (2, "round-robin"): (3968.5942411559367, 0.005468125759999999),
+        (2, "predicted-latency"): (5470.076561747375, 0.0010465452133333307),
     }
     GOLDEN_FRONT = [(2, "predicted-latency")]
 
