@@ -33,6 +33,8 @@ import json
 import sys
 import time
 
+import pytest
+
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.analysis import banner, format_table
 from repro.fleet import FleetSimulator, POLICY_NAMES, SweepDriver
@@ -178,6 +180,59 @@ def run_drain_bench(driver: SweepDriver, quick: bool = False) -> dict:
     }
 
 
+# --------------------------------------------------------------------------
+# Parallel sweep: process-pool fan-out vs the serial grid walk
+# --------------------------------------------------------------------------
+
+#: The speedup grid: 3 fleet sizes x 5 policies x 2 batch caps x 2 steal
+#: modes = 60 points, comfortably past the 48-point floor where pool
+#: startup and surface broadcast amortize away.
+PARALLEL_GRID = dict(
+    n_engines_grid=[1, 2, 4],
+    policies=list(POLICY_NAMES),
+    max_batch_grid=[8, 16],
+    ctx_bucket_grid=[16],
+    steal_grid=(False, True),
+)
+
+
+def run_parallel_bench(n_requests: int, workers: int) -> dict:
+    """Wall-clock the serial sweep against the process-pool fan-out.
+
+    Each mode gets a *fresh* driver (cold surfaces), so the comparison
+    includes the surface broadcast and delta merge the parallel path
+    pays for — the honest end-to-end cost. The two Pareto documents
+    must serialize byte-identically or this raises ``AssertionError``:
+    parallelism is a pure wall-clock optimization, never a result
+    change.
+    """
+    factory = _stream_factory(n_requests)
+
+    t0 = time.perf_counter()
+    serial = _driver().sweep(factory, workers=1, **PARALLEL_GRID)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fanned = _driver().sweep(factory, workers=workers, **PARALLEL_GRID)
+    parallel_s = time.perf_counter() - t0
+
+    serial_doc = json.dumps(serial.to_json(), sort_keys=True)
+    fanned_doc = json.dumps(fanned.to_json(), sort_keys=True)
+    assert serial_doc == fanned_doc, "parallel sweep diverged from serial"
+
+    return {
+        "model": OPT_125M.name,
+        "bandwidth_profile_gbps": BANDWIDTH_PROFILE,
+        "n_requests": n_requests,
+        "n_grid_points": len(serial.points),
+        "workers": workers,
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "bit_identical": True,
+    }
+
+
 def run_steal_claim(driver: SweepDriver, n_requests: int) -> dict:
     """Work stealing on the bursty 12/1/12/1 fleet under round-robin.
 
@@ -252,13 +307,48 @@ def main(argv=None) -> int:
         "(plus the work-stealing tail-latency claim) instead of the sweep",
     )
     parser.add_argument(
-        "--min-speedup", type=float, default=3.0,
-        help="fail when calendar/reference speedup drops below this "
-        "(--drain-throughput only)",
+        "--parallel-speedup", action="store_true",
+        help="benchmark the process-pool sweep fan-out against the "
+        "serial grid walk (bit-identical results enforced)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes for --parallel-speedup (default 4)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail when the measured speedup drops below this "
+        "(default 3.0 for --drain-throughput, 2.0 for "
+        "--parallel-speedup)",
     )
     args = parser.parse_args(argv)
 
     n_requests = 24 if args.quick else 64
+    if args.parallel_speedup:
+        min_speedup = 2.0 if args.min_speedup is None else args.min_speedup
+        record = run_parallel_bench(16 if args.quick else 32, args.workers)
+        print(
+            f"parallel sweep fan-out ({record['n_grid_points']} grid "
+            f"points, {record['n_requests']} requests/point) on "
+            f"{record['model']} @ {record['bandwidth_profile_gbps']} Gbps:\n"
+            f"  serial:   {record['serial_wall_s']:.2f} s\n"
+            f"  {record['workers']} workers: "
+            f"{record['parallel_wall_s']:.2f} s "
+            f"({record['speedup']:.2f}x, bit-identical)"
+        )
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2)
+            print(f"wrote {args.json}")
+        if record["speedup"] < min_speedup:
+            print(
+                f"FAIL: parallel sweep speedup {record['speedup']:.2f}x "
+                f"< {min_speedup}x"
+            )
+            return 1
+        return 0
+    if args.min_speedup is None:
+        args.min_speedup = 3.0
     if args.drain_throughput:
         driver = _driver()
         record = run_drain_bench(driver, quick=args.quick)
@@ -355,6 +445,29 @@ def test_work_stealing_reduces_tail_latency(emit):
     )
     assert record["steal_reduces_p99_ttft"], record
     assert record["n_migrations"] > 0
+
+
+def test_parallel_sweep_bit_identical(results_dir):
+    """Fanning the sweep grid over worker processes must not change a
+    byte of the Pareto document — parallelism is wall-clock only. Run
+    at a 2-worker/16-request scale so the equivalence claim stays in
+    the default suite even on small CI boxes."""
+    record = run_parallel_bench(16, workers=2)
+    (results_dir / "sweep_parallel.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    assert record["bit_identical"]
+    assert record["n_grid_points"] >= 48
+
+
+@pytest.mark.slow
+def test_parallel_sweep_speedup():
+    """The wall-clock claim: 4 workers clear a 2x floor on the 60-point
+    grid. Marked slow — it needs >= 4 real cores to be meaningful, so
+    it runs only where the hardware can back the assertion."""
+    record = run_parallel_bench(32, workers=4)
+    assert record["bit_identical"]
+    assert record["speedup"] >= 2.0, record
 
 
 def test_pareto_front_nonempty_and_consistent(emit):

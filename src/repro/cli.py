@@ -11,11 +11,14 @@ Examples::
     python -m repro serve --model opt-125m --requests 64 --arrival poisson --seed 0
     python -m repro fleet --model opt-125m --bandwidths 12 6 3 1 --arrival bursty
     python -m repro fleet --model opt-125m --bandwidths 12 1 --sweep --json pareto.json
+    python -m repro fleet --model opt-125m --bandwidths 12 1 --sweep --workers 4
+    python -m repro plan --bandwidths 12 1 --rate 8 --target-p99-ttft-ms 500
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -123,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="force the per-token reference scheduler walk "
                         "instead of the bit-identical event-compressed "
                         "hot loop (debugging aid)")
+    _interp_args(p)
 
     p = sub.add_parser(
         "fleet", help="multi-engine sharded serving and Pareto sweeps"
@@ -181,9 +185,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-energy-per-token-uj", type=float, default=None,
                    help="sweep: drop grid points above this modeled "
                         "energy-per-token ceiling before the Pareto front")
+    p.add_argument("--workers", type=int, default=None,
+                   help="sweep: fan grid points over this many worker "
+                        "processes (default: os.cpu_count(); 1 = serial; "
+                        "results are bit-identical either way)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="sweep: also write the versioned Pareto document")
+    _interp_args(p)
+
+    p = sub.add_parser(
+        "plan", help="O(1) analytical capacity planning from surface points"
+    )
+    p.add_argument("--model", default="opt-125m")
+    p.add_argument("--plan", choices=sorted(_PLANS), default="meadow")
+    p.add_argument("--bandwidths", type=float, nargs="+",
+                   default=[12.0, 6.0, 3.0, 1.0],
+                   help="per-shard DRAM bandwidth profile (Gbps), cycled "
+                        "across the fleet like the fleet command")
+    p.add_argument("--rate", type=float, default=8.0,
+                   help="offered arrival rate (req/s)")
+    p.add_argument("--target-p99-ttft-ms", type=float, default=None,
+                   help="size the fleet: report the smallest stable "
+                        "engine count meeting this p99 TTFT target")
+    p.add_argument("--engines", type=int, default=None,
+                   help="forecast a fixed fleet size instead of sizing")
+    p.add_argument("--max-engines", type=int, default=64,
+                   help="sizing scan ceiling for --target-p99-ttft-ms")
+    p.add_argument("--prompt-tokens", type=int, nargs=2, default=[64, 256],
+                   metavar=("LO", "HI"), help="uniform prompt-length range")
+    p.add_argument("--output-tokens", type=int, nargs=2, default=[24, 96],
+                   metavar=("MEAN", "MAX"), help="geometric output-length model")
+    p.add_argument("--samples", type=int, default=128,
+                   help="workload-model sample size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--ctx-bucket", type=int, default=16)
+    _interp_args(p)
     return parser
+
+
+def _interp_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--interpolate", action="store_true",
+                   help="allow guarded log-linear surface interpolation "
+                        "for latency lookups (falls back to exact "
+                        "simulation whenever the bracketing points "
+                        "disagree beyond the relative-error guard)")
+    p.add_argument("--interp-rel-err", type=float, default=None,
+                   metavar="FRAC",
+                   help="override the interpolation guard (default: the "
+                        "surface's built-in 0.05; 0 disables "
+                        "interpolation entirely via fallback)")
 
 
 def _cmd_ttft(args: argparse.Namespace) -> str:
@@ -344,6 +395,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     model = get_model(args.model)
     source = _source_factory(args)()
     engine = MeadowEngine(model, zcu102_config(args.bandwidth), _PLANS[args.plan]())
+    if args.interp_rel_err is not None:
+        engine.surface.interp_rel_err = args.interp_rel_err
     budget = (
         int(args.kv_budget_mb * 1024 * 1024)
         if args.kv_budget_mb is not None
@@ -356,6 +409,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         ctx_bucket=args.ctx_bucket,
         coalesce=not args.no_coalesce,
         token_events=not args.no_token_events,
+        interpolate=args.interpolate,
     )
     report = sim.run(source)
     title = (
@@ -391,6 +445,9 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                     config=base.config.with_bandwidth(bw)
                 )
         engines = [by_bandwidth[bw] for bw in args.bandwidths]
+        if args.interp_rel_err is not None:
+            for eng in by_bandwidth.values():
+                eng.surface.interp_rel_err = args.interp_rel_err
         fleet = FleetSimulator(
             engines,
             policy=args.policy,
@@ -400,6 +457,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             token_events=not args.no_token_events,
             calendar=not args.no_calendar,
             steal=args.steal,
+            interpolate=args.interpolate,
         )
         report = fleet.run(factory())
         header = (
@@ -409,6 +467,14 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         )
         return header + "\n" + report.describe()
 
+    if args.interpolate:
+        from .errors import ConfigError
+
+        raise ConfigError(
+            "--interpolate applies to single fleet runs only; sweep "
+            "results are defined exact so serial and --workers runs "
+            "stay bit-identical"
+        )
     driver = SweepDriver(
         base,
         bandwidths_gbps=args.bandwidths,
@@ -424,6 +490,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         ctx_bucket_grid=args.ctx_buckets or [args.ctx_bucket],
         steal_grid=(False, True) if args.steal_grid else (args.steal,),
         max_energy_per_token_uj=args.max_energy_per_token_uj,
+        workers=args.workers if args.workers is not None else os.cpu_count(),
     )
     lines = [
         (
@@ -443,6 +510,46 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_plan(args: argparse.Namespace) -> str:
+    from .errors import ConfigError
+    from .fleet import CapacityPlanner, WorkloadModel
+    from .serving import LengthDistribution
+
+    model = get_model(args.model)
+    base = MeadowEngine(
+        model, zcu102_config(args.bandwidths[0]), _PLANS[args.plan]()
+    )
+    workload = WorkloadModel.from_dists(
+        LengthDistribution("uniform", *args.prompt_tokens),
+        LengthDistribution("geometric", *args.output_tokens),
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    planner = CapacityPlanner(
+        base,
+        args.bandwidths,
+        workload,
+        max_batch=args.max_batch,
+        ctx_bucket=args.ctx_bucket,
+        interpolate=args.interpolate,
+        interp_rel_err=args.interp_rel_err,
+    )
+    if args.engines is not None:
+        forecast = planner.forecast(args.engines, args.rate)
+    elif args.target_p99_ttft_ms is not None:
+        forecast = planner.engines_for(
+            args.target_p99_ttft_ms / 1e3,
+            args.rate,
+            max_engines=args.max_engines,
+        )
+    else:
+        raise ConfigError(
+            "pass --engines N to forecast a fixed fleet, or "
+            "--target-p99-ttft-ms to size one"
+        )
+    return forecast.format_report()
+
+
 _COMMANDS = {
     "ttft": _cmd_ttft,
     "tbt": _cmd_tbt,
@@ -455,6 +562,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
+    "plan": _cmd_plan,
 }
 
 

@@ -15,10 +15,23 @@ shards — each backed by its own (possibly heterogeneous)
   percentiles, throughput and exact peak-KV;
 * :mod:`repro.fleet.sweep` — the surface-powered
   ``(engines x policy x max_batch x ctx_bucket x steal)`` Pareto
-  sweep driver with an optional energy-per-token ceiling.
+  sweep driver with an optional energy-per-token ceiling, serial or
+  fanned over a process pool (``workers=N``, bit-identical);
+* :mod:`repro.fleet.planner` — the closed-form M/G/1-style capacity
+  planner answering "how many engines for this rate at this p99
+  TTFT target" in O(1), validated against the simulator.
 """
 
 from .metrics import merge_results, merged_peak_kv_bytes
+from .planner import (
+    CapacityPlanner,
+    FleetForecast,
+    PLANNER_P99_REL_ERR_BOUND,
+    ShardForecast,
+    ValidationRecord,
+    WorkloadModel,
+    validate_planner,
+)
 from .routing import (
     CalibratedLatencyPolicy,
     JoinShortestQueuePolicy,
@@ -65,4 +78,11 @@ __all__ = [
     "FleetSweepResult",
     "SweepDriver",
     "SWEEP_SCHEMA_VERSION",
+    "CapacityPlanner",
+    "WorkloadModel",
+    "FleetForecast",
+    "ShardForecast",
+    "ValidationRecord",
+    "validate_planner",
+    "PLANNER_P99_REL_ERR_BOUND",
 ]

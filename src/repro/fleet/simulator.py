@@ -280,6 +280,11 @@ class FleetSimulator:
             the per-iteration reference walk (globally minimal shard,
             one iteration at a time) the equivalence tests compare
             against; both produce bit-identical timelines.
+        interpolate: allow guarded log-linear surface interpolation on
+            every shard's latency lookups (approximate within each
+            surface's ``interp_rel_err`` bound, falling back to exact
+            simulation when the bracket disagrees more). Off by default
+            so fleet numbers stay exact.
         steal: let a shard going idle pull the youngest still-waiting
             request it can hold off the deepest-backlog shard (which
             must stay busy afterwards). Each migration is recorded as a
@@ -297,6 +302,7 @@ class FleetSimulator:
         token_events: bool = True,
         calendar: bool = True,
         steal: bool = False,
+        interpolate: bool = False,
     ) -> None:
         if not engines:
             raise ConfigError("a fleet needs at least one engine")
@@ -317,6 +323,7 @@ class FleetSimulator:
         self.token_events = token_events
         self.calendar = calendar
         self.steal = steal
+        self.interpolate = interpolate
 
     # ---------------------------------------------------------------- run
     def run(self, source: RequestSource) -> FleetReport:
@@ -369,6 +376,7 @@ class FleetSimulator:
                 on_complete=make_harvest(i),
                 coalesce=self.coalesce,
                 token_events=self.token_events,
+                interpolate=self.interpolate,
             )
             for i, engine in enumerate(self.engines)
         )

@@ -17,15 +17,27 @@ aggregate tokens/s and p99 TTFT / TBT, and :meth:`FleetSweepResult
 minimize both tails). :meth:`FleetSweepResult.to_json` emits a
 versioned document the `repro fleet --sweep --json` CLI writes and CI's
 smoke job validates.
+
+Grid points are independent, so :meth:`SweepDriver.sweep` can fan them
+out across a ``ProcessPoolExecutor`` (``workers=N``). The parent
+broadcasts its warm :class:`~repro.sim.surface.LatencySurface` dumps to
+each worker once at pool start, workers ship back only the surface
+points they newly discover with each result, and the parent merges those
+deltas — so later grid points still benefit from earlier points' work,
+just like the serial walk. Results are bit-identical to the serial walk
+in deterministic grid order: surface values are exact whether warm or
+cold, the parent materializes every (seeded) source itself, and results
+are collected in submission order.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.meadow import MeadowEngine
 from ..errors import ConfigError
+from ..models import Stage
 from ..serving.request import RequestSource
 from .routing import POLICY_NAMES, make_policy
 from .simulator import FleetReport, FleetSimulator
@@ -136,9 +148,19 @@ class FleetSweepResult:
         return tuple(front)
 
     def best_by(self, attribute: str, minimize: bool = True) -> SweepPoint:
-        """The grid point extremal in one metric (ties: first in grid order)."""
+        """The grid point extremal in one metric (ties: first in grid order).
+
+        Raises :class:`ConfigError` naming the valid attributes when
+        ``attribute`` is not a :class:`SweepPoint` field.
+        """
         if not self.points:
             raise ConfigError("sweep produced no points")
+        valid = tuple(f.name for f in fields(SweepPoint))
+        if attribute not in valid:
+            raise ConfigError(
+                f"unknown sweep attribute {attribute!r}; valid attributes "
+                f"are: {', '.join(valid)}"
+            )
         values = [getattr(p, attribute) for p in self.points]
         pick = min(values) if minimize else max(values)
         return self.points[values.index(pick)]
@@ -272,6 +294,7 @@ class SweepDriver:
         ctx_bucket: int = 1,
         token_events: bool = False,
         steal: bool = False,
+        interpolate: bool = False,
     ) -> FleetReport:
         """Evaluate one grid point (exposed for benchmarks and tests).
 
@@ -296,8 +319,124 @@ class SweepDriver:
             ctx_bucket=ctx_bucket,
             token_events=token_events,
             steal=steal,
+            interpolate=interpolate,
         )
         return fleet.run(source)
+
+    def evaluate_point(
+        self, source: RequestSource, grid_point: "_GridPoint",
+        token_events: bool = False,
+    ) -> SweepPoint:
+        """Evaluate one grid configuration into its :class:`SweepPoint`.
+
+        Pure in the sweep sense: configuration and a fresh source in,
+        one frozen result row out; the only driver state touched is the
+        append-only surface cache. This is the task the parallel path
+        ships to workers.
+        """
+        gp = grid_point
+        report = self.run_point(
+            source, gp.n_engines, gp.policy, gp.max_batch,
+            gp.ctx_bucket, token_events=token_events, steal=gp.steal,
+        )
+        m = report.metrics
+        energy_uj = sum(
+            r.total_energy_uj for r in report.result.shard_results
+        )
+        return SweepPoint(
+            n_engines=gp.n_engines,
+            policy=gp.policy,
+            max_batch=gp.max_batch,
+            ctx_bucket=gp.ctx_bucket,
+            bandwidths_gbps=self.fleet_profile(gp.n_engines),
+            throughput_tok_s=m.throughput_tok_s,
+            ttft_p50_s=m.ttft.p50_s,
+            ttft_p99_s=m.ttft.p99_s,
+            tbt_p50_s=m.tbt.p50_s,
+            tbt_p99_s=m.tbt.p99_s,
+            e2e_p99_s=m.e2e.p99_s,
+            n_requests=m.n_requests,
+            total_generated_tokens=m.total_generated_tokens,
+            duration_s=m.duration_s,
+            max_queue_depth=m.max_queue_depth,
+            peak_kv_fraction=m.peak_kv_fraction,
+            energy_uj=energy_uj,
+            energy_per_token_uj=(
+                energy_uj / m.total_generated_tokens
+                if m.total_generated_tokens
+                else 0.0
+            ),
+            steal=gp.steal,
+        )
+
+    @staticmethod
+    def grid_points(
+        n_engines_grid: Sequence[int],
+        policies: Sequence[str],
+        max_batch_grid: Sequence[int],
+        ctx_bucket_grid: Sequence[int],
+        steal_grid: Sequence[bool],
+    ) -> List["_GridPoint"]:
+        """The deterministic grid order shared by serial and parallel
+        sweeps: engines, then policy, then max_batch, then ctx_bucket,
+        then steal."""
+        return [
+            _GridPoint(n_engines, policy, max_batch, ctx_bucket, steal)
+            for n_engines in n_engines_grid
+            for policy in policies
+            for max_batch in max_batch_grid
+            for ctx_bucket in ctx_bucket_grid
+            for steal in steal_grid
+        ]
+
+    def _sweep_parallel(
+        self,
+        grid: Sequence["_GridPoint"],
+        sources: Sequence[RequestSource],
+        token_events: bool,
+        workers: int,
+    ) -> List[SweepPoint]:
+        """Fan the grid over a process pool; bit-identical to serial.
+
+        The parent pre-materializes every engine the grid can touch and
+        broadcasts their surface dumps through the pool initializer, so
+        children start as warm as the parent. Each task returns its
+        :class:`SweepPoint` plus the surface points that worker
+        discovered since it last shipped any; the parent merges the
+        deltas so the warm cache survives the sweep exactly as in the
+        serial walk. Futures are collected in submission order, so point
+        order — and therefore the versioned Pareto JSON — is identical.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        for gp in grid:
+            for bandwidth in set(self.fleet_profile(gp.n_engines)):
+                self.engine_for(bandwidth)
+        payload = (
+            self.base_engine,
+            self.bandwidths_gbps,
+            self.kv_budget_bytes,
+            {
+                bandwidth: engine.surface.to_json()
+                for bandwidth, engine in self._engines.items()
+            },
+        )
+        points: List[SweepPoint] = []
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_sweep_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_sweep_task, gp, source, token_events)
+                for gp, source in zip(grid, sources)
+            ]
+            for future in futures:
+                point, deltas = future.result()
+                points.append(point)
+                for bandwidth, entries in deltas.items():
+                    self.engine_for(bandwidth).surface.merge_points(entries)
+        return points
 
     def sweep(
         self,
@@ -309,6 +448,7 @@ class SweepDriver:
         token_events: bool = False,
         steal_grid: Sequence[bool] = (False,),
         max_energy_per_token_uj: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> FleetSweepResult:
         """Evaluate the full configuration grid.
 
@@ -320,60 +460,40 @@ class SweepDriver:
         :meth:`run_point`); every reported metric is identical with it
         on, just slower and heavier.
 
+        ``workers`` > 1 fans the grid over that many processes (see
+        :meth:`_sweep_parallel`); ``None`` or 1 runs serially in-process.
+        Either way the result — including the versioned Pareto JSON — is
+        bit-identical, because every surface point is exact regardless
+        of cache warmth and sources are materialized by the parent.
+        (This is also why the sweep has no ``interpolate`` knob:
+        interpolated values depend on which exact points happen to be
+        warm, which differs between the serial and parallel walks.)
+
         ``max_energy_per_token_uj`` drops grid points whose modeled
         ``energy_per_token_uj`` exceeds the ceiling *before* Pareto
         extraction — the front's objectives are unchanged, only its
         candidate set shrinks. Raises :class:`ConfigError` if the
         filter rejects every point.
         """
-        points: List[SweepPoint] = []
-        source_name = None
-        for n_engines in n_engines_grid:
-            for policy in policies:
-                for max_batch in max_batch_grid:
-                    for ctx_bucket in ctx_bucket_grid:
-                        for steal in steal_grid:
-                            source = stream_factory()
-                            source_name = source.name
-                            report = self.run_point(
-                                source, n_engines, policy, max_batch,
-                                ctx_bucket, token_events=token_events,
-                                steal=steal,
-                            )
-                            m = report.metrics
-                            energy_uj = sum(
-                                r.total_energy_uj
-                                for r in report.result.shard_results
-                            )
-                            points.append(
-                                SweepPoint(
-                                    n_engines=n_engines,
-                                    policy=policy,
-                                    max_batch=max_batch,
-                                    ctx_bucket=ctx_bucket,
-                                    bandwidths_gbps=self.fleet_profile(n_engines),
-                                    throughput_tok_s=m.throughput_tok_s,
-                                    ttft_p50_s=m.ttft.p50_s,
-                                    ttft_p99_s=m.ttft.p99_s,
-                                    tbt_p50_s=m.tbt.p50_s,
-                                    tbt_p99_s=m.tbt.p99_s,
-                                    e2e_p99_s=m.e2e.p99_s,
-                                    n_requests=m.n_requests,
-                                    total_generated_tokens=m.total_generated_tokens,
-                                    duration_s=m.duration_s,
-                                    max_queue_depth=m.max_queue_depth,
-                                    peak_kv_fraction=m.peak_kv_fraction,
-                                    energy_uj=energy_uj,
-                                    energy_per_token_uj=(
-                                        energy_uj / m.total_generated_tokens
-                                        if m.total_generated_tokens
-                                        else 0.0
-                                    ),
-                                    steal=steal,
-                                )
-                            )
-        if not points:
+        grid = self.grid_points(
+            n_engines_grid, policies, max_batch_grid, ctx_bucket_grid,
+            steal_grid,
+        )
+        if not grid:
             raise ConfigError("sweep grid is empty")
+        # The parent materializes every (seeded) source itself — worker
+        # processes never touch the factory, so closures and lambdas
+        # need not pickle and the arrival streams are identical to the
+        # serial walk's by construction.
+        sources = [stream_factory() for _ in grid]
+        source_name = sources[0].name
+        if workers is not None and workers > 1 and len(grid) > 1:
+            points = self._sweep_parallel(grid, sources, token_events, workers)
+        else:
+            points = [
+                self.evaluate_point(source, gp, token_events=token_events)
+                for gp, source in zip(grid, sources)
+            ]
         if max_energy_per_token_uj is not None:
             kept = [
                 p for p in points
@@ -393,3 +513,61 @@ class SweepDriver:
             points=tuple(points),
             max_energy_per_token_uj=max_energy_per_token_uj,
         )
+
+
+@dataclass(frozen=True)
+class _GridPoint:
+    """One configuration of the sweep grid (no results attached)."""
+
+    n_engines: int
+    policy: str
+    max_batch: int
+    ctx_bucket: int
+    steal: bool
+
+
+# ---------------------------------------------------------------- workers
+#
+# Module-level state for ProcessPoolExecutor workers: each worker process
+# rebuilds one SweepDriver from the parent's broadcast payload at pool
+# start, then evaluates grid tasks against it. ``_WORKER_SHIPPED`` tracks
+# which surface keys the parent already knows (broadcast + previously
+# shipped deltas), so each task result carries only newly discovered
+# points.
+
+_WORKER_DRIVER: Optional[SweepDriver] = None
+_WORKER_SHIPPED: Dict[float, FrozenSet[Tuple[Stage, int, int]]] = {}
+
+
+def _init_sweep_worker(
+    payload: Tuple[
+        MeadowEngine,
+        Tuple[float, ...],
+        Optional[Tuple[Optional[int], ...]],
+        Mapping[float, Mapping[str, Any]],
+    ],
+) -> None:
+    global _WORKER_DRIVER, _WORKER_SHIPPED
+    base_engine, bandwidths_gbps, kv_budget_bytes, surface_dumps = payload
+    _WORKER_DRIVER = SweepDriver(base_engine, bandwidths_gbps, kv_budget_bytes)
+    _WORKER_SHIPPED = {}
+    for bandwidth, dump in surface_dumps.items():
+        engine = _WORKER_DRIVER.engine_for(bandwidth)
+        engine.load_surface(dump)
+        _WORKER_SHIPPED[bandwidth] = engine.surface.point_keys()
+
+
+def _run_sweep_task(
+    grid_point: _GridPoint, source: RequestSource, token_events: bool
+) -> Tuple[SweepPoint, Dict[float, List[Dict[str, Any]]]]:
+    driver = _WORKER_DRIVER
+    assert driver is not None, "worker pool initializer did not run"
+    point = driver.evaluate_point(source, grid_point, token_events=token_events)
+    deltas: Dict[float, List[Dict[str, Any]]] = {}
+    for bandwidth, engine in driver._engines.items():
+        shipped = _WORKER_SHIPPED.get(bandwidth, frozenset())
+        entries = engine.surface.export_points(exclude=shipped)
+        if entries:
+            deltas[bandwidth] = entries
+            _WORKER_SHIPPED[bandwidth] = engine.surface.point_keys()
+    return point, deltas

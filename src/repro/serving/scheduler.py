@@ -290,6 +290,13 @@ class ContinuousBatchingScheduler:
             events. ``False`` thins the event log to state changes only
             (ARRIVAL / ADMIT / PREFILL_START / COMPLETE); records,
             metrics and peak-KV accounting are unchanged.
+        interpolate: allow guarded log-linear surface interpolation on
+            latency lookups (see :class:`~repro.sim.surface
+            .LatencySurface`). The guard falls back to exact simulation
+            whenever the bracketing points disagree beyond the surface's
+            ``interp_rel_err`` bound, so modeled numbers stay within
+            that relative error of the exact walk. Default ``False``
+            keeps every number bit-identical to exact simulation.
 
     Pending prefills always run before decode iterations (the classic
     continuous-batching policy: it fills the decode batch fastest);
@@ -306,6 +313,7 @@ class ContinuousBatchingScheduler:
         on_complete: Optional[Callable[[Request, float], Optional[Request]]] = None,
         coalesce: bool = True,
         token_events: bool = True,
+        interpolate: bool = False,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -331,6 +339,7 @@ class ContinuousBatchingScheduler:
         self.ctx_bucket = ctx_bucket
         self.coalesce = coalesce
         self.token_events = token_events
+        self.interpolate = interpolate
         if on_complete is None and source is not None:
             on_complete = source.on_complete
         self._on_complete = on_complete
@@ -601,7 +610,9 @@ class ContinuousBatchingScheduler:
         active = self._prefill_queue.popleft()
         req = active.request
         self._log(EventKind.PREFILL_START, req.request_id)
-        point = self.engine.surface.prefill(req.prompt_tokens)
+        point = self.engine.surface.prefill(
+            req.prompt_tokens, interpolate=self.interpolate
+        )
         self._clock += point.latency_s
         self._energy_uj += point.energy_uj
         self._n_prefills += 1
@@ -631,7 +642,8 @@ class ContinuousBatchingScheduler:
         # conservative (upper-bound) latency for the shallower ones.
         raw_ctx = max(a.context + 1 for a in batch)
         point = self.engine.surface.decode(
-            self._bucket_ctx(raw_ctx), batch=len(batch)
+            self._bucket_ctx(raw_ctx), batch=len(batch),
+            interpolate=self.interpolate,
         )
         self._clock += point.latency_s
         self._energy_uj += point.energy_uj
@@ -697,7 +709,8 @@ class ContinuousBatchingScheduler:
         n = len(batch)
         raw_ctx = max(a.context for a in batch) + 1
         point, bucket_run = self.engine.surface.decode_run(
-            raw_ctx, batch=n, ctx_bucket=self.ctx_bucket
+            raw_ctx, batch=n, ctx_bucket=self.ctx_bucket,
+            interpolate=self.interpolate,
         )
         to_complete = min(a.request.output_tokens - a.generated for a in batch)
         k_cap = min(to_complete, bucket_run)

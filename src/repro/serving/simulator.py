@@ -50,11 +50,14 @@ class ServingReport:
 class ServingSimulator:
     """Run request scenarios against one deployed engine.
 
-    ``coalesce`` / ``token_events`` pass straight through to the
-    scheduler: the former selects the event-compressed hot loop (on by
-    default; bit-identical to the per-token reference walk), the latter
-    controls per-token event materialization (metrics are identical
-    either way — flip it off for long streams nobody introspects).
+    ``coalesce`` / ``token_events`` / ``interpolate`` pass straight
+    through to the scheduler: the first selects the event-compressed hot
+    loop (on by default; bit-identical to the per-token reference walk),
+    the second controls per-token event materialization (metrics are
+    identical either way — flip it off for long streams nobody
+    introspects), and the third allows guarded surface interpolation on
+    latency lookups (approximate within the surface's ``interp_rel_err``
+    bound; off by default so numbers stay exact).
     """
 
     def __init__(
@@ -65,6 +68,7 @@ class ServingSimulator:
         ctx_bucket: int = 1,
         coalesce: bool = True,
         token_events: bool = True,
+        interpolate: bool = False,
     ) -> None:
         self.engine = engine
         self.kv_budget_bytes = kv_budget_bytes
@@ -72,6 +76,7 @@ class ServingSimulator:
         self.ctx_bucket = ctx_bucket
         self.coalesce = coalesce
         self.token_events = token_events
+        self.interpolate = interpolate
 
     def run(self, source: RequestSource) -> ServingReport:
         """Simulate one scenario to completion."""
@@ -83,6 +88,7 @@ class ServingSimulator:
             ctx_bucket=self.ctx_bucket,
             coalesce=self.coalesce,
             token_events=self.token_events,
+            interpolate=self.interpolate,
         )
         result = scheduler.run()
         return ServingReport(result=result, metrics=FleetMetrics.from_result(result))

@@ -16,12 +16,28 @@ slow path uses, so ``latency_s`` and ``energy_uj`` equal the full
 report's values bit for bit. Per-op breakdowns are still available — ask
 for them explicitly via :meth:`LatencySurface.report`, which materializes
 a full :class:`StageReport` on demand.
+
+**Guarded interpolation** (``interpolate=True`` on :meth:`LatencySurface
+.prefill` / :meth:`~LatencySurface.decode` / :meth:`~LatencySurface
+.decode_run`) trades a bounded approximation for skipping simulation
+entirely on misses that fall *between* exact points: the estimate is
+log-linear (a power-law fit between the bracketing exact points of the
+same stage and batch), and a relative-error guard
+(:attr:`LatencySurface.interp_rel_err`) falls back to exact simulation
+whenever the bracketing points disagree by more than the bound. Because
+every scalar is monotone in context length between two exact points, the
+true value lies inside the bracket, so a guarded interpolated value is
+within ``interp_rel_err`` of the exact simulation. Interpolated points
+are marked ``exact=False``, cached separately, and never serialized —
+the exact table stays bit-identical whether or not anyone interpolated.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Mapping, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import SimulationError
 from ..models import Stage, Workload, decode_workload, prefill_workload
@@ -32,7 +48,9 @@ from .layer_sim import WorkloadSimulator
 __all__ = ["SURFACE_SCHEMA_VERSION", "SurfacePoint", "LatencySurface"]
 
 #: Version stamped into serialized surfaces; bump on any schema change
-#: so stale dumps fail loudly instead of silently misloading.
+#: so stale dumps fail loudly instead of silently misloading. (The
+#: optional ``n_points`` integrity count is additive: v1 dumps without
+#: it still load.)
 SURFACE_SCHEMA_VERSION = 1
 
 
@@ -50,6 +68,9 @@ class SurfacePoint:
     latency_s: float
     total_cycles: float
     energy_uj: float
+    #: ``True`` for simulator-produced points; ``False`` for guarded
+    #: log-linear interpolations between two exact points.
+    exact: bool = True
 
     @property
     def latency_ms(self) -> float:
@@ -68,9 +89,32 @@ class LatencySurface:
     streams.
     """
 
-    def __init__(self, simulator: WorkloadSimulator) -> None:
+    #: Default relative-error guard for interpolated lookups. A guarded
+    #: interpolation is accepted only when the bracketing exact points
+    #: agree within this relative span on every scalar; otherwise the
+    #: lookup falls back to exact simulation.
+    DEFAULT_INTERP_REL_ERR = 0.05
+
+    def __init__(
+        self,
+        simulator: WorkloadSimulator,
+        interp_rel_err: float = DEFAULT_INTERP_REL_ERR,
+    ) -> None:
+        if interp_rel_err < 0.0:
+            raise SimulationError(
+                f"interp_rel_err must be >= 0, got {interp_rel_err}"
+            )
         self._sim = simulator
         self._points: Dict[Tuple[Stage, int, int], SurfacePoint] = {}
+        # Sorted token axes per (stage, batch) so interpolation can
+        # bracket a miss in O(log n); maintained by every insert path.
+        self._axes: Dict[Tuple[Stage, int], List[int]] = {}
+        # Interpolated estimates, keyed like exact points but kept in a
+        # separate table: they never shadow exact entries and never
+        # serialize, so the exact table stays bit-identical regardless
+        # of whether anyone interpolated.
+        self._interp_cache: Dict[Tuple[Stage, int, int], SurfacePoint] = {}
+        self.interp_rel_err = interp_rel_err
 
     def __len__(self) -> int:
         return len(self._points)
@@ -81,6 +125,12 @@ class LatencySurface:
         return self._sim
 
     # ------------------------------------------------------------- lookup
+    def _register(self, key: Tuple[Stage, int, int], point: SurfacePoint) -> None:
+        self._points[key] = point
+        insort(self._axes.setdefault((key[0], key[2]), []), key[1])
+        # An exact point supersedes any interpolated estimate at its key.
+        self._interp_cache.pop(key, None)
+
     def _insert(self, workload: Workload) -> SurfacePoint:
         report = self._sim.simulate(workload)
         point = SurfacePoint(
@@ -91,25 +141,104 @@ class LatencySurface:
             total_cycles=report.total_cycles,
             energy_uj=report.energy.total_uj,
         )
-        self._points[(workload.stage, workload.kv_len, workload.batch)] = point
+        self._register((workload.stage, workload.kv_len, workload.batch), point)
         return point
 
-    def prefill(self, prompt_tokens: int, batch: int = 1) -> SurfacePoint:
+    # ------------------------------------------------------ interpolation
+    @staticmethod
+    def _rel_span(lo: float, hi: float) -> float:
+        denom = max(abs(lo), abs(hi))
+        if denom == 0.0:
+            return 0.0
+        return abs(hi - lo) / denom
+
+    def _try_interpolate(
+        self, stage: Stage, tokens: int, batch: int
+    ) -> Optional[SurfacePoint]:
+        """Guarded log-linear estimate for a missing point, or ``None``.
+
+        Returns an estimate only when (a) exact points of the same stage
+        and batch bracket ``tokens`` strictly on both sides, and (b) the
+        bracketing points agree within :attr:`interp_rel_err` on every
+        scalar. Each scalar is monotone in context length between two
+        exact points, so the true value lies inside the bracket and the
+        relative span bounds the interpolation error. When the guard
+        trips the caller falls back to exact simulation.
+        """
+        key = (stage, tokens, batch)
+        cached = self._interp_cache.get(key)
+        if cached is not None:
+            return cached
+        axis = self._axes.get((stage, batch))
+        if not axis or len(axis) < 2:
+            return None
+        idx = bisect_left(axis, tokens)
+        if idx <= 0 or idx >= len(axis) or axis[idx] == tokens:
+            return None  # outside the hull (no extrapolation) or exact hit
+        lo = self._points[(stage, axis[idx - 1], batch)]
+        hi = self._points[(stage, axis[idx], batch)]
+        scalars = (
+            (lo.latency_s, hi.latency_s),
+            (lo.total_cycles, hi.total_cycles),
+            (lo.energy_uj, hi.energy_uj),
+        )
+        for lo_v, hi_v in scalars:
+            if lo_v <= 0.0 or hi_v <= 0.0:
+                return None  # log-space fit needs positive values
+            if self._rel_span(lo_v, hi_v) > self.interp_rel_err:
+                return None
+        # Power-law fit: linear in (log tokens, log value) between the
+        # bracket endpoints — matches the polynomial-in-context shape of
+        # the analytical latency model better than a linear fit.
+        weight = (math.log(tokens) - math.log(lo.tokens)) / (
+            math.log(hi.tokens) - math.log(lo.tokens)
+        )
+
+        def blend(lo_v: float, hi_v: float) -> float:
+            return math.exp(
+                (1.0 - weight) * math.log(lo_v) + weight * math.log(hi_v)
+            )
+
+        point = SurfacePoint(
+            stage=stage,
+            tokens=tokens,
+            batch=batch,
+            latency_s=blend(lo.latency_s, hi.latency_s),
+            total_cycles=blend(lo.total_cycles, hi.total_cycles),
+            energy_uj=blend(lo.energy_uj, hi.energy_uj),
+            exact=False,
+        )
+        self._interp_cache[key] = point
+        return point
+
+    def prefill(
+        self, prompt_tokens: int, batch: int = 1, interpolate: bool = False
+    ) -> SurfacePoint:
         """Point for a prefill pass over ``prompt_tokens`` tokens."""
         point = self._points.get((Stage.PREFILL, prompt_tokens, batch))
+        if point is None and interpolate:
+            point = self._try_interpolate(Stage.PREFILL, prompt_tokens, batch)
         if point is None:
             point = self._insert(prefill_workload(self._sim.model, prompt_tokens, batch))
         return point
 
-    def decode(self, context_len: int, batch: int = 1) -> SurfacePoint:
+    def decode(
+        self, context_len: int, batch: int = 1, interpolate: bool = False
+    ) -> SurfacePoint:
         """Point for one decode step over ``context_len`` total tokens."""
         point = self._points.get((Stage.DECODE, context_len, batch))
+        if point is None and interpolate:
+            point = self._try_interpolate(Stage.DECODE, context_len, batch)
         if point is None:
             point = self._insert(decode_workload(self._sim.model, context_len, batch))
         return point
 
     def decode_run(
-        self, context_len: int, batch: int = 1, ctx_bucket: int = 1
+        self,
+        context_len: int,
+        batch: int = 1,
+        ctx_bucket: int = 1,
+        interpolate: bool = False,
     ) -> Tuple[SurfacePoint, int]:
         """Bucketed decode point plus the run length that shares it.
 
@@ -127,8 +256,10 @@ class LatencySurface:
         max_len = self._sim.model.max_seq_len
         bucketed = ceil_div(context_len, ctx_bucket) * ctx_bucket
         if bucketed >= max_len:
-            return self.decode(max_len, batch=batch), max_len - context_len + 1
-        return self.decode(bucketed, batch=batch), bucketed - context_len + 1
+            point = self.decode(max_len, batch=batch, interpolate=interpolate)
+            return point, max_len - context_len + 1
+        point = self.decode(bucketed, batch=batch, interpolate=interpolate)
+        return point, bucketed - context_len + 1
 
     def point(self, workload: Workload) -> SurfacePoint:
         """Point for an arbitrary workload of the surface's model."""
@@ -178,6 +309,57 @@ class LatencySurface:
         """
         return self._sim.simulate(workload)
 
+    # ------------------------------------------------------ delta shipping
+    def point_keys(self) -> FrozenSet[Tuple[Stage, int, int]]:
+        """Keys of every exact point currently in the table.
+
+        Parallel sweep workers snapshot this after loading the parent's
+        broadcast surface, then ship only points discovered since
+        (:meth:`export_points`) back with each result.
+        """
+        return frozenset(self._points)
+
+    def export_points(
+        self, exclude: FrozenSet[Tuple[Stage, int, int]] = frozenset()
+    ) -> List[Dict[str, Any]]:
+        """JSON entries for exact points whose keys are not in ``exclude``.
+
+        Entries use the :meth:`to_json` point schema and are emitted in
+        sorted key order for deterministic payloads.
+        """
+        return [
+            {
+                "stage": stage.value,
+                "tokens": tokens,
+                "batch": batch,
+                "latency_s": point.latency_s,
+                "total_cycles": point.total_cycles,
+                "energy_uj": point.energy_uj,
+            }
+            for (stage, tokens, batch), point in sorted(
+                self._points.items(),
+                key=lambda item: (item[0][0].value, item[0][1], item[0][2]),
+            )
+            if (stage, tokens, batch) not in exclude
+        ]
+
+    def merge_points(self, entries: Iterable[Mapping[str, Any]]) -> int:
+        """Fold :meth:`export_points` entries into the table.
+
+        Existing keys are kept as-is — both sides computed the same
+        exact simulation, so the values are identical and keeping the
+        incumbent avoids any order dependence. Returns the number of
+        newly added points.
+        """
+        added = 0
+        for entry in entries:
+            point = _parse_point_entry(entry)
+            key = (point.stage, point.tokens, point.batch)
+            if key not in self._points:
+                self._register(key, point)
+                added += 1
+        return added
+
     # -------------------------------------------------------- serialization
     def to_json(self) -> Dict[str, Any]:
         """JSON-serializable dump of every materialized point.
@@ -188,26 +370,16 @@ class LatencySurface:
         serving another config's latencies. Floats round-trip exactly
         through ``json`` (shortest-repr encoding), so a loaded surface
         is bit-identical to a re-simulated one. Points are emitted in
-        sorted (stage, tokens, batch) order for byte-stable dumps.
+        sorted (stage, tokens, batch) order for byte-stable dumps, with
+        an ``n_points`` count so truncated dumps fail loudly on load.
+        Interpolated estimates are never serialized.
         """
         return {
             "version": SURFACE_SCHEMA_VERSION,
             "model": self._sim.model.name,
             "plan": self._sim.plan.name,
-            "points": [
-                {
-                    "stage": stage.value,
-                    "tokens": tokens,
-                    "batch": batch,
-                    "latency_s": point.latency_s,
-                    "total_cycles": point.total_cycles,
-                    "energy_uj": point.energy_uj,
-                }
-                for (stage, tokens, batch), point in sorted(
-                    self._points.items(),
-                    key=lambda item: (item[0][0].value, item[0][1], item[0][2]),
-                )
-            ],
+            "n_points": len(self._points),
+            "points": self.export_points(),
         }
 
     @classmethod
@@ -220,7 +392,8 @@ class LatencySurface:
         points fill the table directly, so sweeps and notebooks skip
         simulation entirely for every dumped operating point. Raises
         :class:`SimulationError` on version or model mismatch — a dump
-        only speaks for the (model, plan) that produced it.
+        only speaks for the (model, plan) that produced it — and on a
+        missing, truncated, or malformed point table.
         """
         version = data.get("version")
         if version != SURFACE_SCHEMA_VERSION:
@@ -238,16 +411,38 @@ class LatencySurface:
                 f"surface dump was produced for plan {data.get('plan')!r}, "
                 f"not {simulator.plan.name!r}"
             )
-        surface = cls(simulator)
-        for entry in data["points"]:
-            stage = Stage(entry["stage"])
-            point = SurfacePoint(
-                stage=stage,
-                tokens=int(entry["tokens"]),
-                batch=int(entry["batch"]),
-                latency_s=float(entry["latency_s"]),
-                total_cycles=float(entry["total_cycles"]),
-                energy_uj=float(entry["energy_uj"]),
+        points = data.get("points")
+        if not isinstance(points, list):
+            raise SimulationError("surface dump has no point table")
+        expected = data.get("n_points")
+        if expected is not None and expected != len(points):
+            raise SimulationError(
+                f"surface dump point table is truncated: header says "
+                f"{expected} points but {len(points)} are present"
             )
-            surface._points[(stage, point.tokens, point.batch)] = point
+        surface = cls(simulator)
+        for index, entry in enumerate(points):
+            try:
+                point = _parse_point_entry(entry)
+            except SimulationError as exc:
+                raise SimulationError(
+                    f"surface dump point {index} is malformed: {exc}"
+                ) from None
+            surface._register((point.stage, point.tokens, point.batch), point)
         return surface
+
+
+def _parse_point_entry(entry: Mapping[str, Any]) -> SurfacePoint:
+    """Parse one serialized point entry, raising :class:`SimulationError`
+    on missing fields or values of the wrong shape."""
+    try:
+        return SurfacePoint(
+            stage=Stage(entry["stage"]),
+            tokens=int(entry["tokens"]),
+            batch=int(entry["batch"]),
+            latency_s=float(entry["latency_s"]),
+            total_cycles=float(entry["total_cycles"]),
+            energy_uj=float(entry["energy_uj"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SimulationError(f"{type(exc).__name__}: {exc}") from None

@@ -233,3 +233,91 @@ class TestGoldenPareto:
             (p["n_engines"], p["policy"]) for p in doc["pareto_front"]
         ]
         assert front == self.GOLDEN_FRONT
+
+
+class TestBestBy:
+    def test_selects_extremes_per_attribute(self, sweep_result):
+        fastest = sweep_result.best_by("ttft_p99_s")
+        assert fastest.ttft_p99_s == min(
+            p.ttft_p99_s for p in sweep_result.points
+        )
+        richest = sweep_result.best_by("throughput_tok_s", minimize=False)
+        assert richest.throughput_tok_s == max(
+            p.throughput_tok_s for p in sweep_result.points
+        )
+
+    def test_unknown_attribute_lists_the_valid_ones(self, sweep_result):
+        with pytest.raises(ConfigError) as err:
+            sweep_result.best_by("p99_ttft")  # plausible typo
+        msg = str(err.value)
+        assert "unknown sweep attribute 'p99_ttft'" in msg
+        # The error teaches the caller the real names.
+        assert "ttft_p99_s" in msg
+        assert "throughput_tok_s" in msg
+        assert "energy_per_token_uj" in msg
+
+
+class TestParallelSweep:
+    """workers=N fan-out: bit-identical results, surfaces merged back."""
+
+    def test_two_workers_bit_identical_to_serial(
+        self, fast_engine, shard_budget, make_stream, sweep_result
+    ):
+        driver = SweepDriver(
+            fast_engine,
+            bandwidths_gbps=[12.0, 1.0],
+            kv_budget_bytes=[shard_budget, shard_budget],
+        )
+        fanned = driver.sweep(
+            lambda: make_stream("bursty", n=24, seed=0),
+            n_engines_grid=[1, 2],
+            policies=["round-robin", "predicted-latency"],
+            max_batch_grid=[8],
+            ctx_bucket_grid=[1],
+            workers=2,
+        )
+        assert fanned.points == sweep_result.points
+        assert json.dumps(fanned.to_json(), sort_keys=True) == json.dumps(
+            sweep_result.to_json(), sort_keys=True
+        )
+
+    def test_worker_surface_deltas_merge_into_parent(
+        self, fast_engine, shard_budget, make_stream
+    ):
+        driver = SweepDriver(
+            fast_engine,
+            bandwidths_gbps=[12.0, 1.0],
+            kv_budget_bytes=[shard_budget, shard_budget],
+        )
+        before = len(driver.engine_for(1.0).surface)
+        driver.sweep(
+            lambda: make_stream("bursty", n=12, seed=1),
+            n_engines_grid=[2],
+            policies=["round-robin", "predicted-latency"],
+            max_batch_grid=[8],
+            ctx_bucket_grid=[1],
+            workers=2,
+        )
+        # Every operating point the workers simulated came home: a
+        # serial re-sweep on this parent is pure dict hits.
+        after = len(driver.engine_for(1.0).surface)
+        assert after > before
+        assert len(driver.engine_for(12.0).surface) > 0
+
+    def test_workers_one_takes_the_serial_path(
+        self, fast_engine, shard_budget, make_stream, sweep_result
+    ):
+        driver = SweepDriver(
+            fast_engine,
+            bandwidths_gbps=[12.0, 1.0],
+            kv_budget_bytes=[shard_budget, shard_budget],
+        )
+        again = driver.sweep(
+            lambda: make_stream("bursty", n=24, seed=0),
+            n_engines_grid=[1, 2],
+            policies=["round-robin", "predicted-latency"],
+            max_batch_grid=[8],
+            ctx_bucket_grid=[1],
+            workers=1,
+        )
+        assert again.points == sweep_result.points

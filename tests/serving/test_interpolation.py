@@ -1,0 +1,98 @@
+"""Scheduler-level guarded surface interpolation.
+
+The ``interpolate=True`` scheduler knob lets latency lookups between
+exact surface points use the guarded log-linear estimate instead of
+simulating. Two properties matter at this level: a zero-width guard
+must reproduce the exact run bit for bit (every estimate falls back),
+and a real guard must keep the serving metrics within the per-lookup
+error bound it promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import ContinuousBatchingScheduler, poisson_stream
+from repro.serving.metrics import FleetMetrics
+
+
+def _budget(engine, requests: float = 4.0) -> int:
+    model = engine.model
+    worst = model.n_layers * model.kv_cache_bytes_per_layer(
+        model.max_seq_len, engine.config.act_bits
+    )
+    return int(worst * requests)
+
+
+def _run(engine, source, *, interpolate):
+    return ContinuousBatchingScheduler(
+        engine,
+        source,
+        kv_budget_bytes=_budget(engine),
+        max_batch=8,
+        ctx_bucket=1,
+        interpolate=interpolate,
+    ).run()
+
+
+@pytest.fixture()
+def fresh_engine(serving_engine):
+    """A clone with its own (cold) surface so guard tweaks don't leak
+    into the session-scoped engine other tests share."""
+    return serving_engine.clone()
+
+
+def _stream(prompt_dist, output_dist, seed=0):
+    return poisson_stream(14, 30.0, prompt_dist, output_dist, seed=seed)
+
+
+class TestZeroGuard:
+    def test_zero_guard_run_is_bit_identical_to_exact(
+        self, fresh_engine, prompt_dist, output_dist
+    ):
+        """interp_rel_err=0 rejects every estimate: the interpolated
+        run must equal the exact run field for field."""
+        exact = _run(
+            fresh_engine, _stream(prompt_dist, output_dist),
+            interpolate=False,
+        )
+        fresh_engine.surface.interp_rel_err = 0.0
+        guarded = _run(
+            fresh_engine, _stream(prompt_dist, output_dist),
+            interpolate=True,
+        )
+        assert guarded.records == exact.records
+        assert guarded.events == exact.events
+        assert guarded == exact
+
+
+class TestGuardedMetrics:
+    def test_warm_interpolated_run_stays_within_the_guard(
+        self, fresh_engine, prompt_dist, output_dist
+    ):
+        """On a warm surface with the default 5% guard, every accepted
+        estimate is within ``guard / (1 - guard)`` of exact — and
+        serving times are positive sums of per-iteration latencies, so
+        the end-to-end metrics inherit that relative bound."""
+        exact = _run(
+            fresh_engine, _stream(prompt_dist, output_dist),
+            interpolate=False,
+        )
+        guard = fresh_engine.surface.interp_rel_err
+        assert guard == fresh_engine.surface.DEFAULT_INTERP_REL_ERR
+        guarded = _run(
+            fresh_engine, _stream(prompt_dist, output_dist, seed=1),
+            interpolate=True,
+        )
+        reference = _run(
+            fresh_engine, _stream(prompt_dist, output_dist, seed=1),
+            interpolate=False,
+        )
+        bound = guard / (1.0 - guard)
+        em = FleetMetrics.from_result(reference)
+        gm = FleetMetrics.from_result(guarded)
+        assert gm.ttft.p99_s == pytest.approx(em.ttft.p99_s, rel=bound)
+        assert gm.throughput_tok_s == pytest.approx(
+            em.throughput_tok_s, rel=bound
+        )
+        assert FleetMetrics.from_result(exact).n_requests == gm.n_requests

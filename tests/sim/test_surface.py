@@ -216,3 +216,194 @@ class TestSerialization:
         assert clone.surface is loaded
         assert len(loaded) == 1
         assert loaded.decode(128) == engine.surface.decode(128)
+
+    def test_foreign_plan_dump_rejected(self, surface, small_model):
+        from repro.errors import SimulationError
+        from repro.sim import LatencySurface, WorkloadSimulator
+
+        dump = surface.to_json()
+        foreign = WorkloadSimulator(
+            small_model, surface.simulator.config, ExecutionPlan.gemm_baseline()
+        )
+        with pytest.raises(SimulationError, match="plan"):
+            LatencySurface.from_json(dump, foreign)
+
+    def test_missing_point_table_rejected(self, surface):
+        from repro.errors import SimulationError
+        from repro.sim import LatencySurface
+
+        dump = surface.to_json()
+        dump["points"] = None
+        with pytest.raises(SimulationError, match="no point table"):
+            LatencySurface.from_json(dump, surface.simulator)
+
+    def test_truncated_dump_rejected(self, surface):
+        from repro.errors import SimulationError
+        from repro.sim import LatencySurface
+
+        surface.decode(64)
+        surface.decode(128)
+        dump = surface.to_json()
+        dump["points"] = dump["points"][:-1]  # lose the tail, keep the count
+        with pytest.raises(SimulationError, match="truncated"):
+            LatencySurface.from_json(dump, surface.simulator)
+
+    def test_malformed_entry_rejected_with_index(self, surface):
+        from repro.errors import SimulationError
+        from repro.sim import LatencySurface
+
+        surface.decode(64)
+        surface.decode(128)
+        dump = surface.to_json()
+        del dump["points"][1]["latency_s"]
+        with pytest.raises(SimulationError, match="point 1 is malformed"):
+            LatencySurface.from_json(dump, surface.simulator)
+
+    def test_legacy_dump_without_count_still_loads(self, surface):
+        """``n_points`` is additive to schema v1: old dumps lack it."""
+        from repro.sim import LatencySurface
+
+        surface.decode(96)
+        dump = surface.to_json()
+        del dump["n_points"]
+        loaded = LatencySurface.from_json(dump, surface.simulator)
+        assert len(loaded) == 1
+
+
+class TestDeltaShipping:
+    """point_keys()/export_points()/merge_points(): the parallel-sweep
+    surface delta protocol."""
+
+    def test_export_excludes_snapshot(self, surface):
+        surface.decode(64)
+        shipped = surface.point_keys()
+        surface.decode(128)
+        delta = surface.export_points(exclude=shipped)
+        assert [(e["tokens"]) for e in delta] == [128]
+
+    def test_merge_adds_only_new_points(self, surface, small_model, zcu12,
+                                        shared_planner):
+        from repro.core import ExecutionPlan
+        from repro.sim import LatencySurface, WorkloadSimulator
+
+        surface.decode(64)
+        surface.decode(128)
+        sim = WorkloadSimulator(
+            small_model, zcu12, ExecutionPlan.meadow(), shared_planner
+        )
+        other = LatencySurface(sim)
+        other.decode(64)
+        incumbent = other.decode(64)
+        added = other.merge_points(surface.export_points())
+        assert added == 1
+        assert len(other) == 2
+        # The incumbent survives the merge; values agree bit for bit.
+        assert other.decode(64) is incumbent
+        assert other.decode(128) == surface.decode(128)
+
+    def test_merged_points_extend_the_interpolation_axes(self, surface):
+        """Merged points must join the bracket axes like simulated ones."""
+        surface.decode(64)
+        surface.decode(128)
+        surface.interp_rel_err = 1.0
+        assert not surface.decode(96, interpolate=True).exact
+
+
+class TestInterpolation:
+    """Guarded log-linear interpolation with exact fallback."""
+
+    @pytest.fixture()
+    def warm(self, surface):
+        surface.decode(128)
+        surface.decode(144)
+        return surface
+
+    def test_within_guard_returns_inexact_point(self, warm):
+        warm.interp_rel_err = 1.0  # bracket always agrees
+        before = len(warm)
+        point = warm.decode(136, interpolate=True)
+        assert not point.exact
+        assert len(warm) == before  # no exact point materialized
+        lo, hi = warm.decode(128), warm.decode(144)
+        assert min(lo.latency_s, hi.latency_s) <= point.latency_s
+        assert point.latency_s <= max(lo.latency_s, hi.latency_s)
+
+    def test_zero_guard_always_falls_back_to_exact(self, warm):
+        warm.interp_rel_err = 0.0
+        point = warm.decode(136, interpolate=True)
+        assert point.exact
+        assert point == warm.decode(136)
+
+    def test_outside_hull_falls_back_to_exact(self, warm):
+        warm.interp_rel_err = 1.0
+        assert warm.decode(64, interpolate=True).exact    # below the axis
+        assert warm.decode(256, interpolate=True).exact   # above the axis
+
+    def test_exact_hit_wins_over_interpolation(self, warm):
+        warm.interp_rel_err = 1.0
+        assert warm.decode(128, interpolate=True) is warm.decode(128)
+
+    def test_interpolated_points_never_serialize(self, warm):
+        warm.interp_rel_err = 1.0
+        warm.decode(136, interpolate=True)
+        dump = warm.to_json()
+        assert dump["n_points"] == 2
+        assert [e["tokens"] for e in dump["points"]] == [128, 144]
+
+    def test_exact_point_supersedes_cached_estimate(self, warm):
+        warm.interp_rel_err = 1.0
+        estimate = warm.decode(136, interpolate=True)
+        assert not estimate.exact
+        exact = warm.decode(136)  # plain lookup simulates and registers
+        assert warm.decode(136, interpolate=True) is exact
+
+    def test_negative_guard_rejected(self, surface):
+        from repro.errors import SimulationError
+        from repro.sim import LatencySurface
+
+        with pytest.raises(SimulationError):
+            LatencySurface(surface.simulator, interp_rel_err=-0.1)
+
+    def test_decode_run_can_interpolate(self, warm):
+        warm.interp_rel_err = 1.0
+        point, run = warm.decode_run(131, batch=1, ctx_bucket=68,
+                                     interpolate=True)
+        assert not point.exact
+        assert point.tokens == 136 and run == 136 - 131 + 1
+        point, _ = warm.decode_run(130, batch=1, ctx_bucket=68)
+        assert point.exact  # plain run still simulates
+
+    def test_property_guarded_error_is_bounded(
+        self, small_model, zcu12, shared_planner
+    ):
+        """For every in-bracket context and every guard setting, an
+        accepted interpolation is within ``guard / (1 - guard)`` of the
+        exact simulation (monotone scalars keep both inside the
+        bracket), and a tripped guard yields the exact point."""
+        from hypothesis import given, settings, strategies as st
+
+        from repro.sim import LatencySurface, WorkloadSimulator
+
+        sim = WorkloadSimulator(
+            small_model, zcu12, ExecutionPlan.meadow(), shared_planner
+        )
+        exact_surface = LatencySurface(sim)
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            tokens=st.integers(min_value=129, max_value=191),
+            guard=st.sampled_from([0.0, 0.01, 0.05, 0.2, 0.9]),
+        )
+        def check(tokens: int, guard: float) -> None:
+            probe = LatencySurface(sim, interp_rel_err=guard)
+            probe.decode(128)
+            probe.decode(192)
+            point = probe.decode(tokens, interpolate=True)
+            exact = exact_surface.decode(tokens)
+            if point.exact:
+                assert point == exact
+            else:
+                rel_err = abs(point.latency_s - exact.latency_s) / exact.latency_s
+                assert rel_err <= guard / (1.0 - guard) + 1e-12
+
+        check()
