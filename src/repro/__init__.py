@@ -41,7 +41,9 @@ from .errors import (
     PackingError,
     ReproError,
     ScheduleError,
+    SchedulerClosedError,
     SimulationError,
+    UnknownRequestError,
 )
 from .fleet import (
     FleetReport,
@@ -155,4 +157,6 @@ __all__ = [
     "PackingError",
     "ScheduleError",
     "SimulationError",
+    "UnknownRequestError",
+    "SchedulerClosedError",
 ]

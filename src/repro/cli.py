@@ -25,6 +25,8 @@ from typing import List, Optional
 from .analysis import format_table, speedup, ttft_sweep
 from .baselines import cta, flightllm, gemm_baseline
 from .core import ExecutionPlan, MeadowEngine, dataflow_grid
+from .fleet.faults import FAULT_SCENARIO_NAMES
+from .fleet.resilience import SHEDDING_NAMES
 from .fleet.routing import POLICY_NAMES
 from .hardware import zcu102_config
 from .hardware.power import PowerModel
@@ -191,6 +193,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "results are bit-identical either way)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="sweep: also write the versioned Pareto document")
+    p.add_argument("--faults", choices=FAULT_SCENARIO_NAMES, default="none",
+                   help="named fault scenario injected into the run "
+                        "(crashes with cold-start re-warm, bandwidth "
+                        "brownouts); 'none' keeps the bit-identical "
+                        "fault-free path")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the 'chaos' scenario and retry jitter")
+    p.add_argument("--retry-budget", type=int, default=None,
+                   help="max re-submissions per request after a crash "
+                        "(default: 2 whenever faults are scheduled)")
+    p.add_argument("--deadline-s", type=float, default=None,
+                   help="per-request deadline; retries that cannot land "
+                        "before it are expired, and deadline shedding "
+                        "rejects requests predicted to miss it")
+    p.add_argument("--shed", choices=SHEDDING_NAMES, default="none",
+                   help="graceful load-shedding policy")
+    p.add_argument("--faults-grid", nargs="+", choices=FAULT_SCENARIO_NAMES,
+                   default=None,
+                   help="sweep: fault scenarios to cross with the grid "
+                        "(default: [--faults])")
     _interp_args(p)
 
     p = sub.add_parser(
@@ -421,7 +443,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> str:
-    from .fleet import FleetSimulator, SweepDriver
+    from .fleet import FleetSimulator, RetryPolicy, SweepDriver
 
     model = get_model(args.model)
     base = MeadowEngine(
@@ -448,6 +470,15 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         if args.interp_rel_err is not None:
             for eng in by_bandwidth.values():
                 eng.surface.interp_rel_err = args.interp_rel_err
+        retry = None
+        if args.retry_budget is not None or args.deadline_s is not None:
+            retry = RetryPolicy(
+                max_retries=(
+                    args.retry_budget if args.retry_budget is not None else 2
+                ),
+                deadline_s=args.deadline_s,
+                seed=args.fault_seed,
+            )
         fleet = FleetSimulator(
             engines,
             policy=args.policy,
@@ -458,6 +489,10 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             calendar=not args.no_calendar,
             steal=args.steal,
             interpolate=args.interpolate,
+            faults=None if args.faults == "none" else args.faults,
+            retry=retry,
+            shedding=None if args.shed == "none" else args.shed,
+            fault_seed=args.fault_seed,
         )
         report = fleet.run(factory())
         header = (
@@ -491,6 +526,8 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         steal_grid=(False, True) if args.steal_grid else (args.steal,),
         max_energy_per_token_uj=args.max_energy_per_token_uj,
         workers=args.workers if args.workers is not None else os.cpu_count(),
+        faults_grid=args.faults_grid or [args.faults],
+        fault_seed=args.fault_seed,
     )
     lines = [
         (

@@ -30,3 +30,23 @@ class ScheduleError(ReproError):
 
 class SimulationError(ReproError):
     """The performance or functional simulator reached an invalid state."""
+
+
+class UnknownRequestError(ConfigError):
+    """An operation named a request the scheduler does not hold.
+
+    Raised by :meth:`ContinuousBatchingScheduler.withdraw` when the id
+    is unknown, already prefilled, or already completed, and by
+    :meth:`~ContinuousBatchingScheduler.submit` on a duplicate id.
+    Subclasses :class:`ConfigError` so existing broad catches keep
+    working while failover code can match the precise condition.
+    """
+
+
+class SchedulerClosedError(ConfigError):
+    """A consumed scheduler was asked to run another scenario.
+
+    Scheduler state (clock, event log, RNG-free queues) is consumed by
+    one scenario; re-running would silently continue a stale timeline.
+    Subclasses :class:`ConfigError` for backward compatibility.
+    """

@@ -19,9 +19,25 @@ shards — each backed by its own (possibly heterogeneous)
   fanned over a process pool (``workers=N``, bit-identical);
 * :mod:`repro.fleet.planner` — the closed-form M/G/1-style capacity
   planner answering "how many engines for this rate at this p99
-  TTFT target" in O(1), validated against the simulator.
+  TTFT target" in O(1), validated against the simulator;
+* :mod:`repro.fleet.faults` — seeded deterministic fault schedules
+  (crashes with EdgeFlow-style cold-start re-warm, bandwidth
+  brownouts) injected into the fleet's event calendar;
+* :mod:`repro.fleet.resilience` — deadline-aware retry policies,
+  graceful load shedding, and exactly-once request-disposition
+  accounting (availability, goodput, lost work).
 """
 
+from .faults import (
+    FAULT_SCENARIO_NAMES,
+    FAULT_SCENARIOS,
+    FaultKind,
+    FaultSchedule,
+    ShardFault,
+    make_fault_schedule,
+    rewarm_s,
+    weight_image_bytes,
+)
 from .metrics import merge_results, merged_peak_kv_bytes
 from .planner import (
     CapacityPlanner,
@@ -31,6 +47,19 @@ from .planner import (
     ValidationRecord,
     WorkloadModel,
     validate_planner,
+)
+from .resilience import (
+    AppliedFault,
+    DeadlineShedding,
+    Disposition,
+    DropOldestShedding,
+    NoShedding,
+    ResilienceReport,
+    RetryPolicy,
+    SHEDDING_NAMES,
+    SHEDDING_POLICIES,
+    SheddingPolicy,
+    make_shedding,
 )
 from .routing import (
     CalibratedLatencyPolicy,
@@ -85,4 +114,23 @@ __all__ = [
     "ValidationRecord",
     "validate_planner",
     "PLANNER_P99_REL_ERR_BOUND",
+    "FaultKind",
+    "ShardFault",
+    "FaultSchedule",
+    "FAULT_SCENARIOS",
+    "FAULT_SCENARIO_NAMES",
+    "make_fault_schedule",
+    "weight_image_bytes",
+    "rewarm_s",
+    "Disposition",
+    "RetryPolicy",
+    "SheddingPolicy",
+    "NoShedding",
+    "DeadlineShedding",
+    "DropOldestShedding",
+    "SHEDDING_POLICIES",
+    "SHEDDING_NAMES",
+    "make_shedding",
+    "AppliedFault",
+    "ResilienceReport",
 ]

@@ -50,6 +50,7 @@ from ..serving.request import Request
 from ..serving.scheduler import SchedulerSnapshot
 
 __all__ = [
+    "model_ttft_s",
     "RoutingPolicy",
     "RoundRobinPolicy",
     "JoinShortestQueuePolicy",
@@ -59,6 +60,59 @@ __all__ = [
     "ROUTING_POLICIES",
     "make_policy",
 ]
+
+
+def model_ttft_s(
+    request: Request, now_s: float, snap: SchedulerSnapshot
+) -> float:
+    """Model the request's TTFT were it routed to this shard now.
+
+    Exact under the shard's own scheduling policy up to batching
+    effects: prefills run before decodes and FCFS ties are id-ordered,
+    so a new arrival waits for (a) the step in flight, (b) every queued
+    prefill ahead of it, then (c) its own prefill. When the KV budget
+    cannot cover the queued demand plus this request, admission
+    additionally waits for in-flight decodes to drain reservations —
+    approximated by the remaining decode tokens at the shard's current
+    batched-decode rate.
+
+    Health-aware: a browned-out shard's work terms are scaled by its
+    :class:`~repro.serving.ShardHealth` latency factor, so routing and
+    deadline shedding both see degraded boxes as slower — exactly how
+    the shard will actually run its steps. At nominal health the factor
+    is 1.0 and the multiply is an exact IEEE-754 no-op, keeping
+    fault-free predictions bit-identical to the pre-resilience model.
+    Shared by :class:`PredictedLatencyPolicy` and
+    :class:`~repro.fleet.resilience.DeadlineShedding`.
+    """
+    surface = snap.engine.surface
+    scale = snap.health.latency_scale
+    wait_s = max(0.0, snap.clock_s - now_s)
+    # The snapshot carries queued prompts as a (length, count)
+    # histogram — sized by distinct lengths, not backlog depth — so
+    # the queued-work term costs O(distinct) surface hits.
+    queued_s = sum(
+        count * surface.prefill(tokens).latency_s
+        for tokens, count in snap.waiting_prompt_hist
+    )
+    own_s = surface.prefill(request.prompt_tokens).latency_s
+    # Per-term scaling keeps the summation order of the pre-resilience
+    # model, so scale == 1.0 is bit-identical (x * 1.0 is exact).
+    predicted = wait_s + queued_s * scale + own_s * scale
+
+    model = snap.engine.model
+    own_kv = model.n_layers * model.kv_cache_bytes_per_layer(
+        request.total_tokens, snap.engine.config.act_bits
+    )
+    demand = snap.kv_reserved_bytes + snap.waiting_kv_bytes + own_kv
+    if demand > snap.kv_budget_bytes and snap.n_decoding > 0:
+        # Admission-blocked: charge the decode drain that must free
+        # reservations first, at the shard's current batch rate.
+        ctx = min(snap.decode_context + 1, model.max_seq_len)
+        step = surface.decode(ctx, batch=snap.n_decoding).latency_s
+        steps = (snap.remaining_decode_tokens + snap.n_decoding - 1) // snap.n_decoding
+        predicted += step * steps * scale
+    return predicted
 
 
 class RoutingPolicy:
@@ -203,42 +257,8 @@ class PredictedLatencyPolicy(RoutingPolicy):
     def _model_ttft_s(
         self, request: Request, now_s: float, snap: SchedulerSnapshot
     ) -> float:
-        """Model the request's TTFT were it routed to this shard now.
-
-        Exact under the shard's own scheduling policy up to batching
-        effects: prefills run before decodes and FCFS ties are id-
-        ordered, so a new arrival waits for (a) the step in flight,
-        (b) every queued prefill ahead of it, then (c) its own prefill.
-        When the KV budget cannot cover the queued demand plus this
-        request, admission additionally waits for in-flight decodes to
-        drain reservations — approximated by the remaining decode
-        tokens at the shard's current batched-decode rate.
-        """
-        surface = snap.engine.surface
-        wait_s = max(0.0, snap.clock_s - now_s)
-        # The snapshot carries queued prompts as a (length, count)
-        # histogram — sized by distinct lengths, not backlog depth — so
-        # the queued-work term costs O(distinct) surface hits.
-        queued_s = sum(
-            count * surface.prefill(tokens).latency_s
-            for tokens, count in snap.waiting_prompt_hist
-        )
-        own_s = surface.prefill(request.prompt_tokens).latency_s
-        predicted = wait_s + queued_s + own_s
-
-        model = snap.engine.model
-        own_kv = model.n_layers * model.kv_cache_bytes_per_layer(
-            request.total_tokens, snap.engine.config.act_bits
-        )
-        demand = snap.kv_reserved_bytes + snap.waiting_kv_bytes + own_kv
-        if demand > snap.kv_budget_bytes and snap.n_decoding > 0:
-            # Admission-blocked: charge the decode drain that must free
-            # reservations first, at the shard's current batch rate.
-            ctx = min(snap.decode_context + 1, model.max_seq_len)
-            step = surface.decode(ctx, batch=snap.n_decoding).latency_s
-            steps = (snap.remaining_decode_tokens + snap.n_decoding - 1) // snap.n_decoding
-            predicted += step * steps
-        return predicted
+        """The raw (health-aware) TTFT model; see :func:`model_ttft_s`."""
+        return model_ttft_s(request, now_s, snap)
 
     def route(
         self,

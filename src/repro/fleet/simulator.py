@@ -54,7 +54,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.meadow import MeadowEngine
@@ -62,7 +62,16 @@ from ..errors import CapacityError, ConfigError
 from ..serving.metrics import FleetMetrics
 from ..serving.request import Request, RequestSource
 from ..serving.scheduler import ContinuousBatchingScheduler, ServingResult
+from .faults import FaultKind, FaultSchedule, make_fault_schedule, rewarm_s
 from .metrics import merge_results
+from .resilience import (
+    AppliedFault,
+    Disposition,
+    ResilienceReport,
+    RetryPolicy,
+    SheddingPolicy,
+    make_shedding,
+)
 from .routing import RoutingPolicy, make_policy
 
 __all__ = [
@@ -164,6 +173,12 @@ class FleetReport:
     result: FleetResult
     metrics: FleetMetrics
     shard_metrics: Tuple[FleetMetrics, ...]
+    #: Chaos accounting (dispositions, availability, applied faults).
+    #: ``None`` when the run used no resilience machinery at all —
+    #: which is also what a run with an explicitly empty
+    #: :class:`~repro.fleet.faults.FaultSchedule` reports, so zero-fault
+    #: configurations compare equal whichever way they were spelled.
+    resilience: Optional[ResilienceReport] = None
 
     def ttft_calibration(self) -> Optional[TTFTCalibration]:
         """Aggregate predicted-vs-realized TTFT error, or ``None``.
@@ -241,6 +256,8 @@ class FleetReport:
             lines.append(
                 f"rejected follow-ups: {self.result.n_rejected_followups}"
             )
+        if self.resilience is not None:
+            lines.append(self.resilience.describe())
         return "\n".join(lines)
 
 
@@ -289,6 +306,21 @@ class FleetSimulator:
             request it can hold off the deepest-backlog shard (which
             must stay busy afterwards). Each migration is recorded as a
             :class:`RoutingDecision` with ``migrated_from`` set.
+        faults: a :class:`~repro.fleet.faults.FaultSchedule`, a named
+            scenario (``"crash"`` / ``"cascade"`` / ``"brownout"`` /
+            ``"chaos"`` — instantiated at run time against the fleet
+            size and the stream's arrival span), or ``None``. With no
+            faults, no retry policy and no shedding the run takes the
+            exact pre-resilience code path, bit for bit.
+        retry: :class:`~repro.fleet.resilience.RetryPolicy` governing
+            failure-driven resubmission. Defaults to ``RetryPolicy()``
+            whenever faults are scheduled, so chaos runs retry unless
+            explicitly told not to (``RetryPolicy(max_retries=0)``).
+        shedding: a :class:`~repro.fleet.resilience.SheddingPolicy`
+            instance or registered name (``"none"`` / ``"deadline"`` /
+            ``"drop-oldest"``).
+        fault_seed: seed for named fault scenarios (ignored when a
+            concrete schedule is passed).
     """
 
     def __init__(
@@ -303,6 +335,10 @@ class FleetSimulator:
         calendar: bool = True,
         steal: bool = False,
         interpolate: bool = False,
+        faults: Union[FaultSchedule, str, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        shedding: Union[SheddingPolicy, str, None] = None,
+        fault_seed: int = 0,
     ) -> None:
         if not engines:
             raise ConfigError("a fleet needs at least one engine")
@@ -324,10 +360,44 @@ class FleetSimulator:
         self.calendar = calendar
         self.steal = steal
         self.interpolate = interpolate
+        self.faults = faults
+        self.retry = retry
+        self.shedding = (
+            make_shedding(shedding) if isinstance(shedding, str) else shedding
+        )
+        self.fault_seed = fault_seed
+
+    def _resolve_faults(
+        self, initial: Sequence[Request]
+    ) -> FaultSchedule:
+        """Turn the ``faults`` knob into a concrete schedule for one run."""
+        if self.faults is None:
+            return FaultSchedule.none()
+        if isinstance(self.faults, str):
+            span = max(req.arrival_s for req in initial)
+            return make_fault_schedule(
+                self.faults, len(self.engines), span, self.fault_seed
+            )
+        return self.faults.for_fleet(len(self.engines))
 
     # ---------------------------------------------------------------- run
     def run(self, source: RequestSource) -> FleetReport:
         """Simulate one scenario across the fleet to completion."""
+        initial = tuple(source.initial())
+        if not initial:
+            raise ConfigError(f"source {source.name!r} produced no requests")
+        schedule = self._resolve_faults(initial)
+        # The resilience layer engages only when something asked for it;
+        # otherwise the run takes the exact pre-resilience code path, so
+        # `faults=None` and `faults=FaultSchedule.none()` (and the build
+        # without this layer) produce bit-identical reports.
+        resilient = (
+            not schedule.is_empty
+            or self.retry is not None
+            or (self.shedding is not None and self.shedding.name != "none")
+        )
+        if resilient:
+            return self._run_resilient(source, initial, schedule)
         policy = self.policy
         policy.reset(len(self.engines))
 
@@ -393,7 +463,7 @@ class FleetSimulator:
         )
 
         seen_ids = set()
-        for req in source.initial():
+        for req in initial:
             if req.request_id in seen_ids:
                 raise ConfigError(
                     f"duplicate request id {req.request_id} in fleet stream"
@@ -404,81 +474,11 @@ class FleetSimulator:
                 # that can never run anywhere is a configuration error.
                 shards[0]._check(req)  # raises with the precise reason
             heapq.heappush(arrivals, (req.arrival_s, req.request_id, req))
-        if not arrivals:
-            raise ConfigError(f"source {source.name!r} produced no requests")
 
         decisions: List[RoutingDecision] = []
 
         def steal_pass() -> bool:
-            """Idle thieves pull waiting work off backlogged donors.
-
-            Deterministic: thieves are visited in ascending shard id;
-            each scans donors by (deepest stealable backlog, lowest id)
-            and takes the *oldest* still-waiting request it could ever
-            admit — the one with the worst accumulated wait, whose
-            departure also shortens the queue for everything behind it
-            — provided the donor stays non-idle after losing it and
-            the move is profitable: the idle thief's first-token
-            instant (its clock plus its surface's prefill) must beat a
-            *lower bound* on the donor's (busy-until plus the donor's
-            prefill, ignoring the donor's queue), so work never
-            migrates onto a shard slow enough to make the wait look
-            good. One steal per thief per pass (the thief is busy
-            afterwards). Returns whether anything moved.
-            """
-
-            def helps(thief, donor, candidate):
-                first_token_thief = max(
-                    thief.clock_s, candidate.arrival_s
-                ) + thief.engine.surface.prefill(
-                    candidate.prompt_tokens
-                ).latency_s
-                donor_lower_bound = max(
-                    donor.clock_s, candidate.arrival_s
-                ) + donor.engine.surface.prefill(
-                    candidate.prompt_tokens
-                ).latency_s
-                return first_token_thief < donor_lower_bound
-
-            stole = False
-            for thief_id, thief in enumerate(shards):
-                if not thief.idle:
-                    continue
-                donors = sorted(
-                    (d_id for d_id, d in enumerate(shards) if d.n_stealable),
-                    key=lambda d_id: (-shards[d_id].n_stealable, d_id),
-                )
-                for donor_id in donors:
-                    donor = shards[donor_id]
-                    if donor.snapshot(donor_id).n_in_system < 2:
-                        continue  # donor would go idle: nothing gained
-                    victim = next(
-                        (
-                            candidate
-                            for candidate in donor.steal_candidates()
-                            if thief.can_ever_admit(candidate)
-                            and helps(thief, donor, candidate)
-                        ),
-                        None,
-                    )
-                    if victim is None:
-                        continue
-                    donor.withdraw(victim.request_id)
-                    # The original prediction describes a placement
-                    # that will never run; drop it from calibration.
-                    pending_predictions.pop(victim.request_id, None)
-                    thief.submit(victim)
-                    decisions.append(
-                        RoutingDecision(
-                            victim.request_id,
-                            max(thief.clock_s, victim.arrival_s),
-                            thief_id,
-                            migrated_from=donor_id,
-                        )
-                    )
-                    stole = True
-                    break
-            return stole
+            return self._steal_pass(shards, decisions, pending_predictions)
 
         # The drain calendar: (next_event_s, shard_id) per busy shard.
         # Rebuilt lazily whenever routing, stealing or an arrival sync
@@ -597,4 +597,422 @@ class FleetSimulator:
             shard_metrics=tuple(
                 FleetMetrics.from_result(r) for r in shard_results
             ),
+        )
+
+    @staticmethod
+    def _steal_pass(
+        shards: List[ContinuousBatchingScheduler],
+        decisions: List[RoutingDecision],
+        pending_predictions: Dict[int, float],
+        up: Optional[List[bool]] = None,
+    ) -> bool:
+        """Idle thieves pull waiting work off backlogged donors.
+
+        Deterministic: thieves are visited in ascending shard id;
+        each scans donors by (deepest stealable backlog, lowest id)
+        and takes the *oldest* still-waiting request it could ever
+        admit — the one with the worst accumulated wait, whose
+        departure also shortens the queue for everything behind it
+        — provided the donor stays non-idle after losing it and
+        the move is profitable: the idle thief's first-token
+        instant (its clock plus its surface's prefill) must beat a
+        *lower bound* on the donor's (busy-until plus the donor's
+        prefill, ignoring the donor's queue), so work never
+        migrates onto a shard slow enough to make the wait look
+        good. One steal per thief per pass (the thief is busy
+        afterwards). Returns whether anything moved.
+
+        ``up`` (resilient runs only) masks crashed shards: a down
+        shard is "idle" because its queue was harvested, not because
+        it has capacity — it must neither steal nor donate (it holds
+        nothing to donate anyway).
+        """
+
+        def helps(thief, donor, candidate):
+            first_token_thief = max(
+                thief.clock_s, candidate.arrival_s
+            ) + thief.engine.surface.prefill(
+                candidate.prompt_tokens
+            ).latency_s
+            donor_lower_bound = max(
+                donor.clock_s, candidate.arrival_s
+            ) + donor.engine.surface.prefill(
+                candidate.prompt_tokens
+            ).latency_s
+            return first_token_thief < donor_lower_bound
+
+        stole = False
+        for thief_id, thief in enumerate(shards):
+            if up is not None and not up[thief_id]:
+                continue
+            if not thief.idle:
+                continue
+            donors = sorted(
+                (d_id for d_id, d in enumerate(shards) if d.n_stealable),
+                key=lambda d_id: (-shards[d_id].n_stealable, d_id),
+            )
+            for donor_id in donors:
+                donor = shards[donor_id]
+                if donor.snapshot(donor_id).n_in_system < 2:
+                    continue  # donor would go idle: nothing gained
+                victim = next(
+                    (
+                        candidate
+                        for candidate in donor.steal_candidates()
+                        if thief.can_ever_admit(candidate)
+                        and helps(thief, donor, candidate)
+                    ),
+                    None,
+                )
+                if victim is None:
+                    continue
+                donor.withdraw(victim.request_id)
+                # The original prediction describes a placement
+                # that will never run; drop it from calibration.
+                pending_predictions.pop(victim.request_id, None)
+                thief.submit(victim)
+                decisions.append(
+                    RoutingDecision(
+                        victim.request_id,
+                        max(thief.clock_s, victim.arrival_s),
+                        thief_id,
+                        migrated_from=donor_id,
+                    )
+                )
+                stole = True
+                break
+        return stole
+
+    # ---------------------------------------------------------- resilience
+    def _run_resilient(
+        self,
+        source: RequestSource,
+        initial: Tuple[Request, ...],
+        schedule: FaultSchedule,
+    ) -> FleetReport:
+        """The chaos twin of :meth:`run`: faults, retries and shedding.
+
+        Same two-level discrete-event structure, with a third event
+        stream — the fault heap — merged in at the top of the loop.
+        Ties between a fault and an arrival at the same instant resolve
+        fault-first, so a request never routes to a shard that dies at
+        its own arrival instant, and a parked request waking at a
+        recovery instant finds the shard already up. Everything stays
+        deterministic: fault times come from the seeded schedule, retry
+        jitter from ``(seed, request_id, attempt)``-keyed RNGs, and all
+        tie-breaks are total orders — two same-seed chaos runs produce
+        ``==`` reports.
+        """
+        n_shards = len(self.engines)
+        policy = self.policy
+        policy.reset(n_shards)
+        retry_policy = self.retry if self.retry is not None else RetryPolicy()
+        shedding = self.shedding if self.shedding is not None else None
+
+        arrivals: List[Tuple[float, int, Request]] = []
+        n_rejected = 0
+        pending_predictions: Dict[int, float] = {}
+        shards: List[ContinuousBatchingScheduler] = []
+
+        # -------------------------------------------- resilience state
+        dispositions: Dict[int, Disposition] = {}
+        attempts: Dict[int, int] = {}  # failure-driven retries used
+        origin: Dict[int, float] = {}  # first arrival per request id
+        n_retries = 0
+        lost_tokens = 0
+        applied: List[AppliedFault] = []
+        up = [True] * n_shards
+        down_until_s = [0.0] * n_shards
+        # Cold-start cost per shard, computed once from the engine's
+        # packed weight image (crashes on the same shard re-warm alike).
+        rewarm_by_shard = [rewarm_s(engine) for engine in self.engines]
+
+        # The fault event heap: (t, seq, action, shard_id, payload).
+        # seq is an insertion counter so equal-time events apply in
+        # schedule order (recoveries scheduled before a later crash at
+        # the same instant fire first).
+        fault_heap: List[Tuple[float, int, str, int, object]] = []
+        fault_seq = 0
+
+        def push_fault(t: float, action: str, shard_id: int, payload) -> None:
+            nonlocal fault_seq
+            heapq.heappush(fault_heap, (t, fault_seq, action, shard_id, payload))
+            fault_seq += 1
+
+        for fault in schedule.faults:
+            if fault.kind is FaultKind.CRASH:
+                push_fault(fault.at_s, "crash", fault.shard_id, fault.duration_s)
+            else:
+                end_s = fault.at_s + fault.duration_s
+                push_fault(
+                    fault.at_s,
+                    "brownout",
+                    fault.shard_id,
+                    (fault.bandwidth_factor, end_s),
+                )
+                push_fault(end_s, "brownout_end", fault.shard_id, None)
+
+        def handle_failure(req: Request, t: float) -> None:
+            """Decide one harvested request's fate: retry, expire or lose."""
+            nonlocal n_retries
+            rid = req.request_id
+            eff = retry_policy.effective_deadline_s(req)
+            used = attempts.get(rid, 0)
+            if used >= retry_policy.max_retries:
+                # Budget gone. Blame the deadline when it also passed.
+                if eff is not None and t >= origin[rid] + eff:
+                    dispositions[rid] = Disposition.EXPIRED
+                else:
+                    dispositions[rid] = Disposition.LOST
+                return
+            backoff = retry_policy.backoff_s(rid, used + 1)
+            if eff is not None and t + backoff >= origin[rid] + eff:
+                # The retry could not even re-enter before the deadline.
+                dispositions[rid] = Disposition.EXPIRED
+                return
+            attempts[rid] = used + 1
+            n_retries += 1
+            resub = replace(req, arrival_s=t + backoff)
+            heapq.heappush(arrivals, (resub.arrival_s, rid, resub))
+
+        def make_harvest(shard_id: int):
+            # Completion hook: record the disposition (exactly once, at
+            # the only instant a request can complete), feed calibration,
+            # then hand any follow-up back to the global router.
+            def harvest(request: Request, finish_s: float) -> Optional[Request]:
+                nonlocal n_rejected
+                rid = request.request_id
+                dispositions[rid] = (
+                    Disposition.RETRIED
+                    if attempts.get(rid)
+                    else Disposition.OK
+                )
+                predicted = pending_predictions.pop(rid, None)
+                if predicted is not None:
+                    record = shards[shard_id].record_for(rid)
+                    policy.observe(shard_id, predicted, record.ttft_s)
+                follow_up = source.on_complete(request, finish_s)
+                if follow_up is None:
+                    return None
+                if any(s.can_ever_admit(follow_up) for s in shards):
+                    heapq.heappush(
+                        arrivals,
+                        (follow_up.arrival_s, follow_up.request_id, follow_up),
+                    )
+                else:
+                    n_rejected += 1
+                return None
+
+            return harvest
+
+        shards.extend(
+            ContinuousBatchingScheduler(
+                engine,
+                source=None,
+                kv_budget_bytes=self.kv_budget_bytes[i],
+                max_batch=self.max_batch[i],
+                ctx_bucket=self.ctx_bucket[i],
+                on_complete=make_harvest(i),
+                coalesce=self.coalesce,
+                token_events=self.token_events,
+                interpolate=self.interpolate,
+            )
+            for i, engine in enumerate(self.engines)
+        )
+
+        seen_ids = set()
+        for req in initial:
+            if req.request_id in seen_ids:
+                raise ConfigError(
+                    f"duplicate request id {req.request_id} in fleet stream"
+                )
+            seen_ids.add(req.request_id)
+            if not any(s.can_ever_admit(req) for s in shards):
+                shards[0]._check(req)  # raises with the precise reason
+            heapq.heappush(arrivals, (req.arrival_s, req.request_id, req))
+
+        decisions: List[RoutingDecision] = []
+        calendar: List[Tuple[float, int]] = []
+        calendar_stale = True
+        while True:
+            if self.steal and self._steal_pass(
+                shards, decisions, pending_predictions, up
+            ):
+                calendar_stale = True
+            t_fault = fault_heap[0][0] if fault_heap else math.inf
+            t_arr = arrivals[0][0] if arrivals else math.inf
+            if t_fault <= t_arr and t_fault < math.inf:
+                if t_arr == math.inf and all(shard.idle for shard in shards):
+                    # Nothing in flight and nothing to come: remaining
+                    # faults would strike an idle fleet past makespan.
+                    break
+                # Advance every live shard to the fault instant first —
+                # bailing out if a completion injects an earlier global
+                # follow-up, which must route before time passes it.
+                preempted = lambda: bool(arrivals) and arrivals[0][0] < t_fault
+                for i, shard in enumerate(shards):
+                    if up[i]:
+                        shard.advance_until(t_fault, interrupt=preempted)
+                if preempted():
+                    continue
+                t, _, action, s, payload = heapq.heappop(fault_heap)
+                calendar_stale = True
+                if action == "crash":
+                    if not up[s]:
+                        continue  # absorbed: the shard is already down
+                    waiting, inflight = shards[s].crash_harvest()
+                    up[s] = False
+                    recover_at = t + payload + rewarm_by_shard[s]
+                    down_until_s[s] = recover_at
+                    push_fault(recover_at, "recover", s, None)
+                    lost = sum(gen for _, gen in inflight)
+                    lost_tokens += lost
+                    victims = waiting + [req for req, _ in inflight]
+                    applied.append(
+                        AppliedFault(
+                            FaultKind.CRASH, s, t, recover_at,
+                            len(victims), lost,
+                        )
+                    )
+                    for victim in victims:
+                        pending_predictions.pop(victim.request_id, None)
+                        handle_failure(victim, t)
+                elif action == "recover":
+                    up[s] = True
+                elif action == "brownout":
+                    factor, end_s = payload
+                    # Steps already in flight finish at their original
+                    # bandwidth; everything starting after t runs slow.
+                    shards[s].latency_scale = 1.0 / factor
+                    applied.append(
+                        AppliedFault(FaultKind.BROWNOUT, s, t, end_s)
+                    )
+                else:  # brownout_end — most recent event wins on overlap
+                    shards[s].latency_scale = 1.0
+                continue
+            if arrivals:
+                calendar_stale = True
+                t, request_id, req = heapq.heappop(arrivals)
+                preempted = lambda: bool(arrivals) and arrivals[0][0] < t
+                for i, shard in enumerate(shards):
+                    if up[i]:
+                        shard.advance_until(t, interrupt=preempted)
+                if preempted():
+                    heapq.heappush(arrivals, (t, request_id, req))
+                    continue
+                feasible_ids = [
+                    i for i, shard in enumerate(shards)
+                    if shard.can_ever_admit(req)
+                ]
+                # Circuit breaker: down shards take no traffic. When
+                # *every* feasible shard is down, park the request until
+                # the first of them recovers (its arrival_s is kept, so
+                # the wait counts against its TTFT honestly).
+                live = [i for i in feasible_ids if up[i]]
+                if not live:
+                    wake = min(down_until_s[i] for i in feasible_ids)
+                    heapq.heappush(arrivals, (max(wake, t), request_id, req))
+                    continue
+                origin.setdefault(request_id, req.arrival_s)
+                eff = retry_policy.effective_deadline_s(req)
+                if eff is not None and attempts.get(request_id):
+                    # A retry's deadline budget counts from its FIRST
+                    # arrival, not the resubmission instant.
+                    eff = origin[request_id] + eff - req.arrival_s
+                feasible = [shards[i].snapshot(i) for i in live]
+                if shedding is not None and shedding.reject(
+                    req, t, feasible, eff
+                ):
+                    dispositions[request_id] = Disposition.SHED
+                    continue
+                choice = policy.route(req, t, feasible)
+                chosen = next(
+                    (snap for snap in feasible if snap.shard_id == choice),
+                    None,
+                )
+                if chosen is None:
+                    raise ConfigError(
+                        f"policy {policy.name!r} routed request "
+                        f"{request_id} to infeasible shard {choice}"
+                    )
+                if shedding is not None and shedding.evict(chosen):
+                    victims = shards[choice].steal_candidates()
+                    if victims:
+                        victim = victims[0]
+                        shards[choice].withdraw(victim.request_id)
+                        pending_predictions.pop(victim.request_id, None)
+                        dispositions[victim.request_id] = Disposition.SHED
+                shards[choice].submit(req)
+                predicted = policy.predicted_ttft_s(req, t, chosen)
+                if predicted is not None:
+                    pending_predictions[request_id] = predicted
+                decisions.append(
+                    RoutingDecision(request_id, t, choice, predicted)
+                )
+            elif self.calendar:
+                # Event-calendar drain, as in run(); down shards are
+                # idle (harvested) so they never enter the calendar.
+                if calendar_stale:
+                    calendar = [
+                        (shard.next_event_s(), i)
+                        for i, shard in enumerate(shards)
+                        if not shard.idle
+                    ]
+                    heapq.heapify(calendar)
+                    calendar_stale = False
+                if not calendar:
+                    break
+                key, idx = heapq.heappop(calendar)
+                shard = shards[idx]
+                horizon = calendar[0][0] if calendar else math.inf
+                if key >= horizon:
+                    shard.advance_one()
+                else:
+                    shard.advance_until(
+                        horizon, interrupt=lambda: bool(arrivals)
+                    )
+                if not shard.idle:
+                    heapq.heappush(calendar, (shard.next_event_s(), idx))
+            else:
+                busy = [shard for shard in shards if not shard.idle]
+                if not busy:
+                    break
+                min(busy, key=lambda shard: shard.next_event_s()).advance_one()
+
+        shard_results = tuple(shard.result() for shard in shards)
+        # Availability accounting in absolute time: the run spans the
+        # first arrival to the last shard clock; each crash's down
+        # window is clipped to that span.
+        start_s = min(req.arrival_s for req in initial)
+        end_s = max(shard.clock_s for shard in shards)
+        makespan = max(0.0, end_s - start_s)
+        downtime = [0.0] * n_shards
+        for fault in applied:
+            if fault.kind is FaultKind.CRASH:
+                lo = min(max(fault.at_s, start_s), end_s)
+                hi = min(max(fault.until_s, start_s), end_s)
+                downtime[fault.shard_id] += hi - lo
+        resilience = ResilienceReport.build(
+            dispositions=dispositions,
+            n_retries=n_retries,
+            lost_generated_tokens=lost_tokens,
+            faults=applied,
+            shard_downtime_s=downtime,
+            makespan_s=makespan,
+        )
+        result = FleetResult(
+            model_name=self.engines[0].model.name,
+            policy_name=policy.name,
+            source_name=source.name,
+            shard_results=shard_results,
+            decisions=tuple(decisions),
+            n_rejected_followups=n_rejected,
+        )
+        return FleetReport(
+            result=result,
+            metrics=merge_results(shard_results),
+            shard_metrics=tuple(
+                FleetMetrics.from_result(r) for r in shard_results
+            ),
+            resilience=resilience,
         )

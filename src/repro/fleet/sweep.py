@@ -48,7 +48,9 @@ __all__ = ["SWEEP_SCHEMA_VERSION", "SweepPoint", "FleetSweepResult", "SweepDrive
 #: v2 added the energy axis (``energy_uj`` / ``energy_per_token_uj``).
 #: v3 added the work-stealing axis (``steal``) and the optional
 #: ``filters`` block (``max_energy_per_token_uj``).
-SWEEP_SCHEMA_VERSION = 3
+#: v4 added the fault-scenario axis (``faults``): each point names the
+#: seeded chaos scenario it ran under (``"none"`` = fault-free).
+SWEEP_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -79,12 +81,15 @@ class SweepPoint:
     energy_per_token_uj: float = 0.0
     #: Whether the fleet ran with work stealing enabled (v3 grid axis).
     steal: bool = False
+    #: The named fault scenario the point ran under (v4 grid axis);
+    #: ``"none"`` means the fault-free legacy path.
+    faults: str = "none"
 
-    def key(self) -> Tuple[int, str, int, int, bool]:
+    def key(self) -> Tuple[int, str, int, int, bool, str]:
         """The configuration axes identifying this grid point."""
         return (
             self.n_engines, self.policy, self.max_batch,
-            self.ctx_bucket, self.steal,
+            self.ctx_bucket, self.steal, self.faults,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -205,6 +210,7 @@ class FleetSweepResult:
                 p.max_batch,
                 p.ctx_bucket,
                 "on" if p.steal else "",
+                p.faults if p.faults != "none" else "",
                 f"{p.throughput_tok_s:.1f}",
                 f"{p.ttft_p99_s * 1e3:.3f}",
                 f"{p.tbt_p99_s * 1e3:.3f}",
@@ -219,6 +225,7 @@ class FleetSweepResult:
                 "max_batch",
                 "ctx_bucket",
                 "steal",
+                "faults",
                 "tok/s",
                 "p99 TTFT (ms)",
                 "p99 TBT (ms)",
@@ -295,6 +302,8 @@ class SweepDriver:
         token_events: bool = False,
         steal: bool = False,
         interpolate: bool = False,
+        faults: str = "none",
+        fault_seed: int = 0,
     ) -> FleetReport:
         """Evaluate one grid point (exposed for benchmarks and tests).
 
@@ -302,6 +311,10 @@ class SweepDriver:
         simulators: a sweep materializes millions of per-token event
         tuples nobody reads, and the grid metrics are provably identical
         without them.
+
+        ``faults`` names a seeded chaos scenario from
+        :data:`~repro.fleet.faults.FAULT_SCENARIOS`; ``"none"`` keeps
+        the exact fault-free code path.
         """
         profile = self.fleet_profile(n_engines)
         engines = [self.engine_for(b) for b in profile]
@@ -320,6 +333,8 @@ class SweepDriver:
             token_events=token_events,
             steal=steal,
             interpolate=interpolate,
+            faults=None if faults == "none" else faults,
+            fault_seed=fault_seed,
         )
         return fleet.run(source)
 
@@ -338,6 +353,7 @@ class SweepDriver:
         report = self.run_point(
             source, gp.n_engines, gp.policy, gp.max_batch,
             gp.ctx_bucket, token_events=token_events, steal=gp.steal,
+            faults=gp.faults, fault_seed=gp.fault_seed,
         )
         m = report.metrics
         energy_uj = sum(
@@ -367,6 +383,7 @@ class SweepDriver:
                 else 0.0
             ),
             steal=gp.steal,
+            faults=gp.faults,
         )
 
     @staticmethod
@@ -376,17 +393,23 @@ class SweepDriver:
         max_batch_grid: Sequence[int],
         ctx_bucket_grid: Sequence[int],
         steal_grid: Sequence[bool],
+        faults_grid: Sequence[str] = ("none",),
+        fault_seed: int = 0,
     ) -> List["_GridPoint"]:
         """The deterministic grid order shared by serial and parallel
         sweeps: engines, then policy, then max_batch, then ctx_bucket,
-        then steal."""
+        then steal, then faults."""
         return [
-            _GridPoint(n_engines, policy, max_batch, ctx_bucket, steal)
+            _GridPoint(
+                n_engines, policy, max_batch, ctx_bucket, steal,
+                faults, fault_seed,
+            )
             for n_engines in n_engines_grid
             for policy in policies
             for max_batch in max_batch_grid
             for ctx_bucket in ctx_bucket_grid
             for steal in steal_grid
+            for faults in faults_grid
         ]
 
     def _sweep_parallel(
@@ -449,6 +472,8 @@ class SweepDriver:
         steal_grid: Sequence[bool] = (False,),
         max_energy_per_token_uj: Optional[float] = None,
         workers: Optional[int] = None,
+        faults_grid: Sequence[str] = ("none",),
+        fault_seed: int = 0,
     ) -> FleetSweepResult:
         """Evaluate the full configuration grid.
 
@@ -456,7 +481,9 @@ class SweepDriver:
         (closed-loop sources are single-use); seeded factories make the
         whole sweep reproducible. Grid order is deterministic:
         engines, then policy, then max_batch, then ctx_bucket, then
-        steal. Per-token event materialization is off by default (see
+        steal, then faults (``faults_grid`` names seeded chaos
+        scenarios; ``"none"`` points take the exact fault-free path).
+        Per-token event materialization is off by default (see
         :meth:`run_point`); every reported metric is identical with it
         on, just slower and heavier.
 
@@ -477,7 +504,7 @@ class SweepDriver:
         """
         grid = self.grid_points(
             n_engines_grid, policies, max_batch_grid, ctx_bucket_grid,
-            steal_grid,
+            steal_grid, faults_grid, fault_seed,
         )
         if not grid:
             raise ConfigError("sweep grid is empty")
@@ -524,6 +551,8 @@ class _GridPoint:
     max_batch: int
     ctx_bucket: int
     steal: bool
+    faults: str = "none"
+    fault_seed: int = 0
 
 
 # ---------------------------------------------------------------- workers

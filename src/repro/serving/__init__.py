@@ -29,6 +29,7 @@ from .scheduler import (
     SchedulerEvent,
     SchedulerSnapshot,
     ServingResult,
+    ShardHealth,
     TOKEN_EVENT_KINDS,
 )
 from .simulator import ServingReport, ServingSimulator
@@ -45,6 +46,7 @@ __all__ = [
     "TOKEN_EVENT_KINDS",
     "SchedulerEvent",
     "SchedulerSnapshot",
+    "ShardHealth",
     "RequestRecord",
     "ServingResult",
     "ContinuousBatchingScheduler",

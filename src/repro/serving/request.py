@@ -40,6 +40,12 @@ class Request:
     arrival_s: float
     prompt_tokens: int
     output_tokens: int
+    #: Optional end-to-end SLO: once ``deadline_s`` seconds have passed
+    #: since the request's *first* submission, the resilience layer
+    #: expires it instead of retrying after a shard failure, and
+    #: deadline-aware shedding may reject it at admission. ``None``
+    #: (the default) means the request never expires.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.request_id < 0:
@@ -50,6 +56,8 @@ class Request:
             raise ConfigError(f"prompt_tokens must be >= 1, got {self.prompt_tokens}")
         if self.output_tokens < 1:
             raise ConfigError(f"output_tokens must be >= 1, got {self.output_tokens}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be positive, got {self.deadline_s}")
 
     @property
     def total_tokens(self) -> int:

@@ -73,7 +73,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.meadow import MeadowEngine
-from ..errors import CapacityError, ConfigError
+from ..errors import (
+    CapacityError,
+    ConfigError,
+    SchedulerClosedError,
+    UnknownRequestError,
+)
 from ..hardware.memory import kv_cache_budget_bytes
 from ..utils import ceil_div
 from .request import Request, RequestSource
@@ -84,6 +89,8 @@ __all__ = [
     "SchedulerEvent",
     "RequestRecord",
     "ServingResult",
+    "ShardHealth",
+    "HEALTHY",
     "SchedulerSnapshot",
     "ContinuousBatchingScheduler",
 ]
@@ -196,6 +203,32 @@ class ServingResult:
 
 
 @dataclass(frozen=True)
+class ShardHealth:
+    """The failure/degradation state routing policies see per shard.
+
+    ``up=False`` marks a crashed shard still inside its down window
+    (cold-start re-warm included); the fleet's circuit breaker excludes
+    such shards from the feasible set, so policies normally only see
+    ``up=True`` snapshots. ``latency_scale`` is the step-latency
+    multiplier a transient bandwidth brownout imposes (1.0 = healthy;
+    a brownout to ``f`` of nominal bandwidth scales step latencies by
+    ``1/f`` — edge LLM steps are bandwidth-bound, which is MEADOW's
+    operating regime). Health-aware predicted-TTFT models multiply
+    their surface terms by this scale; at the 1.0 default that
+    multiplication is an exact IEEE-754 no-op, so zero-fault runs stay
+    bit-identical.
+    """
+
+    up: bool = True
+    latency_scale: float = 1.0
+
+
+#: The shared healthy-state instance (snapshots are taken per routing
+#: decision; reusing one frozen value keeps that allocation-free).
+HEALTHY = ShardHealth()
+
+
+@dataclass(frozen=True)
 class SchedulerSnapshot:
     """Read-only view of one scheduler's live state, for routing policies.
 
@@ -234,6 +267,9 @@ class SchedulerSnapshot:
     max_batch: int
     #: The shard's engine (latency surface access for predictive routers).
     engine: MeadowEngine = field(repr=False, compare=False)
+    #: Failure/degradation state at snapshot time (brownout latency
+    #: scale, up/down); defaults to the shared healthy instance.
+    health: ShardHealth = HEALTHY
 
     @property
     def n_in_system(self) -> int:
@@ -340,6 +376,14 @@ class ContinuousBatchingScheduler:
         self.coalesce = coalesce
         self.token_events = token_events
         self.interpolate = interpolate
+        #: Step-latency multiplier the fault layer sets during bandwidth
+        #: brownouts (1.0 = nominal). Applied to every prefill/decode
+        #: step latency; at the default the multiplication is an exact
+        #: IEEE-754 no-op (x * 1.0 == x), so healthy runs are
+        #: bit-identical to a build without the knob. Energy is *not*
+        #: scaled: a brownout stretches time, not the modeled joules of
+        #: the work performed.
+        self.latency_scale = 1.0
         if on_complete is None and source is not None:
             on_complete = source.on_complete
         self._on_complete = on_complete
@@ -363,6 +407,10 @@ class ContinuousBatchingScheduler:
         self._energy_uj = 0.0
         self._events: List[SchedulerEvent] = []
         self._records: Dict[int, RequestRecord] = {}
+        # Every id this shard currently holds or has completed; guards
+        # duplicate submission (withdrawn ids are forgotten, so failover
+        # resubmission after a crash or steal is legal).
+        self._known_ids: set = set()
         # ---- incremental aggregates backing O(1) snapshots ----
         self._kv_bytes_cache: Dict[int, int] = {}  # token count -> KV bytes
         self._waiting_kv = 0  # worst-case KV over future + pending
@@ -424,6 +472,12 @@ class ContinuousBatchingScheduler:
     # ------------------------------------------------------ incremental API
     def _enqueue(self, request: Request, need: int) -> None:
         """Push a validated request into the future heap (+ aggregates)."""
+        if request.request_id in self._known_ids:
+            raise UnknownRequestError(
+                f"duplicate submission of request {request.request_id}: "
+                f"this shard already holds or has completed it"
+            )
+        self._known_ids.add(request.request_id)
         heapq.heappush(
             self._future, (request.arrival_s, request.request_id, request)
         )
@@ -437,7 +491,9 @@ class ContinuousBatchingScheduler:
         Requests may be submitted before or during a simulation; a
         request whose ``arrival_s`` is already in the shard's past is
         observed at the next iteration boundary (exactly how the
-        event-log timestamps are defined).
+        event-log timestamps are defined). Submitting an id the shard
+        already holds (or has completed) raises
+        :class:`~repro.errors.UnknownRequestError`.
         """
         self._enqueue(request, self._check(request))
 
@@ -460,6 +516,11 @@ class ContinuousBatchingScheduler:
             kv_budget_bytes=self.kv_budget_bytes,
             max_batch=self.max_batch,
             engine=self.engine,
+            health=(
+                HEALTHY
+                if self.latency_scale == 1.0
+                else ShardHealth(latency_scale=self.latency_scale)
+            ),
         )
 
     def next_event_s(self) -> float:
@@ -522,14 +583,18 @@ class ContinuousBatchingScheduler:
         already been admitted, and logs a WITHDRAW event whenever the
         shard had observed the request (so the event timeline stays an
         honest account of this shard's KV and queue state). Withdrawing
-        a request the shard never heard of — or one already prefilled —
-        is a caller bug and raises :class:`ConfigError`.
+        a request the shard never heard of, one already prefilled, or
+        one already *completed* is a caller bug and raises
+        :class:`~repro.errors.UnknownRequestError` — the completed case
+        matters for failover: silently "withdrawing" a finished request
+        would corrupt the KV and histogram aggregates.
         """
         for i, active in enumerate(self._prefill_queue):
             if active.request.request_id == request_id:
                 del self._prefill_queue[i]
                 self._kv_reserved -= active.kv_reserved_bytes
                 self._forget_waiting(active.request)
+                self._known_ids.discard(request_id)
                 self._log(EventKind.WITHDRAW, request_id)
                 return active.request
         for i, req in enumerate(self._pending):
@@ -537,6 +602,7 @@ class ContinuousBatchingScheduler:
                 del self._pending[i]
                 self._waiting_kv -= self._kv_bytes(req.total_tokens)
                 self._forget_waiting(req)
+                self._known_ids.discard(request_id)
                 self._log(EventKind.WITHDRAW, request_id)
                 return req
         for i, (_, _, req) in enumerate(self._future):
@@ -547,10 +613,43 @@ class ContinuousBatchingScheduler:
                 heapq.heapify(self._future)
                 self._waiting_kv -= self._kv_bytes(req.total_tokens)
                 self._forget_waiting(req)
+                self._known_ids.discard(request_id)
                 return req
-        raise ConfigError(
+        if request_id in self._records:
+            raise UnknownRequestError(
+                f"cannot withdraw request {request_id}: it already "
+                f"completed on this shard"
+            )
+        raise UnknownRequestError(
             f"cannot withdraw request {request_id}: not waiting on this shard"
         )
+
+    def crash_harvest(self) -> Tuple[List[Request], List[Tuple[Request, int]]]:
+        """Evict every unfinished request — the shard just crashed.
+
+        Waiting (not-yet-prefilled) requests leave through the
+        :meth:`withdraw` path, releasing any ADMIT-time KV reservation.
+        In-flight decodes are evicted with a WITHDRAW event each; their
+        generated KV is *gone* (a crash loses the cache), so the caller
+        charges those tokens as lost work and any retry re-prefills
+        from scratch. Returns ``(waiting, inflight)`` where ``inflight``
+        pairs each evicted request with the tokens it had generated.
+        The shard is idle afterwards (its clock keeps its crash-time
+        value; recovery cost is modeled fleet-side as the down window).
+        """
+        waiting = [
+            self.withdraw(req.request_id) for req in self.steal_candidates()
+        ]
+        inflight: List[Tuple[Request, int]] = []
+        for active in self._decoding:
+            self._kv_reserved -= active.kv_reserved_bytes
+            self._known_ids.discard(active.request.request_id)
+            self._log(EventKind.WITHDRAW, active.request.request_id)
+            inflight.append((active.request, active.generated))
+        self._decoding = []
+        self._remaining_decode = 0
+        self._decode_ctx = 0
+        return waiting, inflight
 
     # ----------------------------------------------------------- internals
     def _log(self, kind: EventKind, request_id: int) -> None:
@@ -613,7 +712,7 @@ class ContinuousBatchingScheduler:
         point = self.engine.surface.prefill(
             req.prompt_tokens, interpolate=self.interpolate
         )
-        self._clock += point.latency_s
+        self._clock += point.latency_s * self.latency_scale
         self._energy_uj += point.energy_uj
         self._n_prefills += 1
         count = self._waiting_prompts[req.prompt_tokens] - 1
@@ -645,7 +744,7 @@ class ContinuousBatchingScheduler:
             self._bucket_ctx(raw_ctx), batch=len(batch),
             interpolate=self.interpolate,
         )
-        self._clock += point.latency_s
+        self._clock += point.latency_s * self.latency_scale
         self._energy_uj += point.energy_uj
         self._n_decodes += 1
         self._remaining_decode -= len(batch)
@@ -715,7 +814,7 @@ class ContinuousBatchingScheduler:
         to_complete = min(a.request.output_tokens - a.generated for a in batch)
         k_cap = min(to_complete, bucket_run)
         next_arrival = self._future[0][0] if self._future else math.inf
-        lat = point.latency_s
+        lat = point.latency_s * self.latency_scale
         step_energy = point.energy_uj
         # Reproduce the reference walk's clock/energy series exactly:
         # sequential float addition is order-sensitive, so k*lat would
@@ -920,7 +1019,7 @@ class ContinuousBatchingScheduler:
                 "drive it via submit()/advance_until()"
             )
         if self._started:
-            raise ConfigError(
+            raise SchedulerClosedError(
                 "scheduler state is consumed by one scenario: construct a "
                 "fresh scheduler to re-run it"
             )

@@ -86,7 +86,7 @@ class TestFleetSweep:
         assert "Pareto front" in out and "Pareto" in out
 
         doc = json.loads(out_path.read_text())
-        assert doc["version"] == 3
+        assert doc["version"] == 4
         assert doc["model"] == "opt-125m"
         assert len(doc["points"]) == 4
         assert doc["pareto_front"]
@@ -100,6 +100,8 @@ class TestFleetSweep:
         # an energy ceiling was requested.
         assert all(p["steal"] is False for p in doc["points"])
         assert "filters" not in doc
+        # v4: every point carries the fault-scenario axis.
+        assert all(p["faults"] == "none" for p in doc["points"])
 
     def test_energy_filter_and_steal_grid(self, capsys, tmp_path):
         out_path = tmp_path / "pareto.json"
@@ -117,3 +119,57 @@ class TestFleetSweep:
         doc = json.loads(out_path.read_text())
         assert doc["filters"] == {"max_energy_per_token_uj": 1e12}
         assert [p["steal"] for p in doc["points"]] == [False, True]
+
+
+class TestFleetChaosFlags:
+    def test_chaos_flags_parsed_with_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.faults == "none"
+        assert args.fault_seed == 0
+        assert args.retry_budget is None
+        assert args.deadline_s is None
+        assert args.shed == "none"
+        assert args.faults_grid is None
+
+    def test_rejects_unknown_scenario_and_shedder(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--faults", "meteor"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--shed", "coin-flip"])
+
+    def test_chaos_run_prints_resilience_block(self, capsys):
+        argv = [
+            "fleet", "--model", "opt-125m", "--plan", "gemm",
+            "--bandwidths", "6", "6", "--requests", "12",
+            "--arrival", "bursty", "--burst-size", "12", "--seed", "0",
+            "--faults", "crash", "--retry-budget", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "availability" in out
+        assert "fault: crash shard 0" in out
+
+    def test_no_faults_run_has_no_resilience_block(self, capsys):
+        argv = [
+            "fleet", "--model", "opt-125m", "--plan", "gemm",
+            "--bandwidths", "12", "1", "--requests", "8",
+            "--arrival", "bursty", "--burst-size", "4", "--seed", "0",
+        ]
+        assert main(argv) == 0
+        assert "resilience:" not in capsys.readouterr().out
+
+    def test_faults_grid_sweep_carries_axis(self, capsys, tmp_path):
+        out_path = tmp_path / "pareto.json"
+        argv = [
+            "fleet", "--model", "opt-125m", "--plan", "gemm",
+            "--bandwidths", "6", "6", "--requests", "8",
+            "--arrival", "bursty", "--burst-size", "8", "--seed", "0",
+            "--sweep", "--num-engines", "2",
+            "--policies", "round-robin",
+            "--faults-grid", "none", "crash",
+            "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        doc = json.loads(out_path.read_text())
+        assert sorted(p["faults"] for p in doc["points"]) == ["crash", "none"]
