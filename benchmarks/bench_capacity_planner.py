@@ -30,6 +30,8 @@ import json
 import sys
 import time
 
+from bench_meta import stamp
+
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.analysis import banner, format_table
 from repro.fleet import (
@@ -136,7 +138,8 @@ def main(argv=None) -> int:
     parser.add_argument("--json", type=str, default=None, help="write record here")
     args = parser.parse_args(argv)
 
-    record = run_validation(quick=args.quick)
+    record = stamp(run_validation(quick=args.quick),
+                   "repro.bench.planner_validation")
     print(render_validation(record))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -155,7 +158,7 @@ def test_planner_within_documented_bound(emit, results_dir):
     """The acceptance claim: planner p99 TTFT lands within the
     documented relative-error bound on every benchmark mix, while the
     forecasts themselves cost a small fraction of the simulations."""
-    record = run_validation()
+    record = stamp(run_validation(), "repro.bench.planner_validation")
     emit("planner_validation", render_validation(record))
     (results_dir / "planner_validation.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8"

@@ -25,6 +25,8 @@ import argparse
 import json
 import sys
 
+from bench_meta import stamp
+
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.fleet import (
     FaultKind,
@@ -216,11 +218,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     n_requests = 24 if args.quick else 48
-    record = {
-        "chaos": run_chaos_record(n_requests),
-        "routing": run_routing_resilience(n_requests),
-        "shedding": run_shedding_record(n_requests),
-    }
+    record = stamp(
+        {
+            "chaos": run_chaos_record(n_requests),
+            "routing": run_routing_resilience(n_requests),
+            "shedding": run_shedding_record(n_requests),
+        },
+        "repro.bench.fleet_resilience",
+    )
     print(render_record(record))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -250,7 +255,7 @@ def main(argv=None) -> int:
 def test_chaos_conservation_and_availability(results_dir, emit):
     """The acceptance claim: a mid-burst crash is harvested, retried and
     accounted exactly once, and availability reflects the downtime."""
-    record = run_chaos_record(24)
+    record = stamp(run_chaos_record(24), "repro.bench.fleet_resilience")
     (results_dir / "fleet_resilience.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8"
     )

@@ -35,6 +35,8 @@ import time
 
 import pytest
 
+from bench_meta import stamp
+
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.analysis import banner, format_table
 from repro.fleet import FleetSimulator, POLICY_NAMES, SweepDriver
@@ -338,7 +340,7 @@ def main(argv=None) -> int:
         )
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(record, fh, indent=2)
+                json.dump(stamp(record, "repro.bench.sweep_parallel"), fh, indent=2)
             print(f"wrote {args.json}")
         if record["speedup"] < min_speedup:
             print(
@@ -368,7 +370,7 @@ def main(argv=None) -> int:
         )
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(record, fh, indent=2)
+                json.dump(stamp(record, "repro.bench.fleet_throughput"), fh, indent=2)
             print(f"wrote {args.json}")
         ok = True
         if record["speedup"] < args.min_speedup:
@@ -392,7 +394,7 @@ def main(argv=None) -> int:
     )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(record, fh, indent=2)
+            json.dump(stamp(record, "repro.bench.fleet_sweep"), fh, indent=2)
         print(f"wrote {args.json}")
 
     ok = True
@@ -425,7 +427,9 @@ def test_calendar_drain_speedup(results_dir):
     """Calendar drain >= 3x the per-iteration walk, timeline identical."""
     record = run_drain_bench(_driver())
     (results_dir / "fleet_throughput.json").write_text(
-        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        json.dumps(stamp(record, "repro.bench.fleet_throughput"), indent=2)
+        + "\n",
+        encoding="utf-8",
     )
     assert record["exact_match"]
     assert record["speedup"] >= 3.0, record
@@ -454,7 +458,9 @@ def test_parallel_sweep_bit_identical(results_dir):
     the default suite even on small CI boxes."""
     record = run_parallel_bench(16, workers=2)
     (results_dir / "sweep_parallel.json").write_text(
-        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        json.dumps(stamp(record, "repro.bench.sweep_parallel"), indent=2)
+        + "\n",
+        encoding="utf-8",
     )
     assert record["bit_identical"]
     assert record["n_grid_points"] >= 48

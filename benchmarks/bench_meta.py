@@ -1,0 +1,56 @@
+"""Shared metadata stamp for benchmark JSON artifacts.
+
+Every benchmark that writes a tracked JSON record goes through
+:func:`stamp` so all artifacts carry one common ``meta`` block —
+schema name + version, the git commit they were measured at, and the
+python version — making results comparable across CI runs without
+guessing which code produced them.
+
+Not a benchmark itself: no ``test_`` functions live here; the ``bench_``
+prefix keeps it grouped with its only consumers.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from typing import Dict
+
+
+def git_sha() -> str:
+    """The current commit hash, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def bench_metadata(schema: str, schema_version: int) -> Dict[str, object]:
+    """The common ``meta`` block stamped into benchmark artifacts."""
+    return {
+        "schema": schema,
+        "schema_version": schema_version,
+        "git_sha": git_sha(),
+        "python_version": platform.python_version(),
+    }
+
+
+def stamp(
+    record: Dict[str, object], schema: str, schema_version: int = 1
+) -> Dict[str, object]:
+    """Return ``record`` with the shared ``meta`` block merged in.
+
+    The input dict is not mutated; ``meta`` is placed first so artifact
+    diffs lead with provenance.
+    """
+    out: Dict[str, object] = {"meta": bench_metadata(schema, schema_version)}
+    out.update(record)
+    return out

@@ -29,6 +29,8 @@ from typing import Dict
 
 import pytest
 
+from bench_meta import stamp
+
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.analysis import banner, format_table
 from repro.serving import (
@@ -150,7 +152,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    record = run_coalescing_bench(_coalesce_engine(), quick=args.quick)
+    record = stamp(
+        run_coalescing_bench(_coalesce_engine(), quick=args.quick),
+        "repro.bench.serving_throughput",
+    )
     print(
         f"decode-heavy stream ({record['n_requests']} requests, "
         f"{record['n_iterations']} scheduler iterations, "
@@ -173,7 +178,10 @@ def main(argv=None) -> int:
 
 def test_coalesced_scheduler_iteration_throughput(results_dir):
     """Event-compressed core >= 5x the per-token walk, records identical."""
-    record = run_coalescing_bench(_coalesce_engine())
+    record = stamp(
+        run_coalescing_bench(_coalesce_engine()),
+        "repro.bench.serving_throughput",
+    )
     (results_dir / "serving_throughput.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8"
     )

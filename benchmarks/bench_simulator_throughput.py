@@ -31,6 +31,8 @@ from typing import Dict, List, Tuple
 import numpy as np
 import pytest
 
+from bench_meta import stamp
+
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.functional import TinyTransformer, quantize_static
 from repro.models import (
@@ -165,7 +167,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     engine = _default_engine()
-    record = run_serving_mix(engine, serving_mix(engine.model, quick=args.quick))
+    record = stamp(
+        run_serving_mix(engine, serving_mix(engine.model, quick=args.quick)),
+        "repro.bench.sim_throughput",
+    )
     print(
         f"serving mix ({record['n_items']} sims, {record['n_distinct']} distinct) "
         f"on {record['model']} plan={record['plan']}:\n"
@@ -195,7 +200,10 @@ def main(argv=None) -> int:
 def test_serving_mix_fast_path_speedup(results_dir):
     """Fast path >= 10x over the reference walk on the serving mix."""
     engine = _default_engine()
-    record = run_serving_mix(engine, serving_mix(engine.model))
+    record = stamp(
+        run_serving_mix(engine, serving_mix(engine.model)),
+        "repro.bench.sim_throughput",
+    )
     (results_dir / "sim_throughput.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8"
     )

@@ -25,6 +25,7 @@ from typing import List, Optional
 from .analysis import format_table, speedup, ttft_sweep
 from .baselines import cta, flightllm, gemm_baseline
 from .core import ExecutionPlan, MeadowEngine, dataflow_grid
+from .errors import CLIError, ReproError
 from .fleet.faults import FAULT_SCENARIO_NAMES
 from .fleet.resilience import SHEDDING_NAMES
 from .fleet.routing import POLICY_NAMES
@@ -96,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--tokens", type=int, default=512)
     p.add_argument("--layer", type=int, default=0)
+    p.add_argument("--perfetto", default=None, metavar="PATH",
+                   help="also write the full op timeline (all layers) as "
+                        "Perfetto/Chrome trace_event JSON — open in "
+                        "ui.perfetto.dev or chrome://tracing")
 
     p = sub.add_parser("serve", help="multi-user serving simulation")
     common(p)
@@ -129,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of the bit-identical event-compressed "
                         "hot loop (debugging aid)")
     _interp_args(p)
+    _obs_args(p)
 
     p = sub.add_parser(
         "fleet", help="multi-engine sharded serving and Pareto sweeps"
@@ -181,9 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep: max_batch grid (default: [--max-batch])")
     p.add_argument("--ctx-buckets", type=int, nargs="+", default=None,
                    help="sweep: ctx_bucket grid (default: [--ctx-bucket])")
-    p.add_argument("--steal-grid", action="store_true",
-                   help="sweep: evaluate every grid point with work "
-                        "stealing both off and on (default: honor --steal)")
+    p.add_argument("--steal-grid", nargs="?", const="both", default=None,
+                   metavar="{both,on,off}",
+                   help="sweep: which work-stealing settings to cross with "
+                        "the grid — bare flag (or 'both') evaluates every "
+                        "point with stealing off and on; 'on'/'off' pin it "
+                        "(default: honor --steal)")
     p.add_argument("--max-energy-per-token-uj", type=float, default=None,
                    help="sweep: drop grid points above this modeled "
                         "energy-per-token ceiling before the Pareto front")
@@ -193,11 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "results are bit-identical either way)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="sweep: also write the versioned Pareto document")
-    p.add_argument("--faults", choices=FAULT_SCENARIO_NAMES, default="none",
+    p.add_argument("--faults", default="none",
+                   metavar="SCENARIO",
                    help="named fault scenario injected into the run "
                         "(crashes with cold-start re-warm, bandwidth "
                         "brownouts); 'none' keeps the bit-identical "
-                        "fault-free path")
+                        f"fault-free path; one of: "
+                        f"{', '.join(FAULT_SCENARIO_NAMES)}")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the 'chaos' scenario and retry jitter")
     p.add_argument("--retry-budget", type=int, default=None,
@@ -209,11 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "rejects requests predicted to miss it")
     p.add_argument("--shed", choices=SHEDDING_NAMES, default="none",
                    help="graceful load-shedding policy")
-    p.add_argument("--faults-grid", nargs="+", choices=FAULT_SCENARIO_NAMES,
-                   default=None,
+    p.add_argument("--faults-grid", nargs="+", default=None,
+                   metavar="SCENARIO",
                    help="sweep: fault scenarios to cross with the grid "
                         "(default: [--faults])")
     _interp_args(p)
+    _obs_args(p)
 
     p = sub.add_parser(
         "plan", help="O(1) analytical capacity planning from surface points"
@@ -257,6 +269,77 @@ def _interp_args(p: argparse.ArgumentParser) -> None:
                    help="override the interpolation guard (default: the "
                         "surface's built-in 0.05; 0 disables "
                         "interpolation entirely via fallback)")
+
+
+def _obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Perfetto/Chrome trace_event JSON of the "
+                        "run (request lifecycle spans, per-shard tracks, "
+                        "fault windows) — open in ui.perfetto.dev")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the sampled fleet metrics (counters, "
+                        "gauges, histograms); .csv suffix selects the "
+                        "long-format CSV, anything else versioned JSON")
+    p.add_argument("--obs-tick", type=float, default=0.05, metavar="SECONDS",
+                   help="simulated-time gauge sampling interval when "
+                        "observability is enabled")
+    p.add_argument("--timeline", action="store_true",
+                   help="append an ASCII fleet timeline to the report")
+
+
+def _make_observer(args: argparse.Namespace):
+    """A FleetObserver when any obs flag is set, else None (zero cost)."""
+    if args.trace_out is None and args.metrics_out is None and not args.timeline:
+        return None
+    if getattr(args, "sweep", False):
+        raise CLIError(
+            "--trace-out/--metrics-out/--timeline apply to single runs "
+            "only; sweeps evaluate many grid points and keep the "
+            "observability-free bit-identical path"
+        )
+    if args.obs_tick <= 0:
+        raise CLIError(f"--obs-tick must be positive, got {args.obs_tick:g}")
+    from .obs import FleetObserver
+
+    return FleetObserver(tick_s=args.obs_tick)
+
+
+def _obs_outputs(bundle, args: argparse.Namespace) -> List[str]:
+    """Write requested artifacts; returns report lines to append."""
+    lines: List[str] = []
+    if args.trace_out is not None:
+        bundle.write_trace(args.trace_out)
+        lines.append(f"wrote trace: {args.trace_out}")
+    if args.metrics_out is not None:
+        bundle.write_metrics(args.metrics_out)
+        lines.append(f"wrote metrics: {args.metrics_out}")
+    if args.timeline:
+        from .obs import render_fleet_timeline
+
+        lines.append(render_fleet_timeline(bundle.trace))
+    return lines
+
+
+def _parse_steal_grid(value: Optional[str], steal: bool):
+    """Map the --steal-grid value onto sweep points (default: --steal)."""
+    if value is None:
+        return (steal,)
+    grids = {"both": (False, True), "on": (True,), "off": (False,)}
+    if value not in grids:
+        raise CLIError(
+            f"--steal-grid expects 'both', 'on', or 'off', got {value!r}"
+        )
+    return grids[value]
+
+
+def _check_fault_names(names, flag: str) -> None:
+    """Reject unknown fault-scenario names with a one-line typed error."""
+    for name in names:
+        if name not in FAULT_SCENARIO_NAMES:
+            raise CLIError(
+                f"{flag}: unknown fault scenario {name!r} "
+                f"(choose from: {', '.join(FAULT_SCENARIO_NAMES)})"
+            )
 
 
 def _cmd_ttft(args: argparse.Namespace) -> str:
@@ -372,9 +455,20 @@ def _cmd_trace(args: argparse.Namespace) -> str:
 
     model = get_model(args.model)
     engine = MeadowEngine(model, zcu102_config(args.bandwidth), _PLANS[args.plan]())
-    events = build_trace(engine.prefill(args.tokens))
+    report = engine.prefill(args.tokens)
+    events = build_trace(report)
     layer_events = [ev for ev in events if ev.layer == args.layer]
-    return render_gantt(layer_events, width=70)
+    out = render_gantt(layer_events, width=70)
+    if args.perfetto is not None:
+        import json
+
+        from .obs import FleetTrace, op_spans, to_perfetto
+
+        trace = FleetTrace.build(op_spans(report, 0.0, shard_id=0), (), n_shards=1)
+        with open(args.perfetto, "w") as fh:
+            json.dump(to_perfetto(trace), fh, indent=2, sort_keys=True)
+        out += f"\nwrote trace: {args.perfetto}"
+    return out
 
 
 def _source_factory(args: argparse.Namespace):
@@ -424,6 +518,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         if args.kv_budget_mb is not None
         else None
     )
+    observer = _make_observer(args)
     sim = ServingSimulator(
         engine,
         kv_budget_bytes=budget,
@@ -432,6 +527,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         coalesce=not args.no_coalesce,
         token_events=not args.no_token_events,
         interpolate=args.interpolate,
+        obs=observer,
     )
     report = sim.run(source)
     title = (
@@ -439,7 +535,10 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         f"{args.requests} requests, {args.arrival} arrivals (seed {args.seed}), "
         f"max_batch={args.max_batch}, ctx_bucket={args.ctx_bucket}"
     )
-    return report.metrics.format_report(title)
+    lines = [report.metrics.format_report(title)]
+    if observer is not None:
+        lines.extend(_obs_outputs(observer.build(), args))
+    return "\n".join(lines)
 
 
 def _cmd_fleet(args: argparse.Namespace) -> str:
@@ -455,6 +554,10 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         else None
     )
     factory = _source_factory(args)
+    _check_fault_names([args.faults], "--faults")
+    if args.faults_grid is not None:
+        _check_fault_names(args.faults_grid, "--faults-grid")
+    observer = _make_observer(args)
 
     if not args.sweep:
         # One engine per *distinct* bandwidth: shards sharing hardware
@@ -493,6 +596,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             retry=retry,
             shedding=None if args.shed == "none" else args.shed,
             fault_seed=args.fault_seed,
+            obs=observer,
         )
         report = fleet.run(factory())
         header = (
@@ -500,7 +604,10 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             f"{' '.join(f'{b:g}' for b in args.bandwidths)} Gbps — "
             f"{args.requests} requests, {args.arrival} arrivals (seed {args.seed})"
         )
-        return header + "\n" + report.describe()
+        lines = [header, report.describe()]
+        if report.obs is not None:
+            lines.extend(_obs_outputs(report.obs, args))
+        return "\n".join(lines)
 
     if args.interpolate:
         from .errors import ConfigError
@@ -523,7 +630,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         policies=args.policies or list(POLICY_NAMES),
         max_batch_grid=args.max_batches or [args.max_batch],
         ctx_bucket_grid=args.ctx_buckets or [args.ctx_bucket],
-        steal_grid=(False, True) if args.steal_grid else (args.steal,),
+        steal_grid=_parse_steal_grid(args.steal_grid, args.steal),
         max_energy_per_token_uj=args.max_energy_per_token_uj,
         workers=args.workers if args.workers is not None else os.cpu_count(),
         faults_grid=args.faults_grid or [args.faults],
@@ -604,9 +711,19 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`, including
+    :class:`~repro.errors.CLIError`) become a one-line ``error: ...`` on
+    stderr and exit code 2 — shell users never see a traceback for a
+    bad flag value.
+    """
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
+    try:
+        print(_COMMANDS[args.command](args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

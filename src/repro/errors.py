@@ -32,6 +32,17 @@ class SimulationError(ReproError):
     """The performance or functional simulator reached an invalid state."""
 
 
+class CLIError(ReproError):
+    """A command-line invocation is invalid or internally inconsistent.
+
+    Raised by :mod:`repro.cli` for argument combinations argparse cannot
+    express (unknown scenario names, malformed grid values, flags that
+    only apply to one mode). ``main()`` turns any :class:`ReproError`
+    into a one-line ``error: ...`` on stderr and exit code 2, so library
+    misconfiguration never surfaces as a traceback to shell users.
+    """
+
+
 class UnknownRequestError(ConfigError):
     """An operation named a request the scheduler does not hold.
 

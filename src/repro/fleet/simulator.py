@@ -54,11 +54,12 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.meadow import MeadowEngine
 from ..errors import CapacityError, ConfigError
+from ..obs.tracer import FleetObserver, ObsBundle
 from ..serving.metrics import FleetMetrics
 from ..serving.request import Request, RequestSource
 from ..serving.scheduler import ContinuousBatchingScheduler, ServingResult
@@ -179,6 +180,26 @@ class FleetReport:
     #: :class:`~repro.fleet.faults.FaultSchedule` reports, so zero-fault
     #: configurations compare equal whichever way they were spelled.
     resilience: Optional[ResilienceReport] = None
+    #: Observability bundle (lifecycle trace + metrics registry) when
+    #: the run carried a :class:`~repro.obs.FleetObserver`; ``None``
+    #: otherwise. Excluded from equality so an observed run's report
+    #: still compares ``==`` to the identical unobserved run — the
+    #: bit-identity property the obs layer guarantees and the
+    #: equivalence tests assert directly on report equality.
+    obs: Optional[ObsBundle] = field(default=None, compare=False, repr=False)
+
+    def timeline(self, width: int = 80) -> str:
+        """ASCII fleet timeline: one row per shard, faults overlaid.
+
+        Runs that carried an observer render the exact step/fault trace;
+        unobserved runs fall back to a coarse reconstruction from
+        request records (see :func:`repro.obs.trace_from_report`).
+        """
+        from ..obs.bridge import trace_from_report
+        from ..obs.gantt import render_fleet_timeline
+
+        trace = self.obs.trace if self.obs is not None else trace_from_report(self)
+        return render_fleet_timeline(trace, width=width)
 
     def ttft_calibration(self) -> Optional[TTFTCalibration]:
         """Aggregate predicted-vs-realized TTFT error, or ``None``.
@@ -321,6 +342,12 @@ class FleetSimulator:
             ``"drop-oldest"``).
         fault_seed: seed for named fault scenarios (ignored when a
             concrete schedule is passed).
+        obs: a :class:`~repro.obs.FleetObserver` collecting request
+            lifecycle spans, fault windows and per-shard metric samples;
+            the built bundle lands on :attr:`FleetReport.obs`. ``None``
+            (the default) wires no hooks anywhere — runs are then
+            bit-identical to a build without the obs layer, a property
+            the equivalence tests enforce.
     """
 
     def __init__(
@@ -339,6 +366,7 @@ class FleetSimulator:
         retry: Optional[RetryPolicy] = None,
         shedding: Union[SheddingPolicy, str, None] = None,
         fault_seed: int = 0,
+        obs: Optional[FleetObserver] = None,
     ) -> None:
         if not engines:
             raise ConfigError("a fleet needs at least one engine")
@@ -366,6 +394,7 @@ class FleetSimulator:
             make_shedding(shedding) if isinstance(shedding, str) else shedding
         )
         self.fault_seed = fault_seed
+        self.obs = obs
 
     def _resolve_faults(
         self, initial: Sequence[Request]
@@ -400,6 +429,7 @@ class FleetSimulator:
             return self._run_resilient(source, initial, schedule)
         policy = self.policy
         policy.reset(len(self.engines))
+        obs = self.obs
 
         # (arrival_s, request_id, Request): the same deterministic FCFS
         # total order the per-shard schedulers use.
@@ -430,6 +460,11 @@ class FleetSimulator:
                         arrivals,
                         (follow_up.arrival_s, follow_up.request_id, follow_up),
                     )
+                    if obs is not None:
+                        obs.instant(
+                            "SUBMIT", follow_up.arrival_s,
+                            request_id=follow_up.request_id, follow_up=True,
+                        )
                 else:
                     n_rejected += 1
                 return None
@@ -447,6 +482,7 @@ class FleetSimulator:
                 coalesce=self.coalesce,
                 token_events=self.token_events,
                 interpolate=self.interpolate,
+                obs=obs.shard(i) if obs is not None else None,
             )
             for i, engine in enumerate(self.engines)
         )
@@ -474,11 +510,15 @@ class FleetSimulator:
                 # that can never run anywhere is a configuration error.
                 shards[0]._check(req)  # raises with the precise reason
             heapq.heappush(arrivals, (req.arrival_s, req.request_id, req))
+            if obs is not None:
+                obs.instant("SUBMIT", req.arrival_s, request_id=req.request_id)
 
         decisions: List[RoutingDecision] = []
 
         def steal_pass() -> bool:
-            return self._steal_pass(shards, decisions, pending_predictions)
+            return self._steal_pass(
+                shards, decisions, pending_predictions, obs=obs
+            )
 
         # The drain calendar: (next_event_s, shard_id) per busy shard.
         # Rebuilt lazily whenever routing, stealing or an arrival sync
@@ -529,6 +569,12 @@ class FleetSimulator:
                 decisions.append(
                     RoutingDecision(request_id, t, choice, predicted)
                 )
+                if obs is not None:
+                    obs.instant(
+                        "ROUTE", t, request_id=request_id, shard_id=choice,
+                        policy=policy.name, predicted_ttft_s=predicted,
+                    )
+                    obs.count("requests_routed", shard=choice)
             elif open_loop:
                 # Open-loop fast path: no follow-ups can ever appear,
                 # so each shard runs dry independently in one coalesced
@@ -597,6 +643,7 @@ class FleetSimulator:
             shard_metrics=tuple(
                 FleetMetrics.from_result(r) for r in shard_results
             ),
+            obs=obs.build() if obs is not None else None,
         )
 
     @staticmethod
@@ -605,6 +652,7 @@ class FleetSimulator:
         decisions: List[RoutingDecision],
         pending_predictions: Dict[int, float],
         up: Optional[List[bool]] = None,
+        obs: Optional[FleetObserver] = None,
     ) -> bool:
         """Idle thieves pull waiting work off backlogged donors.
 
@@ -671,14 +719,21 @@ class FleetSimulator:
                 # that will never run; drop it from calibration.
                 pending_predictions.pop(victim.request_id, None)
                 thief.submit(victim)
+                migrate_s = max(thief.clock_s, victim.arrival_s)
                 decisions.append(
                     RoutingDecision(
                         victim.request_id,
-                        max(thief.clock_s, victim.arrival_s),
+                        migrate_s,
                         thief_id,
                         migrated_from=donor_id,
                     )
                 )
+                if obs is not None:
+                    obs.instant(
+                        "MIGRATE", migrate_s, request_id=victim.request_id,
+                        shard_id=thief_id, from_shard=donor_id,
+                    )
+                    obs.count("migrations", thief=thief_id, donor=donor_id)
                 stole = True
                 break
         return stole
@@ -706,6 +761,7 @@ class FleetSimulator:
         n_shards = len(self.engines)
         policy = self.policy
         policy.reset(n_shards)
+        obs = self.obs
         retry_policy = self.retry if self.retry is not None else RetryPolicy()
         shedding = self.shedding if self.shedding is not None else None
 
@@ -764,16 +820,28 @@ class FleetSimulator:
                     dispositions[rid] = Disposition.EXPIRED
                 else:
                     dispositions[rid] = Disposition.LOST
+                if obs is not None:
+                    obs.instant(dispositions[rid].name, t, request_id=rid)
+                    obs.count(f"requests_{dispositions[rid].name.lower()}")
                 return
             backoff = retry_policy.backoff_s(rid, used + 1)
             if eff is not None and t + backoff >= origin[rid] + eff:
                 # The retry could not even re-enter before the deadline.
                 dispositions[rid] = Disposition.EXPIRED
+                if obs is not None:
+                    obs.instant("EXPIRED", t, request_id=rid)
+                    obs.count("requests_expired")
                 return
             attempts[rid] = used + 1
             n_retries += 1
             resub = replace(req, arrival_s=t + backoff)
             heapq.heappush(arrivals, (resub.arrival_s, rid, resub))
+            if obs is not None:
+                obs.instant(
+                    "RETRY", t, request_id=rid,
+                    attempt=used + 1, backoff_s=backoff,
+                )
+                obs.count("retries")
 
         def make_harvest(shard_id: int):
             # Completion hook: record the disposition (exactly once, at
@@ -799,6 +867,11 @@ class FleetSimulator:
                         arrivals,
                         (follow_up.arrival_s, follow_up.request_id, follow_up),
                     )
+                    if obs is not None:
+                        obs.instant(
+                            "SUBMIT", follow_up.arrival_s,
+                            request_id=follow_up.request_id, follow_up=True,
+                        )
                 else:
                     n_rejected += 1
                 return None
@@ -816,6 +889,7 @@ class FleetSimulator:
                 coalesce=self.coalesce,
                 token_events=self.token_events,
                 interpolate=self.interpolate,
+                obs=obs.shard(i) if obs is not None else None,
             )
             for i, engine in enumerate(self.engines)
         )
@@ -830,13 +904,15 @@ class FleetSimulator:
             if not any(s.can_ever_admit(req) for s in shards):
                 shards[0]._check(req)  # raises with the precise reason
             heapq.heappush(arrivals, (req.arrival_s, req.request_id, req))
+            if obs is not None:
+                obs.instant("SUBMIT", req.arrival_s, request_id=req.request_id)
 
         decisions: List[RoutingDecision] = []
         calendar: List[Tuple[float, int]] = []
         calendar_stale = True
         while True:
             if self.steal and self._steal_pass(
-                shards, decisions, pending_predictions, up
+                shards, decisions, pending_predictions, up, obs=obs
             ):
                 calendar_stale = True
             t_fault = fault_heap[0][0] if fault_heap else math.inf
@@ -874,11 +950,22 @@ class FleetSimulator:
                             len(victims), lost,
                         )
                     )
+                    if obs is not None:
+                        obs.span(
+                            "CRASH", t, t + payload, shard_id=s,
+                            n_requests_hit=len(victims),
+                            lost_generated_tokens=lost,
+                        )
+                        obs.span("REWARM", t + payload, recover_at, shard_id=s)
+                        obs.count("crashes", shard=s)
+                        obs.gauge("shards_up", t, float(sum(up)))
                     for victim in victims:
                         pending_predictions.pop(victim.request_id, None)
                         handle_failure(victim, t)
                 elif action == "recover":
                     up[s] = True
+                    if obs is not None:
+                        obs.gauge("shards_up", t, float(sum(up)))
                 elif action == "brownout":
                     factor, end_s = payload
                     # Steps already in flight finish at their original
@@ -887,6 +974,12 @@ class FleetSimulator:
                     applied.append(
                         AppliedFault(FaultKind.BROWNOUT, s, t, end_s)
                     )
+                    if obs is not None:
+                        obs.span(
+                            "BROWNOUT", t, end_s, shard_id=s,
+                            bandwidth_factor=factor,
+                        )
+                        obs.count("brownouts", shard=s)
                 else:  # brownout_end — most recent event wins on overlap
                     shards[s].latency_scale = 1.0
                 continue
@@ -924,6 +1017,11 @@ class FleetSimulator:
                     req, t, feasible, eff
                 ):
                     dispositions[request_id] = Disposition.SHED
+                    if obs is not None:
+                        obs.instant(
+                            "SHED", t, request_id=request_id, reason="rejected"
+                        )
+                        obs.count("requests_shed", reason="rejected")
                     continue
                 choice = policy.route(req, t, feasible)
                 chosen = next(
@@ -942,6 +1040,12 @@ class FleetSimulator:
                         shards[choice].withdraw(victim.request_id)
                         pending_predictions.pop(victim.request_id, None)
                         dispositions[victim.request_id] = Disposition.SHED
+                        if obs is not None:
+                            obs.instant(
+                                "SHED", t, request_id=victim.request_id,
+                                shard_id=choice, reason="evicted",
+                            )
+                            obs.count("requests_shed", reason="evicted")
                 shards[choice].submit(req)
                 predicted = policy.predicted_ttft_s(req, t, chosen)
                 if predicted is not None:
@@ -949,6 +1053,12 @@ class FleetSimulator:
                 decisions.append(
                     RoutingDecision(request_id, t, choice, predicted)
                 )
+                if obs is not None:
+                    obs.instant(
+                        "ROUTE", t, request_id=request_id, shard_id=choice,
+                        policy=policy.name, predicted_ttft_s=predicted,
+                    )
+                    obs.count("requests_routed", shard=choice)
             elif self.calendar:
                 # Event-calendar drain, as in run(); down shards are
                 # idle (harvested) so they never enter the calendar.
@@ -1015,4 +1125,5 @@ class FleetSimulator:
                 FleetMetrics.from_result(r) for r in shard_results
             ),
             resilience=resilience,
+            obs=obs.build() if obs is not None else None,
         )

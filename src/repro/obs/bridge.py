@@ -1,0 +1,154 @@
+"""Bridges between the obs schema and the rest of the stack.
+
+Two directions:
+
+* **down** — :func:`op_spans` / :func:`nest_op_trace` rescale the
+  op-level cycle timeline of :func:`repro.sim.trace.build_trace` into
+  wall-clock seconds inside a request's PREFILL (or DECODE) span, so a
+  single Perfetto file shows where the *cycles* went inside where the
+  *seconds* went.  This deduplicates the two ``TraceEvent`` notions:
+  :class:`repro.sim.trace.TraceEvent` stays the cycle-domain record,
+  and this module is the one place that converts it to an obs
+  :class:`~repro.obs.spans.Span`.
+* **up** — :func:`trace_from_report` reconstructs a coarse lifecycle
+  trace from an already-built :class:`~repro.fleet.FleetReport`, so
+  ``FleetReport.timeline()`` works even for runs that did not carry an
+  observer (phases are then bounded by record timestamps: QUEUE is
+  arrival→admit rather than arrival→prefill-start).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import SimulationError
+from .spans import CAT_FAULT, CAT_OP, CAT_REQUEST, FleetTrace, Span
+
+__all__ = ["op_spans", "nest_op_trace", "trace_from_report"]
+
+
+def op_spans(
+    stage_report,
+    t0_s: float,
+    duration_s: Optional[float] = None,
+    shard_id: Optional[int] = None,
+    request_id: Optional[int] = None,
+) -> List[Span]:
+    """Lay a :class:`~repro.sim.StageReport`'s ops onto the wall clock.
+
+    With ``duration_s`` the op timeline is stretched to exactly fill
+    ``[t0_s, t0_s + duration_s)`` (the usual case: nesting cycles under
+    a measured span); without it, cycles convert at the report's
+    configured clock.
+    """
+    from ..sim.trace import build_trace
+
+    events = build_trace(stage_report)
+    if not events:
+        raise SimulationError("stage report produced no op events")
+    total_cycles = events[-1].end
+    if duration_s is not None:
+        if total_cycles <= 0:
+            raise SimulationError("op timeline has zero cycles; cannot rescale")
+        scale = duration_s / total_cycles
+    else:
+        scale = 1.0 / stage_report.config.clock_hz
+    return [
+        Span.make(
+            f"L{ev.layer}.{ev.op}",
+            CAT_OP,
+            t0_s + ev.start * scale,
+            t0_s + ev.end * scale,
+            shard_id=shard_id,
+            request_id=request_id,
+            layer=ev.layer,
+            dataflow=ev.dataflow,
+            cycles=ev.duration,
+        )
+        for ev in events
+    ]
+
+
+def nest_op_trace(
+    trace: FleetTrace,
+    request_id: int,
+    stage_report,
+    phase: str = "PREFILL",
+) -> FleetTrace:
+    """Nest a stage report's op cycles under one request's phase span.
+
+    Finds the request's first ``phase`` span in ``trace``, stretches the
+    op timeline across it, and returns a new trace with the op spans
+    merged in — load the result in Perfetto to drill from request
+    lifecycle into per-op cycle breakdowns.
+    """
+    target = next(
+        (
+            s
+            for s in trace.spans
+            if s.request_id == request_id
+            and s.name == phase
+            and s.cat == CAT_REQUEST
+        ),
+        None,
+    )
+    if target is None:
+        raise SimulationError(
+            f"request {request_id} has no {phase} span in this trace"
+        )
+    return trace.merged(
+        op_spans(
+            stage_report,
+            target.t0_s,
+            duration_s=target.duration_s,
+            shard_id=target.shard_id,
+            request_id=request_id,
+        )
+    )
+
+
+def trace_from_report(report) -> FleetTrace:
+    """Reconstruct a coarse lifecycle trace from a built FleetReport.
+
+    The fallback behind ``FleetReport.timeline()`` for runs without an
+    observer.  Phase boundaries come from request records (admit /
+    first-token / finish), placements from the final routing decision,
+    and fault spans from the resilience report when present.
+    """
+    result = report.result
+    spans: List[Span] = []
+    placement = {}
+    for decision in result.decisions:
+        placement[decision.request_id] = decision.shard_id
+    for shard_id, shard in enumerate(result.shard_results):
+        for rec in shard.records:
+            request_id = rec.request.request_id
+            owner = placement.get(request_id, shard_id)
+            spans.append(
+                Span.make(
+                    "QUEUE", CAT_REQUEST, rec.request.arrival_s, rec.admit_s,
+                    shard_id=owner, request_id=request_id,
+                )
+            )
+            spans.append(
+                Span.make(
+                    "PREFILL", CAT_REQUEST, rec.admit_s, rec.first_token_s,
+                    shard_id=owner, request_id=request_id,
+                )
+            )
+            spans.append(
+                Span.make(
+                    "DECODE", CAT_REQUEST, rec.first_token_s, rec.finish_s,
+                    shard_id=owner, request_id=request_id,
+                )
+            )
+    if report.resilience is not None:
+        for fault in report.resilience.faults:
+            spans.append(
+                Span.make(
+                    fault.kind.value.upper(), CAT_FAULT, fault.at_s, fault.until_s,
+                    shard_id=fault.shard_id,
+                    n_requests_hit=fault.n_requests_hit,
+                )
+            )
+    return FleetTrace.build(spans, n_shards=result.n_shards)

@@ -1,0 +1,72 @@
+"""ASCII fleet timelines: the op-level Gantt generalized to shards.
+
+:func:`repro.sim.trace.render_gantt` draws one op per row; a fleet run
+needs the transpose — one row per *shard*, with time on the x-axis and
+a glyph per column summarizing what the shard was doing.  Fault spans
+overlay the busy/idle texture so a crash window reads at a glance.
+
+Glyphs (highest priority wins per column)::
+
+    X crash outage     w re-warm (weight reload)   ~ brownout
+    # prefill          = decode                    . idle-but-up
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import SimulationError
+from .spans import FleetTrace
+
+__all__ = ["render_fleet_timeline"]
+
+#: Per-column glyph priority: later entries overwrite earlier ones.
+_LAYERS = (
+    ("DECODE", "="),
+    ("DECODE_RUN", "="),
+    ("PREFILL", "#"),
+    ("PREFILL_STEP", "#"),
+    ("BROWNOUT", "~"),
+    ("REWARM", "w"),
+    ("CRASH", "X"),
+)
+
+_LEGEND = "legend: #=prefill ==decode X=crash w=rewarm ~=brownout .=idle"
+
+
+def render_fleet_timeline(trace: FleetTrace, width: int = 80) -> str:
+    """Render one row per shard across the trace's full time span."""
+    if width < 10:
+        raise SimulationError(f"width must be >= 10, got {width}")
+    span_s = trace.end_s
+    if span_s <= 0:
+        raise SimulationError("cannot render an empty or zero-duration trace")
+    n_shards = trace.n_shards or 1 + max(
+        (s.shard_id for s in trace.spans if s.shard_id is not None), default=-1
+    )
+    if n_shards <= 0:
+        raise SimulationError("trace has no shard-attributed spans to render")
+
+    rows: Dict[int, List[str]] = {i: ["."] * width for i in range(n_shards)}
+    priority = {name: rank for rank, (name, _) in enumerate(_LAYERS)}
+    glyph = dict(_LAYERS)
+    painted: Dict[int, List[int]] = {i: [-1] * width for i in range(n_shards)}
+
+    for s in trace.spans:
+        rank = priority.get(s.name)
+        if rank is None or s.shard_id is None or s.shard_id >= n_shards:
+            continue
+        begin = int(s.t0_s / span_s * width)
+        end = max(begin + 1, int(s.t1_s / span_s * width))
+        row, ranks, ch = rows[s.shard_id], painted[s.shard_id], glyph[s.name]
+        for col in range(begin, min(end, width)):
+            if rank > ranks[col]:
+                ranks[col] = rank
+                row[col] = ch
+
+    label_w = len(f"shard {n_shards - 1}") + 1
+    lines = [f"fleet timeline — {n_shards} shard(s), {span_s:.3f} s simulated"]
+    for shard_id in range(n_shards):
+        lines.append(f"{f'shard {shard_id}':<{label_w}}|{''.join(rows[shard_id])}|")
+    lines.append(_LEGEND)
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Span and event schema shared by every observability producer.
+
+One vocabulary covers the whole stack: request-lifecycle spans emitted
+by the serving scheduler and fleet loop, fault spans from the chaos
+layer, iteration-level step slices, and (via :mod:`repro.obs.bridge`)
+op-level cycles from :mod:`repro.sim.trace` rescaled into wall-clock
+seconds.  Everything downstream — the Perfetto exporter, the ASCII
+fleet timeline, the metrics bundle — consumes only these types.
+
+The schema is deliberately dependency-light (no imports from the
+serving / fleet / sim layers) so any module can emit spans without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = [
+    "OBS_SCHEMA",
+    "OBS_SCHEMA_VERSION",
+    "CAT_REQUEST",
+    "CAT_STEP",
+    "CAT_FAULT",
+    "CAT_OP",
+    "Span",
+    "Instant",
+    "FleetTrace",
+]
+
+#: Schema identifier stamped into every exported trace document.
+OBS_SCHEMA = "repro.obs.trace"
+#: Bump when the span vocabulary or field layout changes incompatibly.
+OBS_SCHEMA_VERSION = 1
+
+#: Span categories — one Perfetto track per (process, category).
+CAT_REQUEST = "request"  # lifecycle: QUEUE / PREFILL / DECODE
+CAT_STEP = "step"  # scheduler iterations: prefill steps, decode runs
+CAT_FAULT = "fault"  # chaos layer: CRASH / REWARM / BROWNOUT
+CAT_OP = "op"  # per-op cycles bridged from repro.sim.trace
+
+Attrs = Tuple[Tuple[str, object], ...]
+
+
+def _freeze_attrs(attrs: Optional[Dict[str, object]]) -> Attrs:
+    if not attrs:
+        return ()
+    return tuple(sorted(attrs.items()))
+
+
+@dataclass(frozen=True)
+class Span(object):
+    """A half-open interval ``[t0_s, t1_s)`` on the simulated clock."""
+
+    name: str
+    cat: str
+    t0_s: float
+    t1_s: float
+    shard_id: Optional[int] = None
+    request_id: Optional[int] = None
+    attrs: Attrs = ()
+
+    def __post_init__(self) -> None:
+        if self.t1_s < self.t0_s:
+            raise SimulationError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.t0_s} -> {self.t1_s})"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in simulated seconds."""
+        return self.t1_s - self.t0_s
+
+    @property
+    def attrs_dict(self) -> Dict[str, object]:
+        """The frozen attribute pairs as a plain dict."""
+        return dict(self.attrs)
+
+    @staticmethod
+    def make(
+        name: str,
+        cat: str,
+        t0_s: float,
+        t1_s: float,
+        shard_id: Optional[int] = None,
+        request_id: Optional[int] = None,
+        **attrs: object,
+    ) -> "Span":
+        """Construct a span with keyword attributes (order-insensitive)."""
+        return Span(name, cat, t0_s, t1_s, shard_id, request_id, _freeze_attrs(attrs))
+
+
+@dataclass(frozen=True)
+class Instant(object):
+    """A point event on the simulated clock (SUBMIT, ROUTE, RETRY...)."""
+
+    name: str
+    cat: str
+    t_s: float
+    shard_id: Optional[int] = None
+    request_id: Optional[int] = None
+    attrs: Attrs = ()
+
+    @property
+    def attrs_dict(self) -> Dict[str, object]:
+        """The frozen attribute pairs as a plain dict."""
+        return dict(self.attrs)
+
+    @staticmethod
+    def make(
+        name: str,
+        cat: str,
+        t_s: float,
+        shard_id: Optional[int] = None,
+        request_id: Optional[int] = None,
+        **attrs: object,
+    ) -> "Instant":
+        """Construct an instant with keyword attributes."""
+        return Instant(name, cat, t_s, shard_id, request_id, _freeze_attrs(attrs))
+
+
+@dataclass(frozen=True)
+class FleetTrace(object):
+    """An immutable bag of spans and instants for one simulation run."""
+
+    spans: Tuple[Span, ...]
+    instants: Tuple[Instant, ...]
+    schema: str = OBS_SCHEMA
+    schema_version: int = OBS_SCHEMA_VERSION
+    n_shards: int = 0
+
+    @staticmethod
+    def build(
+        spans: Iterable[Span],
+        instants: Iterable[Instant] = (),
+        n_shards: int = 0,
+    ) -> "FleetTrace":
+        """Freeze span/instant iterables into a deterministic trace.
+
+        Events are ordered by (time, name, request id) so traces built
+        from identical runs compare equal regardless of emission order.
+        """
+        def span_key(s: Span):
+            return (
+                s.t0_s, s.t1_s, s.cat, s.name,
+                -1 if s.request_id is None else s.request_id,
+                -1 if s.shard_id is None else s.shard_id,
+            )
+
+        def inst_key(i: Instant):
+            return (
+                i.t_s, i.cat, i.name,
+                -1 if i.request_id is None else i.request_id,
+                -1 if i.shard_id is None else i.shard_id,
+            )
+
+        return FleetTrace(
+            spans=tuple(sorted(spans, key=span_key)),
+            instants=tuple(sorted(instants, key=inst_key)),
+            n_shards=n_shards,
+        )
+
+    def for_request(self, request_id: int) -> "FleetTrace":
+        """The sub-trace touching one request id."""
+        return FleetTrace(
+            spans=tuple(s for s in self.spans if s.request_id == request_id),
+            instants=tuple(i for i in self.instants if i.request_id == request_id),
+            n_shards=self.n_shards,
+        )
+
+    def for_shard(self, shard_id: int) -> "FleetTrace":
+        """The sub-trace of one shard's track."""
+        return FleetTrace(
+            spans=tuple(s for s in self.spans if s.shard_id == shard_id),
+            instants=tuple(i for i in self.instants if i.shard_id == shard_id),
+            n_shards=self.n_shards,
+        )
+
+    def span_names(self) -> List[str]:
+        """Distinct span names, sorted (handy in tests and reports)."""
+        return sorted({s.name for s in self.spans})
+
+    @property
+    def end_s(self) -> float:
+        """Latest timestamp in the trace (0.0 when empty)."""
+        ends = [s.t1_s for s in self.spans] + [i.t_s for i in self.instants]
+        return max(ends) if ends else 0.0
+
+    def merged(self, extra_spans: Iterable[Span]) -> "FleetTrace":
+        """A new trace with ``extra_spans`` folded in (re-sorted)."""
+        return FleetTrace.build(
+            list(self.spans) + list(extra_spans),
+            self.instants,
+            n_shards=self.n_shards,
+        )

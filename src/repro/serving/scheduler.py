@@ -333,6 +333,13 @@ class ContinuousBatchingScheduler:
             ``interp_rel_err`` bound, so modeled numbers stay within
             that relative error of the exact walk. Default ``False``
             keeps every number bit-identical to exact simulation.
+        obs: optional per-shard observability sink (a
+            :class:`~repro.obs.ShardObs` view, or anything duck-typed
+            like one). The scheduler only ever *reports* to it — events,
+            step slices, gauge samples — never reads from it, so results
+            are bit-identical with or without an observer. ``None`` (the
+            default) skips every hook behind a single ``is not None``
+            check: observability is provably free when off.
 
     Pending prefills always run before decode iterations (the classic
     continuous-batching policy: it fills the decode batch fastest);
@@ -350,6 +357,7 @@ class ContinuousBatchingScheduler:
         coalesce: bool = True,
         token_events: bool = True,
         interpolate: bool = False,
+        obs=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -384,6 +392,8 @@ class ContinuousBatchingScheduler:
         #: scaled: a brownout stretches time, not the modeled joules of
         #: the work performed.
         self.latency_scale = 1.0
+        #: Observability sink (None = all hooks skipped, zero overhead).
+        self._obs = obs
         if on_complete is None and source is not None:
             on_complete = source.on_complete
         self._on_complete = on_complete
@@ -658,6 +668,18 @@ class ContinuousBatchingScheduler:
                 self._clock, kind, request_id, self._kv_reserved, len(self._pending)
             )
         )
+        # Mirror state-change events into the observer's lifecycle FSM;
+        # per-token kinds are deliberately excluded (the observer gets
+        # first-token explicitly and decode runs as step slices), so the
+        # enabled-mode cost stays O(state changes), not O(tokens).
+        # Identity checks, not frozenset membership: enum hashing is a
+        # python-level call and this runs once per logged event.
+        if (
+            self._obs is not None
+            and kind is not EventKind.FIRST_TOKEN
+            and kind is not EventKind.DECODE_STEP
+        ):
+            self._obs.request_event(self._clock, kind.value, request_id)
 
     def _ingest_arrivals(self) -> None:
         while self._future and self._future[0][0] <= self._clock:
@@ -712,6 +734,7 @@ class ContinuousBatchingScheduler:
         point = self.engine.surface.prefill(
             req.prompt_tokens, interpolate=self.interpolate
         )
+        t0 = self._clock
         self._clock += point.latency_s * self.latency_scale
         self._energy_uj += point.energy_uj
         self._n_prefills += 1
@@ -726,6 +749,10 @@ class ContinuousBatchingScheduler:
         active.last_token_s = self._clock
         if self.token_events:
             self._log(EventKind.FIRST_TOKEN, req.request_id)
+        obs = self._obs
+        if obs is not None:
+            obs.first_token(self._clock, req.request_id)
+            obs.step(t0, self._clock, "prefill", 1, 1, req.request_id)
         if active.generated >= req.output_tokens:
             self._complete(active)
         else:
@@ -733,6 +760,11 @@ class ContinuousBatchingScheduler:
             self._remaining_decode += req.output_tokens - 1
             if active.context > self._decode_ctx:
                 self._decode_ctx = active.context
+        if obs is not None:
+            obs.sample(
+                self._clock, self._kv_reserved, len(self._pending),
+                len(self._decoding), len(self._prefill_queue) + len(self._pending),
+            )
 
     def _decode_step(self) -> None:
         """One batched decode iteration — the per-token reference path."""
@@ -744,6 +776,7 @@ class ContinuousBatchingScheduler:
             self._bucket_ctx(raw_ctx), batch=len(batch),
             interpolate=self.interpolate,
         )
+        t0 = self._clock
         self._clock += point.latency_s * self.latency_scale
         self._energy_uj += point.energy_uj
         self._n_decodes += 1
@@ -783,6 +816,13 @@ class ContinuousBatchingScheduler:
             )
         elif raw_ctx > self._decode_ctx:
             self._decode_ctx = raw_ctx
+        obs = self._obs
+        if obs is not None:
+            obs.step(t0, self._clock, "decode", 1, len(batch))
+            obs.sample(
+                self._clock, self._kv_reserved, len(self._pending),
+                len(self._decoding), len(self._prefill_queue) + len(self._pending),
+            )
 
     def _decode_run(self, t_s: float) -> None:
         """Coalesce a stable run of decode iterations (bit-identical).
@@ -829,6 +869,7 @@ class ContinuousBatchingScheduler:
             if c >= next_arrival:
                 break
         k = len(clocks)
+        t0 = self._clock
         self._clock = c
         self._energy_uj = energy
         self._n_decodes += k
@@ -878,6 +919,13 @@ class ContinuousBatchingScheduler:
             end_ctx = raw_ctx + k - 1
             if end_ctx > self._decode_ctx:
                 self._decode_ctx = end_ctx
+        obs = self._obs
+        if obs is not None and k:
+            obs.step(t0, c, "decode", k, n)
+            obs.sample(
+                c, self._kv_reserved, len(self._pending),
+                len(self._decoding), len(self._prefill_queue) + len(self._pending),
+            )
 
     # ---------------------------------------------------------------- run
     @property

@@ -58,6 +58,11 @@ class ServingSimulator:
     introspects), and the third allows guarded surface interpolation on
     latency lookups (approximate within the surface's ``interp_rel_err``
     bound; off by default so numbers stay exact).
+
+    ``obs`` takes a :class:`~repro.obs.FleetObserver`; the single-engine
+    run reports through its shard-0 view, so the same observer (and
+    exporters) work for standalone serving and fleet runs alike.
+    ``None`` — the default — skips every hook and is bit-identical.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class ServingSimulator:
         coalesce: bool = True,
         token_events: bool = True,
         interpolate: bool = False,
+        obs=None,
     ) -> None:
         self.engine = engine
         self.kv_budget_bytes = kv_budget_bytes
@@ -77,6 +83,7 @@ class ServingSimulator:
         self.coalesce = coalesce
         self.token_events = token_events
         self.interpolate = interpolate
+        self.obs = obs
 
     def run(self, source: RequestSource) -> ServingReport:
         """Simulate one scenario to completion."""
@@ -89,6 +96,7 @@ class ServingSimulator:
             coalesce=self.coalesce,
             token_events=self.token_events,
             interpolate=self.interpolate,
+            obs=self.obs.shard(0) if self.obs is not None else None,
         )
         result = scheduler.run()
         return ServingReport(result=result, metrics=FleetMetrics.from_result(result))

@@ -131,9 +131,13 @@ class TestFleetChaosFlags:
         assert args.shed == "none"
         assert args.faults_grid is None
 
-    def test_rejects_unknown_scenario_and_shedder(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["fleet", "--faults", "meteor"])
+    def test_rejects_unknown_scenario_and_shedder(self, capsys):
+        # Unknown fault scenarios are validated at the library layer:
+        # one-line typed error on stderr, exit code 2, no traceback.
+        assert main(["fleet", "--faults", "meteor"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "meteor" in err and err.count("\n") == 1
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--shed", "coin-flip"])
 

@@ -1,0 +1,86 @@
+"""Shared fixtures for the observability test suite.
+
+Mirrors the fleet suite's tiny-decoder setup: a 12/1 Gbps shard pair
+over a 2-layer, 64-wide model keeps full fleet runs cheap enough to
+A/B (observed vs unobserved) inside unit tests and hypothesis
+properties.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionPlan, MeadowEngine, zcu102_config
+from repro.fleet import FleetSimulator, RetryPolicy
+from repro.models import TransformerConfig
+from repro.obs import FleetObserver
+from repro.packing import PackingPlanner
+from repro.serving import LengthDistribution, bursty_stream, poisson_stream
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="session")
+def obs_model() -> TransformerConfig:
+    return TransformerConfig(
+        name="obs-tiny", n_layers=2, d_model=64, n_heads=4, d_ff=128,
+        max_seq_len=256,
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_engine(obs_model) -> MeadowEngine:
+    return MeadowEngine(
+        obs_model,
+        zcu102_config(12.0).replace(dram_capacity_bytes=64 * MB),
+        ExecutionPlan.meadow(),
+        PackingPlanner(depth_buckets=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def slow_engine(fast_engine) -> MeadowEngine:
+    return fast_engine.clone(config=fast_engine.config.with_bandwidth(1.0))
+
+
+@pytest.fixture(scope="session")
+def make_stream():
+    prompts = LengthDistribution("uniform", 8, 64)
+    outputs = LengthDistribution("geometric", 8, 32)
+
+    def _make(kind: str = "bursty", n: int = 12, seed: int = 0):
+        if kind == "poisson":
+            return poisson_stream(n, 50.0, prompts, outputs, seed=seed)
+        return bursty_stream(n, 8, 0.02, prompts, outputs, seed=seed)
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def make_fleet(fast_engine, slow_engine):
+    """Factory: a 2-shard fleet with optional chaos and observer."""
+
+    def _make(obs=None, faults=None, steal=False, policy="jsq"):
+        retry = RetryPolicy(max_retries=2, seed=1) if faults else None
+        return FleetSimulator(
+            [fast_engine, slow_engine],
+            policy=policy,
+            max_batch=8,
+            ctx_bucket=16,
+            steal=steal,
+            faults=faults,
+            retry=retry,
+            fault_seed=1,
+            obs=obs,
+        )
+
+    return _make
+
+
+@pytest.fixture()
+def chaos_reports(make_fleet, make_stream):
+    """(report_off, report_on) for one seeded chaotic run."""
+    report_off = make_fleet(faults="chaos").run(make_stream())
+    observer = FleetObserver(tick_s=0.01)
+    report_on = make_fleet(obs=observer, faults="chaos").run(make_stream())
+    return report_off, report_on

@@ -1,0 +1,133 @@
+"""Bridging op-level cycle traces and report-reconstructed timelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import zcu102_config
+from repro.core import ExecutionPlan
+from repro.errors import SimulationError
+from repro.models import TransformerConfig, prefill_workload
+from repro.obs import (
+    CAT_OP,
+    CAT_REQUEST,
+    FleetObserver,
+    FleetTrace,
+    Span,
+    nest_op_trace,
+    op_spans,
+    render_fleet_timeline,
+    trace_from_report,
+)
+from repro.packing import PackingPlanner
+from repro.sim import WorkloadSimulator
+
+
+@pytest.fixture(scope="module")
+def stage_report():
+    model = TransformerConfig("bridge-tiny", 2, 64, 4, 128, max_seq_len=256)
+    sim = WorkloadSimulator(
+        model, zcu102_config(12.0), ExecutionPlan.meadow(),
+        PackingPlanner(depth_buckets=1),
+    )
+    return sim.simulate(prefill_workload(model, 32))
+
+
+class TestOpSpans:
+    def test_clock_mode_converts_cycles_at_configured_hz(self, stage_report):
+        spans = op_spans(stage_report, 0.0)
+        hz = stage_report.config.clock_hz
+        assert spans[0].t0_s == 0.0
+        assert spans[-1].t1_s == pytest.approx(
+            stage_report.total_cycles / hz
+        )
+        assert all(s.cat == CAT_OP for s in spans)
+
+    def test_duration_mode_stretches_to_fill_window(self, stage_report):
+        spans = op_spans(stage_report, 2.0, duration_s=0.5, shard_id=1,
+                         request_id=9)
+        assert spans[0].t0_s == pytest.approx(2.0)
+        assert spans[-1].t1_s == pytest.approx(2.5)
+        assert all(s.shard_id == 1 and s.request_id == 9 for s in spans)
+        assert all("cycles" in s.attrs_dict for s in spans)
+
+    def test_span_names_carry_layer_and_op(self, stage_report):
+        names = {s.name for s in op_spans(stage_report, 0.0)}
+        assert any(n.startswith("L0.") for n in names)
+        assert any(n.startswith("L1.") for n in names)
+
+
+class TestNestOpTrace:
+    def _lifecycle(self):
+        return FleetTrace.build(
+            [
+                Span.make("QUEUE", CAT_REQUEST, 0.0, 0.2, shard_id=0,
+                          request_id=4),
+                Span.make("PREFILL", CAT_REQUEST, 0.2, 0.7, shard_id=0,
+                          request_id=4),
+            ],
+            n_shards=1,
+        )
+
+    def test_ops_fill_the_prefill_span(self, stage_report):
+        nested = nest_op_trace(self._lifecycle(), 4, stage_report)
+        ops = [s for s in nested.spans if s.cat == CAT_OP]
+        assert ops
+        assert min(s.t0_s for s in ops) == pytest.approx(0.2)
+        assert max(s.t1_s for s in ops) == pytest.approx(0.7)
+        assert all(s.request_id == 4 for s in ops)
+        # Lifecycle spans survive the merge.
+        assert "QUEUE" in nested.span_names()
+
+    def test_unknown_request_rejected(self, stage_report):
+        with pytest.raises(SimulationError):
+            nest_op_trace(self._lifecycle(), 99, stage_report)
+
+    def test_missing_phase_rejected(self, stage_report):
+        with pytest.raises(SimulationError):
+            nest_op_trace(self._lifecycle(), 4, stage_report, phase="DECODE")
+
+
+class TestTraceFromReport:
+    def test_unobserved_report_reconstructs_lifecycle(self, make_fleet,
+                                                      make_stream):
+        report = make_fleet().run(make_stream())
+        trace = trace_from_report(report)
+        assert trace.n_shards == 2
+        names = set(trace.span_names())
+        assert {"QUEUE", "PREFILL", "DECODE"} <= names
+        assert all(s.shard_id is not None for s in trace.spans)
+
+    def test_chaos_report_carries_fault_spans(self, chaos_reports):
+        report_off, _ = chaos_reports
+        names = set(trace_from_report(report_off).span_names())
+        assert "CRASH" in names
+
+
+class TestRenderFleetTimeline:
+    def test_renders_header_rows_and_legend(self, chaos_reports):
+        _, report_on = chaos_reports
+        text = render_fleet_timeline(report_on.obs.trace, width=60)
+        lines = text.splitlines()
+        assert lines[0].startswith("fleet timeline — 2 shard(s)")
+        assert lines[1].startswith("shard 0 |")
+        assert lines[2].startswith("shard 1 |")
+        assert lines[3].startswith("legend:")
+        assert "X" in text or "#" in text
+
+    def test_rejects_narrow_width_and_empty_trace(self):
+        with pytest.raises(SimulationError):
+            render_fleet_timeline(FleetTrace.build([]), width=5)
+        with pytest.raises(SimulationError):
+            render_fleet_timeline(FleetTrace.build([]))
+
+
+class TestFleetReportTimeline:
+    def test_observed_and_fallback_paths_both_render(self, make_fleet,
+                                                     make_stream):
+        observed = make_fleet(obs=FleetObserver()).run(make_stream())
+        plain = make_fleet().run(make_stream())
+        for report in (observed, plain):
+            text = report.timeline(width=50)
+            assert text.startswith("fleet timeline — 2 shard(s)")
+            assert text.splitlines()[-1].startswith("legend:")

@@ -1,0 +1,144 @@
+"""CLI regression tests for the observability flags and error contract."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+from repro.obs import validate_trace_events
+
+_FLEET_BASE = [
+    "fleet", "--model", "opt-125m", "--plan", "gemm",
+    "--bandwidths", "12", "1", "--requests", "8",
+    "--arrival", "bursty", "--burst-size", "4", "--seed", "0",
+]
+
+_SERVE_BASE = [
+    "serve", "--model", "opt-125m", "--plan", "gemm",
+    "--requests", "8", "--arrival", "bursty", "--burst-size", "4",
+    "--seed", "0",
+]
+
+
+class TestObsFlagParsing:
+    def test_defaults_are_off(self):
+        for command in ("serve", "fleet"):
+            args = build_parser().parse_args([command])
+            assert args.trace_out is None
+            assert args.metrics_out is None
+            assert not args.timeline
+            assert args.obs_tick == 0.05
+
+
+class TestFleetObsOutputs:
+    def test_trace_and_metrics_files_validate(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        argv = _FLEET_BASE + [
+            "--faults", "chaos", "--retry-budget", "2",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace: {trace_path}" in out
+        assert f"wrote metrics: {metrics_path}" in out
+
+        doc = json.loads(trace_path.read_text())
+        counts = validate_trace_events(doc)
+        assert counts["complete"] > 0 and counts["flow"] > 0
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["schema"] == "repro.obs.metrics"
+        assert metrics["counters"] and metrics["gauges"]
+
+    def test_metrics_csv_extension_switches_format(self, capsys, tmp_path):
+        csv_path = tmp_path / "metrics.csv"
+        assert main(_FLEET_BASE + ["--metrics-out", str(csv_path)]) == 0
+        capsys.readouterr()
+        assert csv_path.read_text().startswith("kind,name,labels,t_s,value")
+
+    def test_timeline_flag_appends_ascii_gantt(self, capsys):
+        assert main(_FLEET_BASE + ["--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet timeline — 2 shard(s)" in out
+        assert "legend:" in out
+
+    def test_observed_run_output_matches_unobserved(self, capsys, tmp_path):
+        """Obs flags add lines but never change the report text itself."""
+        assert main(_FLEET_BASE) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            _FLEET_BASE + ["--trace-out", str(tmp_path / "t.json")]
+        ) == 0
+        observed = capsys.readouterr().out
+        assert observed.startswith(plain.rstrip("\n"))
+
+
+class TestServeObsOutputs:
+    def test_trace_and_metrics_files_validate(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        argv = _SERVE_BASE + [
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        validate_trace_events(json.loads(trace_path.read_text()))
+        assert (
+            json.loads(metrics_path.read_text())["schema"]
+            == "repro.obs.metrics"
+        )
+
+
+class TestTracePerfetto:
+    def test_op_trace_exports_perfetto_json(self, capsys, tmp_path):
+        out_path = tmp_path / "ops.json"
+        argv = [
+            "trace", "--model", "opt-125m", "--plan", "gemm",
+            "--perfetto", str(out_path),
+        ]
+        assert main(argv) == 0
+        assert f"wrote trace: {out_path}" in capsys.readouterr().out
+        counts = validate_trace_events(json.loads(out_path.read_text()))
+        assert counts["complete"] > 0
+
+
+class TestObsErrorContract:
+    def test_sweep_rejects_obs_outputs(self, capsys, tmp_path):
+        argv = _FLEET_BASE + [
+            "--sweep", "--num-engines", "2", "--policies", "round-robin",
+            "--trace-out", str(tmp_path / "t.json"),
+        ]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_nonpositive_tick_rejected(self, capsys, tmp_path):
+        argv = _FLEET_BASE + [
+            "--metrics-out", str(tmp_path / "m.json"), "--obs-tick", "0",
+        ]
+        assert main(argv) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_malformed_steal_grid_rejected(self, capsys):
+        argv = _FLEET_BASE + [
+            "--sweep", "--num-engines", "2", "--policies", "round-robin",
+            "--steal-grid", "sideways",
+        ]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "sideways" in err and err.count("\n") == 1
+
+    def test_unknown_faults_grid_name_rejected(self, capsys):
+        argv = _FLEET_BASE + [
+            "--sweep", "--num-engines", "2", "--policies", "round-robin",
+            "--faults-grid", "none", "meteor",
+        ]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "meteor" in err and err.count("\n") == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the labeled metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import (
+    METRICS_SCHEMA,
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotonic_accumulation(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests", shard="0")
+        c.inc()
+        c.inc(3.0)
+        assert c.value == 4.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("requests")
+        with pytest.raises(SimulationError):
+            c.inc(-1.0)
+
+    def test_get_or_create_is_keyed_by_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests", shard="0")
+        b = reg.counter("requests", shard="1")
+        assert a is not b
+        assert reg.counter("requests", shard="0") is a
+
+
+class TestGauge:
+    def test_time_series_and_last(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        assert g.last is None
+        g.record(0.0, 1.0)
+        g.record(0.5, 3.0)
+        assert g.points == [(0.0, 1.0), (0.5, 3.0)]
+        assert g.last == 3.0
+
+    def test_same_timestamp_overwrites(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        g.record(1.0, 2.0)
+        g.record(1.0, 5.0)
+        assert g.points == [(1.0, 5.0)]
+
+
+class TestHistogram:
+    def test_bucket_placement_and_mean(self):
+        h = MetricsRegistry().histogram("batch", bounds=(1.0, 4.0, 16.0))
+        for v in (1.0, 2.0, 8.0, 100.0):
+            h.observe(v)
+        # bisect_left: 1.0 -> bucket 0, 2.0 -> 1, 8.0 -> 2, 100.0 -> +inf
+        assert h.counts == [1, 1, 1, 1]
+        assert h.n == 4
+        assert h.mean == pytest.approx(27.75)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(SimulationError):
+            MetricsRegistry().histogram("bad", bounds=(4.0, 1.0))
+
+
+class TestExports:
+    @pytest.fixture()
+    def populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("requests", shard="1").inc(2)
+        reg.counter("requests", shard="0").inc(1)
+        g = reg.gauge("kv", shard="0")
+        g.record(0.0, 10.0)
+        g.record(1.0, 20.0)
+        reg.histogram("batch", bounds=(1.0, 2.0)).observe(1.5)
+        return reg
+
+    def test_versioned_document(self, populated):
+        doc = populated.to_dict()
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+        # Deterministic label-sorted ordering.
+        assert [c["labels"]["shard"] for c in doc["counters"]] == ["0", "1"]
+
+    def test_json_roundtrip_is_deterministic(self, populated):
+        text = populated.to_json()
+        assert json.loads(text) == json.loads(populated.to_json())
+        assert json.loads(text)["schema"] == METRICS_SCHEMA
+
+    def test_csv_long_format(self, populated):
+        lines = populated.to_csv().splitlines()
+        assert lines[0] == "kind,name,labels,t_s,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "gauge", "histogram_sum", "histogram_count"}
+        # Gauge rows carry the simulated timestamp; counters are timeless.
+        gauge_rows = [l for l in lines[1:] if l.startswith("gauge,")]
+        assert gauge_rows == [
+            "gauge,kv,shard=0,0.0,10.0",
+            "gauge,kv,shard=0,1.0,20.0",
+        ]
+
+    def test_len_counts_all_families(self, populated):
+        assert len(populated) == 4

@@ -1,0 +1,135 @@
+"""Perfetto/Chrome trace_event export and its structural validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import (
+    CAT_FAULT,
+    CAT_REQUEST,
+    FleetObserver,
+    FleetTrace,
+    Instant,
+    Span,
+    to_perfetto,
+    validate_trace_events,
+)
+from repro.obs.perfetto import FLEET_PID
+
+
+def _sample_trace() -> FleetTrace:
+    return FleetTrace.build(
+        [
+            Span.make("QUEUE", CAT_REQUEST, 0.0, 0.2, shard_id=0, request_id=1),
+            Span.make("PREFILL", CAT_REQUEST, 0.2, 0.5, shard_id=0, request_id=1),
+            Span.make("CRASH", CAT_FAULT, 1.0, 2.0, shard_id=1),
+        ],
+        [
+            Instant.make("SUBMIT", CAT_REQUEST, 0.0, request_id=1),
+            Instant.make("ROUTE", CAT_REQUEST, 0.0, request_id=1, shard_id=0),
+        ],
+        n_shards=2,
+    )
+
+
+class TestExport:
+    def test_document_shape_and_schema(self):
+        doc = to_perfetto(_sample_trace())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["schema"] == "repro.obs.trace"
+        assert doc["otherData"]["schema_version"] == 1
+        assert validate_trace_events(doc)["events"] == len(doc["traceEvents"])
+
+    def test_one_process_per_shard(self):
+        doc = to_perfetto(_sample_trace())
+        names = {
+            (ev["pid"], ev["args"]["name"])
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert (FLEET_PID, "fleet") in names
+        assert (FLEET_PID + 1, "shard 0") in names
+        assert (FLEET_PID + 2, "shard 1") in names
+
+    def test_complete_events_in_microseconds(self):
+        doc = to_perfetto(_sample_trace())
+        prefill = next(
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "X" and ev["name"] == "PREFILL"
+        )
+        assert prefill["ts"] == pytest.approx(0.2e6)
+        assert prefill["dur"] == pytest.approx(0.3e6)
+        assert prefill["args"]["request_id"] == 1
+
+    def test_route_flows_bind_router_to_queue_span(self):
+        doc = to_perfetto(_sample_trace())
+        flows = [ev for ev in doc["traceEvents"] if ev.get("cat") == "flow"]
+        assert {ev["ph"] for ev in flows} == {"s", "f"}
+        start = next(ev for ev in flows if ev["ph"] == "s")
+        finish = next(ev for ev in flows if ev["ph"] == "f")
+        assert start["id"] == finish["id"]
+        assert finish["bp"] == "e"
+        assert finish["pid"] == FLEET_PID + 1  # lands on shard 0's track
+
+    def test_fleet_run_produces_flows_per_request(self, chaos_reports):
+        _, report_on = chaos_reports
+        counts = validate_trace_events(to_perfetto(report_on.obs.trace))
+        assert counts["flow"] >= 2
+        assert counts["flow"] % 2 == 0
+
+
+class TestValidator:
+    def test_rejects_non_object_events(self):
+        with pytest.raises(SimulationError):
+            validate_trace_events({"traceEvents": ["nope"]})
+
+    def test_rejects_unknown_phase(self):
+        bad = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0}]}
+        with pytest.raises(SimulationError):
+            validate_trace_events(bad)
+
+    def test_rejects_negative_duration(self):
+        bad = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0, "dur": -5}
+            ]
+        }
+        with pytest.raises(SimulationError):
+            validate_trace_events(bad)
+
+    def test_rejects_unmatched_flow_finish(self):
+        bad = {
+            "traceEvents": [
+                {
+                    "ph": "f", "name": "route", "cat": "flow", "id": "req1.0",
+                    "pid": 1, "tid": 1, "ts": 0, "bp": "e",
+                }
+            ]
+        }
+        with pytest.raises(SimulationError):
+            validate_trace_events(bad)
+
+    def test_counts_by_phase(self):
+        doc = to_perfetto(_sample_trace())
+        counts = validate_trace_events(doc)
+        assert counts["complete"] == 3
+        assert counts["instant"] == 2
+        assert counts["flow"] == 2
+        assert counts["metadata"] > 0
+
+
+class TestFleetRunExport:
+    def test_chaos_trace_validates_and_carries_faults(self, chaos_reports):
+        _, report_on = chaos_reports
+        doc = to_perfetto(report_on.obs.trace)
+        validate_trace_events(doc)
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert "PREFILL" in names and "DECODE" in names
+        assert "SUBMIT" in names and "ROUTE" in names
+
+    def test_shard_tracks_cover_all_shards(self, chaos_reports):
+        _, report_on = chaos_reports
+        trace = report_on.obs.trace
+        assert trace.n_shards == 2
+        assert trace.for_shard(0).spans and trace.for_shard(1).spans

@@ -1,0 +1,110 @@
+"""Golden-shape tests for the human-facing describe() reports.
+
+These pin the *structure* of each report — line order, labels, units —
+without pinning floating-point values, so engine-cost refactors don't
+churn them but accidental format regressions (dropped lines, renamed
+fields, broken shard sections) fail loudly.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.serving import ServingSimulator
+
+_PCTL = r"p50 \d+\.\d{3}\s+p95 \d+\.\d{3}\s+p99 \d+\.\d{3}"
+
+
+def _assert_lines(text: str, patterns) -> None:
+    lines = text.splitlines()
+    assert len(lines) == len(patterns), (
+        f"expected {len(patterns)} lines, got {len(lines)}:\n{text}"
+    )
+    for line, pattern in zip(lines, patterns):
+        assert re.fullmatch(pattern, line), (
+            f"line {line!r} does not match {pattern!r}"
+        )
+
+
+_METRICS_BODY = [
+    r"requests: \d+   generated tokens: \d+   makespan: \d+\.\d{3} s",
+    r"throughput: \d+\.\d{2} tok/s   max queue depth: \d+   "
+    r"peak KV: \d+\.\d{2} MB / \d+\.\d{2} MB \(\d+\.\d%\)",
+    rf"TTFT ms   {_PCTL}",
+    rf"TBT  ms   {_PCTL}",
+    rf"E2E  s    {_PCTL}",
+]
+
+
+class TestServingReportShape:
+    def test_describe_shape(self, fast_engine, make_stream):
+        report = ServingSimulator(fast_engine, max_batch=8, ctx_bucket=16).run(
+            make_stream()
+        )
+        _assert_lines(
+            report.describe(),
+            [r"serving obs-tiny plan=meadow — bursty scenario", *_METRICS_BODY],
+        )
+
+
+class TestFleetReportShape:
+    def test_healthy_describe_shape(self, make_fleet, make_stream):
+        report = make_fleet().run(make_stream())
+        _assert_lines(
+            report.describe(),
+            [
+                r"fleet of 2 x obs-tiny — policy=jsq, bursty scenario",
+                *_METRICS_BODY,
+                r"shard 0 \[meadow\]: \d+ served, \d+\.\d{2} tok/s, "
+                r"p99 TTFT \d+\.\d{3} ms, peak KV \d+\.\d%",
+                r"shard 1 \[meadow\]: \d+ served, \d+\.\d{2} tok/s, "
+                r"p99 TTFT \d+\.\d{3} ms, peak KV \d+\.\d%",
+            ],
+        )
+
+    def test_chaos_describe_appends_resilience_block(self, chaos_reports):
+        report, _ = chaos_reports
+        text = report.describe()
+        # The full chaos report is the healthy shape plus stealing and
+        # resilience sections; pin the join rather than re-pinning floats.
+        assert report.resilience is not None
+        assert text.endswith(report.resilience.describe())
+        steal_lines = [
+            line for line in text.splitlines()
+            if re.fullmatch(r"work stealing: \d+ migrations?", line)
+        ]
+        assert len(steal_lines) <= 1  # absent for steal-free runs
+
+
+class TestResilienceReportShape:
+    def test_describe_shape(self, chaos_reports):
+        report, _ = chaos_reports
+        lines = report.resilience.describe().splitlines()
+        assert re.fullmatch(
+            r"resilience: \d+ submitted -> \d+ ok, \d+ retried-ok, "
+            r"\d+ shed, \d+ expired, \d+ lost",
+            lines[0],
+        )
+        assert re.fullmatch(
+            r"availability \d+\.\d{4}, offered \d+\.\d{2} req/s, "
+            r"goodput \d+\.\d{2} req/s",
+            lines[1],
+        )
+        fault_lines = lines[2:]
+        assert fault_lines, "chaos run should log at least one fault"
+        for line in fault_lines:
+            assert re.fullmatch(
+                r"fault: \w+ shard \d+ @ \d+\.\d{3}s until \d+\.\d{3}s "
+                r"\(\d+ requests? hit\)",
+                line,
+            )
+
+    def test_accounting_is_exactly_once(self, chaos_reports):
+        report, _ = chaos_reports
+        r = report.resilience
+        assert (
+            r.n_ok + r.n_retried + r.n_shed + r.n_expired + r.n_lost
+            == r.n_submitted
+        )

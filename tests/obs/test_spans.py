@@ -1,0 +1,81 @@
+"""Unit tests for the span/instant schema and FleetTrace container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import (
+    CAT_FAULT,
+    CAT_REQUEST,
+    OBS_SCHEMA,
+    OBS_SCHEMA_VERSION,
+    FleetTrace,
+    Instant,
+    Span,
+)
+
+
+class TestSpan:
+    def test_make_freezes_attrs_order_insensitively(self):
+        a = Span.make("X", CAT_REQUEST, 0.0, 1.0, k=1, batch=2)
+        b = Span.make("X", CAT_REQUEST, 0.0, 1.0, batch=2, k=1)
+        assert a == b
+        assert a.attrs_dict == {"k": 1, "batch": 2}
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Span.make("X", CAT_REQUEST, 1.0, 0.5)
+
+    def test_duration(self):
+        assert Span.make("X", CAT_REQUEST, 1.0, 3.5).duration_s == 2.5
+
+
+class TestFleetTrace:
+    def test_build_sorts_deterministically(self):
+        spans = [
+            Span.make("B", CAT_REQUEST, 1.0, 2.0, request_id=1),
+            Span.make("A", CAT_REQUEST, 0.0, 1.0, request_id=2),
+            Span.make("A", CAT_REQUEST, 0.0, 1.0),  # request_id=None first
+        ]
+        forward = FleetTrace.build(spans)
+        backward = FleetTrace.build(list(reversed(spans)))
+        assert forward == backward
+        assert forward.spans[0].request_id is None
+        assert [s.name for s in forward.spans] == ["A", "A", "B"]
+
+    def test_schema_stamp(self):
+        trace = FleetTrace.build([])
+        assert trace.schema == OBS_SCHEMA
+        assert trace.schema_version == OBS_SCHEMA_VERSION
+
+    def test_filters(self):
+        trace = FleetTrace.build(
+            [
+                Span.make("P", CAT_REQUEST, 0.0, 1.0, shard_id=0, request_id=7),
+                Span.make("P", CAT_REQUEST, 0.0, 2.0, shard_id=1, request_id=8),
+            ],
+            [Instant.make("ROUTE", CAT_REQUEST, 0.0, request_id=7)],
+            n_shards=2,
+        )
+        assert len(trace.for_request(7).spans) == 1
+        assert len(trace.for_request(7).instants) == 1
+        assert len(trace.for_shard(1).spans) == 1
+        assert trace.for_shard(1).instants == ()
+
+    def test_end_s_and_span_names(self):
+        trace = FleetTrace.build(
+            [Span.make("CRASH", CAT_FAULT, 0.0, 4.0)],
+            [Instant.make("RETRY", CAT_REQUEST, 6.0)],
+        )
+        assert trace.end_s == 6.0
+        assert trace.span_names() == ["CRASH"]
+        assert FleetTrace.build([]).end_s == 0.0
+
+    def test_merged_resorts(self):
+        base = FleetTrace.build(
+            [Span.make("B", CAT_REQUEST, 1.0, 2.0)], n_shards=1
+        )
+        merged = base.merged([Span.make("A", CAT_REQUEST, 0.0, 0.5)])
+        assert [s.name for s in merged.spans] == ["A", "B"]
+        assert merged.n_shards == 1

@@ -113,10 +113,14 @@ class TestFidelitySpeedKnobs:
         coarse = capsys.readouterr().out.split("throughput")[1]
         assert exact != coarse
 
-    def test_invalid_knobs_rejected(self):
-        from repro.errors import ConfigError
-
-        with pytest.raises(ConfigError):
-            main(["serve", "--requests", "4", "--plan", "gemm", "--max-batch", "0"])
-        with pytest.raises(ConfigError):
-            main(["serve", "--requests", "4", "--plan", "gemm", "--ctx-bucket", "0"])
+    def test_invalid_knobs_rejected(self, capsys):
+        # Library ConfigErrors surface as a one-line typed error and
+        # exit code 2 — never a traceback.
+        assert main(
+            ["serve", "--requests", "4", "--plan", "gemm", "--max-batch", "0"]
+        ) == 2
+        assert capsys.readouterr().err.startswith("error: max_batch")
+        assert main(
+            ["serve", "--requests", "4", "--plan", "gemm", "--ctx-bucket", "0"]
+        ) == 2
+        assert capsys.readouterr().err.startswith("error: ctx_bucket")
