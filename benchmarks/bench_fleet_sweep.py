@@ -24,18 +24,19 @@ Standalone mode (CI smoke)::
     PYTHONPATH=src python benchmarks/bench_fleet_sweep.py \
         --quick --json results/fleet_sweep.json
     PYTHONPATH=src python benchmarks/bench_fleet_sweep.py \
-        --drain-throughput --quick --min-speedup 3 \
+        --drain-throughput --quick --min-speedup 4.5 \
         --json results/fleet_throughput.json
 """
 
 import argparse
 import json
+import math
 import sys
 import time
 
 import pytest
 
-from bench_meta import stamp
+from bench_meta import stamp, write_bench_record
 
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.analysis import banner, format_table
@@ -150,13 +151,19 @@ def run_drain_bench(driver: SweepDriver, quick: bool = False) -> dict:
 
     fleet(True).run(factory())  # warm every surface point both paths touch
 
-    t0 = time.perf_counter()
-    ref = fleet(False).run(factory())
-    ref_s = time.perf_counter() - t0
+    # Best-of-3 per path: same-seed runs are deterministic, so the
+    # minimum is the least-noise estimate for the CI floor ratio.
+    ref_s = math.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        ref = fleet(False).run(factory())
+        ref_s = min(ref_s, time.perf_counter() - t0)
 
-    t0 = time.perf_counter()
-    cal = fleet(True).run(factory())
-    cal_s = time.perf_counter() - t0
+    cal_s = math.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        cal = fleet(True).run(factory())
+        cal_s = min(cal_s, time.perf_counter() - t0)
 
     # Correctness gate: the identical fleet timeline, not approximation.
     assert cal.metrics == ref.metrics
@@ -304,6 +311,12 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="CI-sized workload")
     parser.add_argument("--json", type=str, default=None, help="write record here")
     parser.add_argument(
+        "--bench-record", action="store_true",
+        help="also refresh the committed BENCH_fleet_throughput.json "
+             "perf-trajectory record at the repo root "
+             "(--drain-throughput only)",
+    )
+    parser.add_argument(
         "--drain-throughput", action="store_true",
         help="benchmark the calendar drain against the reference walk "
         "(plus the work-stealing tail-latency claim) instead of the sweep",
@@ -320,8 +333,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-speedup", type=float, default=None,
         help="fail when the measured speedup drops below this "
-        "(default 3.0 for --drain-throughput, 2.0 for "
-        "--parallel-speedup)",
+        "(default for --drain-throughput: 4.5 with --quick — the "
+        "CI-pinned stream — else 3.0, whose shorter outputs coalesce "
+        "less; 2.0 for --parallel-speedup)",
     )
     args = parser.parse_args(argv)
 
@@ -350,7 +364,7 @@ def main(argv=None) -> int:
             return 1
         return 0
     if args.min_speedup is None:
-        args.min_speedup = 3.0
+        args.min_speedup = 4.5 if args.quick else 3.0
     if args.drain_throughput:
         driver = _driver()
         record = run_drain_bench(driver, quick=args.quick)
@@ -368,10 +382,13 @@ def main(argv=None) -> int:
             f"{record['steal']['ttft_p99_s_steal_on'] * 1e3:.0f} ms "
             f"({record['steal']['n_migrations']} migrations)"
         )
+        stamped = stamp(record, "repro.bench.fleet_throughput")
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(stamp(record, "repro.bench.fleet_throughput"), fh, indent=2)
+                json.dump(stamped, fh, indent=2)
             print(f"wrote {args.json}")
+        if args.bench_record:
+            print(f"wrote {write_bench_record(stamped, 'fleet_throughput')}")
         ok = True
         if record["speedup"] < args.min_speedup:
             print(
@@ -424,15 +441,27 @@ def test_predicted_latency_dominates_round_robin(benchmark, emit):
 
 
 def test_calendar_drain_speedup(results_dir):
-    """Calendar drain >= 3x the per-iteration walk, timeline identical."""
-    record = run_drain_bench(_driver())
+    """Calendar drain floors, timeline identical on both streams.
+
+    The CI-pinned quick stream (the committed ``BENCH_fleet_throughput``
+    workload) must clear 4.5x — it was 3x before the cached-key
+    ``_DrainCalendar`` and the struct-of-arrays scheduler core. The
+    longer tier-2 stream keeps the original 3x floor: its shorter
+    per-request outputs leave fewer consecutive decode iterations to
+    coalesce, so the ratio is structurally lower there.
+    """
+    record = run_drain_bench(_driver(), quick=True)
     (results_dir / "fleet_throughput.json").write_text(
         json.dumps(stamp(record, "repro.bench.fleet_throughput"), indent=2)
         + "\n",
         encoding="utf-8",
     )
     assert record["exact_match"]
-    assert record["speedup"] >= 3.0, record
+    assert record["speedup"] >= 4.5, record
+
+    full = run_drain_bench(_driver())
+    assert full["exact_match"]
+    assert full["speedup"] >= 3.0, full
 
 
 def test_work_stealing_reduces_tail_latency(emit):

@@ -12,9 +12,17 @@ prefix keeps it grouped with its only consumers.
 
 from __future__ import annotations
 
+import json
 import platform
 import subprocess
-from typing import Dict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Where canonical ``BENCH_*.json`` trajectory records live: the repo
+#: root (this file sits in ``benchmarks/``). The committed records are
+#: the perf-regression baselines ``repro bench --check`` compares
+#: against.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def git_sha() -> str:
@@ -54,3 +62,31 @@ def stamp(
     out: Dict[str, object] = {"meta": bench_metadata(schema, schema_version)}
     out.update(record)
     return out
+
+
+def bench_record_path(
+    name: str, root: Optional[Union[str, Path]] = None
+) -> Path:
+    """The canonical trajectory record for one benchmark."""
+    base = Path(root) if root is not None else REPO_ROOT
+    return base / f"BENCH_{name}.json"
+
+
+def write_bench_record(
+    record: Dict[str, object],
+    name: str,
+    root: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Write a stamped record to ``BENCH_<name>.json`` at the repo root.
+
+    ``record`` must already carry the :func:`stamp` ``meta`` block —
+    the file is the committed perf baseline, and the stamp is what ties
+    a baseline number to the commit that produced it.
+    """
+    if "meta" not in record:
+        raise ValueError("bench record must be stamp()ed before writing")
+    path = bench_record_path(name, root)
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from typing import Dict
 
 import pytest
 
-from bench_meta import stamp
+from bench_meta import stamp, write_bench_record
 
 from repro import ExecutionPlan, MeadowEngine, OPT_125M, zcu102_config
 from repro.analysis import banner, format_table
@@ -97,17 +98,23 @@ def run_coalescing_bench(engine: MeadowEngine, quick: bool = False) -> Dict[str,
     # Warm every (stage, ctx, batch) point both paths will touch.
     _coalesce_scheduler(engine, stream, coalesce=True, token_events=False).run()
 
-    t0 = time.perf_counter()
-    ref = _coalesce_scheduler(
-        engine, stream, coalesce=False, token_events=True
-    ).run()
-    ref_s = time.perf_counter() - t0
+    # Best-of-3 per path: the runs are deterministic, so the minimum is
+    # the least-noise estimate and keeps the CI floor ratio stable.
+    ref_s = math.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        ref = _coalesce_scheduler(
+            engine, stream, coalesce=False, token_events=True
+        ).run()
+        ref_s = min(ref_s, time.perf_counter() - t0)
 
-    t0 = time.perf_counter()
-    fast = _coalesce_scheduler(
-        engine, stream, coalesce=True, token_events=False
-    ).run()
-    fast_s = time.perf_counter() - t0
+    fast_s = math.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        fast = _coalesce_scheduler(
+            engine, stream, coalesce=True, token_events=False
+        ).run()
+        fast_s = min(fast_s, time.perf_counter() - t0)
 
     # Correctness gate: identical serving outcome, thinned event log.
     assert fast.records == ref.records
@@ -147,7 +154,12 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="small CI-sized stream")
     parser.add_argument("--json", type=str, default=None, help="write record here")
     parser.add_argument(
-        "--min-speedup", type=float, default=5.0,
+        "--bench-record", action="store_true",
+        help="also refresh the committed BENCH_serving_throughput.json "
+             "perf-trajectory record at the repo root",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=7.5,
         help="fail when coalesced/reference speedup drops below this",
     )
     args = parser.parse_args(argv)
@@ -169,6 +181,8 @@ def main(argv=None) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(record, fh, indent=2)
         print(f"wrote {args.json}")
+    if args.bench_record:
+        print(f"wrote {write_bench_record(record, 'serving_throughput')}")
 
     if record["speedup"] < args.min_speedup:
         print(f"FAIL: speedup {record['speedup']:.1f}x < {args.min_speedup}x")
@@ -177,7 +191,12 @@ def main(argv=None) -> int:
 
 
 def test_coalesced_scheduler_iteration_throughput(results_dir):
-    """Event-compressed core >= 5x the per-token walk, records identical."""
+    """Event-compressed core >= 7.5x the per-token walk, records identical.
+
+    The floor was 5x before the struct-of-arrays scheduler core and the
+    batched ``decode_run_many`` surface kernel; both paths got faster,
+    and the coalesced one by more.
+    """
     record = stamp(
         run_coalescing_bench(_coalesce_engine()),
         "repro.bench.serving_throughput",
@@ -186,7 +205,7 @@ def test_coalesced_scheduler_iteration_throughput(results_dir):
         json.dumps(record, indent=2) + "\n", encoding="utf-8"
     )
     assert record["exact_match"]
-    assert record["speedup"] >= 5.0, record
+    assert record["speedup"] >= 7.5, record
 
 
 def _serve(plan, planner, rate, bandwidth=12.0, seed=0):

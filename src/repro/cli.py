@@ -34,6 +34,7 @@ from .hardware.power import PowerModel
 from .hardware.resources import ZCU102_PART, ZCU104_PART, estimate_resources
 from .models import get_model
 from .packing import PackingPlanner, layer_reduction_ratios
+from .sim.surface_store import DEFAULT_STORE_DIR
 
 __all__ = ["main", "build_parser"]
 
@@ -135,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "hot loop (debugging aid)")
     _interp_args(p)
     _obs_args(p)
+    _store_args(p)
 
     p = sub.add_parser(
         "fleet", help="multi-engine sharded serving and Pareto sweeps"
@@ -226,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: [--faults])")
     _interp_args(p)
     _obs_args(p)
+    _store_args(p)
 
     p = sub.add_parser(
         "plan", help="O(1) analytical capacity planning from surface points"
@@ -255,6 +258,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch", type=int, default=16)
     p.add_argument("--ctx-bucket", type=int, default=16)
     _interp_args(p)
+    _store_args(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="perf-trajectory records: list the committed BENCH_*.json "
+             "baselines, or gate fresh bench JSON against them",
+    )
+    p.add_argument("--root", default=".", metavar="DIR",
+                   help="directory holding the committed BENCH_*.json "
+                        "records (default: current directory)")
+    p.add_argument("--check", nargs="+", default=None, metavar="JSON",
+                   help="fresh benchmark record(s) to compare against the "
+                        "committed baseline with the same meta.schema; "
+                        "exits non-zero on a regression")
+    p.add_argument("--tolerance", type=float, default=0.5, metavar="FRAC",
+                   help="allowed relative drop: a fresh speedup below "
+                        "baseline * (1 - FRAC) is a regression "
+                        "(default 0.5 — machine-to-machine noise is real, "
+                        "halving the measured ratio is not)")
     return parser
 
 
@@ -269,6 +291,36 @@ def _interp_args(p: argparse.ArgumentParser) -> None:
                    help="override the interpolation guard (default: the "
                         "surface's built-in 0.05; 0 disables "
                         "interpolation entirely via fallback)")
+
+
+def _store_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--surface-store", nargs="?", const=DEFAULT_STORE_DIR,
+                   default=None, metavar="DIR",
+                   help="warm-start latency surfaces from this directory "
+                        "and append new points back after the run "
+                        f"(bare flag uses ./{DEFAULT_STORE_DIR}); numbers "
+                        "are bit-identical with or without the store — "
+                        "it only skips re-simulating known points")
+    p.add_argument("--no-surface-store", action="store_true",
+                   help="force the store off even when --surface-store "
+                        "is set (e.g. by a wrapper script)")
+
+
+def _make_store(args: argparse.Namespace):
+    """A SurfaceStore when requested, else None (store fully off)."""
+    if args.no_surface_store or args.surface_store is None:
+        return None
+    from .sim.surface_store import SurfaceStore
+
+    return SurfaceStore(args.surface_store)
+
+
+def _store_line(new_points: int, warm_points: int) -> str:
+    """The CLI's store summary line (CI greps 'simulated 0 new points')."""
+    return (
+        f"surface store: simulated {new_points} new points "
+        f"({warm_points} warm-started)"
+    )
 
 
 def _obs_args(p: argparse.ArgumentParser) -> None:
@@ -513,6 +565,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     engine = MeadowEngine(model, zcu102_config(args.bandwidth), _PLANS[args.plan]())
     if args.interp_rel_err is not None:
         engine.surface.interp_rel_err = args.interp_rel_err
+    store = _make_store(args)
+    warm = store.load(engine) if store is not None else 0
     budget = (
         int(args.kv_budget_mb * 1024 * 1024)
         if args.kv_budget_mb is not None
@@ -538,6 +592,10 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     lines = [report.metrics.format_report(title)]
     if observer is not None:
         lines.extend(_obs_outputs(observer.build(), args))
+    if store is not None:
+        new = max(0, len(engine.surface) - warm)
+        store.save(engine)
+        lines.append(_store_line(new, warm))
     return "\n".join(lines)
 
 
@@ -573,6 +631,11 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         if args.interp_rel_err is not None:
             for eng in by_bandwidth.values():
                 eng.surface.interp_rel_err = args.interp_rel_err
+        store = _make_store(args)
+        loaded = {
+            bw: store.load(eng)
+            for bw, eng in by_bandwidth.items()
+        } if store is not None else {}
         retry = None
         if args.retry_budget is not None or args.deadline_s is not None:
             retry = RetryPolicy(
@@ -607,6 +670,13 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         lines = [header, report.describe()]
         if report.obs is not None:
             lines.extend(_obs_outputs(report.obs, args))
+        if store is not None:
+            new = warm = 0
+            for bw, eng in sorted(by_bandwidth.items()):
+                warm += loaded[bw]
+                new += max(0, len(eng.surface) - loaded[bw])
+                store.save(eng)
+            lines.append(_store_line(new, warm))
         return "\n".join(lines)
 
     if args.interpolate:
@@ -623,6 +693,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         kv_budget_bytes=(
             [budget] * len(args.bandwidths) if budget is not None else None
         ),
+        surface_store=_make_store(args),
     )
     result = driver.sweep(
         factory,
@@ -645,6 +716,8 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         result.format_table(),
         f"Pareto front: {len(result.pareto_front())} of {len(result.points)} points",
     ]
+    if driver.surface_store is not None:
+        lines.append(_store_line(*driver.save_surfaces()))
     if args.json is not None:
         import json
 
@@ -677,6 +750,7 @@ def _cmd_plan(args: argparse.Namespace) -> str:
         ctx_bucket=args.ctx_bucket,
         interpolate=args.interpolate,
         interp_rel_err=args.interp_rel_err,
+        surface_store=_make_store(args),
     )
     if args.engines is not None:
         forecast = planner.forecast(args.engines, args.rate)
@@ -691,7 +765,95 @@ def _cmd_plan(args: argparse.Namespace) -> str:
             "pass --engines N to forecast a fixed fleet, or "
             "--target-p99-ttft-ms to size one"
         )
-    return forecast.format_report()
+    lines = [forecast.format_report()]
+    if planner.driver.surface_store is not None:
+        lines.append(_store_line(*planner.driver.save_surfaces()))
+    return "\n".join(lines)
+
+
+def _load_bench_record(path) -> dict:
+    import json
+
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise CLIError(f"cannot read bench record {path}: {exc}")
+    except ValueError as exc:
+        raise CLIError(f"bench record {path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("meta"), dict):
+        raise CLIError(
+            f"bench record {path} has no meta stamp (see bench_meta.stamp)"
+        )
+    return doc
+
+
+def _cmd_bench(args: argparse.Namespace) -> str:
+    """List committed ``BENCH_*.json`` baselines, or gate fresh records.
+
+    The committed records are the perf trajectory: one stamped JSON per
+    benchmark at the repo root, refreshed with ``--bench-record`` when a
+    PR intentionally moves the number. ``--check`` compares fresh bench
+    output against the baseline sharing its ``meta.schema`` and fails
+    (exit 2) when the measured speedup drops below the tolerance band.
+    """
+    from pathlib import Path
+
+    root = Path(args.root)
+    by_schema = {}
+    rows = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        doc = _load_bench_record(path)
+        meta = doc["meta"]
+        schema = str(meta.get("schema", "?"))
+        by_schema[schema] = (path, doc)
+        speedup = doc.get("speedup")
+        rows.append([
+            path.name,
+            schema,
+            str(meta.get("git_sha", "?"))[:12],
+            f"{speedup:.2f}x" if isinstance(speedup, (int, float)) else "-",
+        ])
+
+    if args.check is None:
+        if not rows:
+            return f"no BENCH_*.json records under {root}"
+        return format_table(["record", "schema", "git sha", "speedup"], rows)
+
+    lines = []
+    regressions = []
+    for fresh_name in args.check:
+        fresh = _load_bench_record(Path(fresh_name))
+        schema = str(fresh["meta"].get("schema", "?"))
+        entry = by_schema.get(schema)
+        if entry is None:
+            raise CLIError(
+                f"no committed BENCH_*.json baseline for schema "
+                f"{schema!r} under {root}"
+            )
+        base_path, base = entry
+        base_speedup = base.get("speedup")
+        fresh_speedup = fresh.get("speedup")
+        if not isinstance(base_speedup, (int, float)) or not isinstance(
+            fresh_speedup, (int, float)
+        ):
+            raise CLIError(
+                f"records for {schema!r} carry no numeric 'speedup' field"
+            )
+        floor = base_speedup * (1.0 - args.tolerance)
+        ok = fresh_speedup >= floor
+        lines.append(
+            f"{schema}: fresh {fresh_speedup:.2f}x vs baseline "
+            f"{base_speedup:.2f}x ({base_path.name}), floor "
+            f"{floor:.2f}x — {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            regressions.append(schema)
+    if regressions:
+        raise CLIError(
+            "\n".join(lines)
+            + f"\nperf regression in: {', '.join(regressions)}"
+        )
+    return "\n".join(lines)
 
 
 _COMMANDS = {
@@ -707,6 +869,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
     "plan": _cmd_plan,
+    "bench": _cmd_bench,
 }
 
 

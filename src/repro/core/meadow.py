@@ -82,6 +82,7 @@ class MeadowEngine:
         self._sim = WorkloadSimulator(model, self.config, self.plan, planner)
         self._report_cache: "OrderedDict[Workload, StageReport]" = OrderedDict()
         self._surface: Optional[LatencySurface] = None
+        self._packing_summary: Optional[PackingSummary] = None
 
     @property
     def planner(self) -> Optional[PackingPlanner]:
@@ -167,7 +168,14 @@ class MeadowEngine:
 
     # ------------------------------------------------------------- analysis
     def packing_summary(self) -> PackingSummary:
-        """Whole-model weight transfer volumes under the plan's packing."""
+        """Whole-model weight transfer volumes under the plan's packing.
+
+        Memoized: the summary is a pure function of (model, plan,
+        planner), all immutable for the engine's lifetime, and callers
+        like the serving scheduler request it on every construction.
+        """
+        if self._packing_summary is not None:
+            return self._packing_summary
         if self._sim.planner is None or self.plan.packing is None:
             raise ConfigError(f"plan {self.plan.name!r} does not pack weights")
         raw = 0
@@ -181,7 +189,8 @@ class MeadowEngine:
                 )
                 raw += stats.raw_bits
                 packed += stats.effective_bits
-        return PackingSummary(raw_bits=raw, packed_bits=packed)
+        self._packing_summary = PackingSummary(raw_bits=raw, packed_bits=packed)
+        return self._packing_summary
 
     def recommend_dataflow(self, n_tokens: int) -> DataflowDecision:
         """Which attention dataflow this config favours (Sec. 6.5)."""

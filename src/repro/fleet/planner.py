@@ -529,6 +529,10 @@ class CapacityPlanner:
             approximation).
         interp_rel_err: override the per-shard surfaces' interpolation
             guard (``None`` keeps each surface's own setting).
+        surface_store: optional :class:`~repro.sim.SurfaceStore`,
+            forwarded to the internal :class:`SweepDriver` so shard
+            surfaces warm-start across runs; call
+            ``planner.driver.save_surfaces()`` to persist discoveries.
     """
 
     def __init__(
@@ -540,12 +544,15 @@ class CapacityPlanner:
         ctx_bucket: int = 1,
         interpolate: bool = False,
         interp_rel_err: Optional[float] = None,
+        surface_store=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
         if ctx_bucket < 1:
             raise ConfigError(f"ctx_bucket must be >= 1, got {ctx_bucket}")
-        self.driver = SweepDriver(base_engine, bandwidths_gbps)
+        self.driver = SweepDriver(
+            base_engine, bandwidths_gbps, surface_store=surface_store
+        )
         self.workload = workload
         self.max_batch = max_batch
         self.ctx_bucket = ctx_bucket

@@ -90,11 +90,9 @@ def model_ttft_s(
     wait_s = max(0.0, snap.clock_s - now_s)
     # The snapshot carries queued prompts as a (length, count)
     # histogram — sized by distinct lengths, not backlog depth — so
-    # the queued-work term costs O(distinct) surface hits.
-    queued_s = sum(
-        count * surface.prefill(tokens).latency_s
-        for tokens, count in snap.waiting_prompt_hist
-    )
+    # the queued-work term costs O(distinct) surface hits, batched
+    # into one call (same count * latency sum, in histogram order).
+    queued_s = surface.queued_prefill_s(snap.waiting_prompt_hist)
     own_s = surface.prefill(request.prompt_tokens).latency_s
     # Per-term scaling keeps the summation order of the pre-resilience
     # model, so scale == 1.0 is bit-identical (x * 1.0 is exact).

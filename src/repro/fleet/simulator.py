@@ -293,6 +293,83 @@ def _per_shard(value, n: int, name: str) -> List:
     return [value] * n
 
 
+class _DrainCalendar:
+    """Cached next-event calendar over the fleet's shards.
+
+    Replaces the rebuild-the-whole-heap-on-stale drain loop: each
+    shard's current key (``next_event_s()``, or +inf when idle) is
+    cached in ``_keys``; state-touching sites mark shards dirty via
+    :meth:`invalidate` / :meth:`invalidate_all` and the next
+    :meth:`pop` re-keys only the dirty ones, pushing a heap entry only
+    when the key actually changed. Superseded heap entries are removed
+    lazily — an entry is live iff its value still equals the shard's
+    cached key — so no heapify ever runs after construction.
+
+    Invariant: every shard with a finite cached key has at least one
+    live heap entry. :meth:`pop` consumes the winner's entry, so the
+    caller must call :meth:`reschedule` after advancing that shard
+    (it re-pushes unconditionally: an advance may leave the key
+    numerically unchanged, e.g. an admission that does not move the
+    clock, and the entry still has to come back).
+    """
+
+    __slots__ = ("_heap", "_keys", "_dirty", "_shards")
+
+    def __init__(self, shards: Sequence[ContinuousBatchingScheduler]) -> None:
+        self._shards = shards
+        self._heap: List[Tuple[float, int]] = []
+        self._keys = [math.inf] * len(shards)
+        self._dirty = set(range(len(shards)))
+
+    def invalidate(self, shard_id: int) -> None:
+        """Mark one shard's cached key as suspect (re-keyed on next pop)."""
+        self._dirty.add(shard_id)
+
+    def invalidate_all(self) -> None:
+        """Mark every shard dirty (arrival syncs advance all of them)."""
+        self._dirty.update(range(len(self._shards)))
+
+    def _flush(self) -> None:
+        if not self._dirty:
+            return
+        heap, keys, shards = self._heap, self._keys, self._shards
+        for i in sorted(self._dirty):
+            shard = shards[i]
+            key = math.inf if shard.idle else shard.next_event_s()
+            if key != keys[i]:
+                keys[i] = key
+                if key != math.inf:
+                    heapq.heappush(heap, (key, i))
+        self._dirty.clear()
+
+    def pop(self) -> Optional[Tuple[float, int, float]]:
+        """Next acting shard as ``(key, shard_id, horizon)``, or None.
+
+        ``horizon`` is the runner-up's live key (stale tops are
+        discarded first so it is never spuriously early); ``None``
+        means every shard is idle. Ties pop the lowest shard id,
+        matching the reference walk's stable ``min()``.
+        """
+        self._flush()
+        heap, keys = self._heap, self._keys
+        while heap:
+            key, i = heapq.heappop(heap)
+            if key != keys[i]:
+                continue  # superseded entry
+            while heap and heap[0][0] != keys[heap[0][1]]:
+                heapq.heappop(heap)
+            return key, i, heap[0][0] if heap else math.inf
+        return None
+
+    def reschedule(self, shard_id: int) -> None:
+        """Re-key one shard after the caller advanced it."""
+        shard = self._shards[shard_id]
+        key = math.inf if shard.idle else shard.next_event_s()
+        self._keys[shard_id] = key
+        if key != math.inf:
+            heapq.heappush(self._heap, (key, shard_id))
+
+
 class FleetSimulator:
     """Run request scenarios over a fleet of engines with one router.
 
@@ -520,17 +597,16 @@ class FleetSimulator:
                 shards, decisions, pending_predictions, obs=obs
             )
 
-        # The drain calendar: (next_event_s, shard_id) per busy shard.
-        # Rebuilt lazily whenever routing, stealing or an arrival sync
-        # touched shard state; between rebuilds only the shard just
-        # advanced needs re-keying.
-        calendar: List[Tuple[float, int]] = []
-        calendar_stale = True
+        # The drain calendar caches each shard's next-event key with
+        # explicit invalidation: routing, stealing and arrival syncs
+        # mark the shards they touched dirty instead of forcing a full
+        # rebuild, and only changed keys re-enter the heap.
+        calendar = _DrainCalendar(shards)
         while True:
             if self.steal and steal_pass():
-                calendar_stale = True
+                calendar.invalidate_all()
             if arrivals:
-                calendar_stale = True
+                calendar.invalidate_all()
                 t, request_id, req = heapq.heappop(arrivals)
                 # No shard may lag the routing instant: advance each to
                 # t (steps in flight may overshoot — shards are busy
@@ -591,19 +667,11 @@ class FleetSimulator:
                 # injects a global follow-up — so closed-loop arrivals
                 # re-enter routing at exactly the same instant the
                 # reference walk would surface them.
-                if calendar_stale:
-                    calendar = [
-                        (shard.next_event_s(), i)
-                        for i, shard in enumerate(shards)
-                        if not shard.idle
-                    ]
-                    heapq.heapify(calendar)
-                    calendar_stale = False
-                if not calendar:
+                nxt = calendar.pop()
+                if nxt is None:
                     break
-                key, idx = heapq.heappop(calendar)
+                key, idx, horizon = nxt
                 shard = shards[idx]
-                horizon = calendar[0][0] if calendar else math.inf
                 if key >= horizon:
                     # Exact tie with the runner-up: run one iteration,
                     # matching the reference walk's id-ordered pick.
@@ -612,8 +680,7 @@ class FleetSimulator:
                     shard.advance_until(
                         horizon, interrupt=lambda: bool(arrivals)
                     )
-                if not shard.idle:
-                    heapq.heappush(calendar, (shard.next_event_s(), idx))
+                calendar.reschedule(idx)
             else:
                 # Reference drain: step the globally next-acting busy
                 # shard one iteration at a time, so a completion's
@@ -908,13 +975,12 @@ class FleetSimulator:
                 obs.instant("SUBMIT", req.arrival_s, request_id=req.request_id)
 
         decisions: List[RoutingDecision] = []
-        calendar: List[Tuple[float, int]] = []
-        calendar_stale = True
+        calendar = _DrainCalendar(shards)
         while True:
             if self.steal and self._steal_pass(
                 shards, decisions, pending_predictions, up, obs=obs
             ):
-                calendar_stale = True
+                calendar.invalidate_all()
             t_fault = fault_heap[0][0] if fault_heap else math.inf
             t_arr = arrivals[0][0] if arrivals else math.inf
             if t_fault <= t_arr and t_fault < math.inf:
@@ -932,7 +998,7 @@ class FleetSimulator:
                 if preempted():
                     continue
                 t, _, action, s, payload = heapq.heappop(fault_heap)
-                calendar_stale = True
+                calendar.invalidate_all()
                 if action == "crash":
                     if not up[s]:
                         continue  # absorbed: the shard is already down
@@ -984,7 +1050,7 @@ class FleetSimulator:
                     shards[s].latency_scale = 1.0
                 continue
             if arrivals:
-                calendar_stale = True
+                calendar.invalidate_all()
                 t, request_id, req = heapq.heappop(arrivals)
                 preempted = lambda: bool(arrivals) and arrivals[0][0] < t
                 for i, shard in enumerate(shards):
@@ -1062,27 +1128,18 @@ class FleetSimulator:
             elif self.calendar:
                 # Event-calendar drain, as in run(); down shards are
                 # idle (harvested) so they never enter the calendar.
-                if calendar_stale:
-                    calendar = [
-                        (shard.next_event_s(), i)
-                        for i, shard in enumerate(shards)
-                        if not shard.idle
-                    ]
-                    heapq.heapify(calendar)
-                    calendar_stale = False
-                if not calendar:
+                nxt = calendar.pop()
+                if nxt is None:
                     break
-                key, idx = heapq.heappop(calendar)
+                key, idx, horizon = nxt
                 shard = shards[idx]
-                horizon = calendar[0][0] if calendar else math.inf
                 if key >= horizon:
                     shard.advance_one()
                 else:
                     shard.advance_until(
                         horizon, interrupt=lambda: bool(arrivals)
                     )
-                if not shard.idle:
-                    heapq.heappush(calendar, (shard.next_event_s(), idx))
+                calendar.reschedule(idx)
             else:
                 busy = [shard for shard in shards if not shard.idle]
                 if not busy:

@@ -33,7 +33,21 @@ are collected in submission order.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
-from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..sim.surface_store import SurfaceStore
 
 from ..core.meadow import MeadowEngine
 from ..errors import ConfigError
@@ -249,6 +263,12 @@ class SweepDriver:
             at ``k=4`` is two fast and two slow boxes.
         kv_budget_bytes: optional per-shard override, broadcast or
             cycled like the bandwidth profile.
+        surface_store: optional :class:`~repro.sim.SurfaceStore`. Each
+            engine warm-starts from the store the moment
+            :meth:`engine_for` creates it; call :meth:`save_surfaces`
+            after a sweep to append what the run discovered. Numbers
+            are identical either way — the store only skips
+            re-simulating known points.
     """
 
     def __init__(
@@ -256,6 +276,7 @@ class SweepDriver:
         base_engine: MeadowEngine,
         bandwidths_gbps: Sequence[float],
         kv_budget_bytes: Optional[Sequence[Optional[int]]] = None,
+        surface_store: Optional["SurfaceStore"] = None,
     ) -> None:
         if not bandwidths_gbps:
             raise ConfigError("bandwidths_gbps must not be empty")
@@ -270,7 +291,9 @@ class SweepDriver:
             raise ConfigError(
                 "kv_budget_bytes must match bandwidths_gbps in length"
             )
+        self.surface_store = surface_store
         self._engines: Dict[float, MeadowEngine] = {}
+        self._store_loaded: Dict[float, int] = {}
 
     def engine_for(self, bandwidth_gbps: float) -> MeadowEngine:
         """The cached clone of the base deployment at one bandwidth."""
@@ -283,7 +306,30 @@ class SweepDriver:
                     config=self.base_engine.config.with_bandwidth(bandwidth_gbps)
                 )
             self._engines[bandwidth_gbps] = engine
+            if self.surface_store is not None:
+                self._store_loaded[bandwidth_gbps] = self.surface_store.load(
+                    engine
+                )
         return engine
+
+    def save_surfaces(self) -> Tuple[int, int]:
+        """Append every cached engine's surface to the store.
+
+        Returns ``(new_points, warm_points)``: how many exact points
+        this driver's runs discovered beyond what the store supplied,
+        and how many the store supplied. ``(0, 0)`` without a store.
+        A parallel sweep's worker discoveries count too — they were
+        merged back into the parent engines with each result.
+        """
+        if self.surface_store is None:
+            return (0, 0)
+        new = warm = 0
+        for bandwidth, engine in sorted(self._engines.items()):
+            loaded = self._store_loaded.get(bandwidth, 0)
+            warm += loaded
+            new += max(0, len(engine.surface) - loaded)
+            self.surface_store.save(engine)
+        return new, warm
 
     def fleet_profile(self, n_engines: int) -> Tuple[float, ...]:
         """Bandwidths of a fleet of ``n_engines`` (profile cycled)."""

@@ -68,8 +68,12 @@ from __future__ import annotations
 import enum
 import heapq
 import math
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
+from functools import reduce
+from itertools import accumulate, repeat
+from operator import add as _float_add
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.meadow import MeadowEngine
@@ -284,16 +288,16 @@ class SchedulerSnapshot:
 
 @dataclass
 class _Active:
-    """Book-keeping for one admitted request."""
+    """Book-keeping for one admitted-but-unprefilled request.
+
+    Once its prefill runs, the request's live state moves into the
+    scheduler's struct-of-arrays decode slots (``_d_*`` parallel lists)
+    — the hot loop reads plain int/float arrays, never objects.
+    """
 
     request: Request
     admit_s: float
     kv_reserved_bytes: int
-    context: int = 0  # tokens resident in KV
-    generated: int = 0
-    first_token_s: float = 0.0
-    last_token_s: float = 0.0
-    tbt_s: List[float] = field(default_factory=list)
 
 
 class ContinuousBatchingScheduler:
@@ -407,7 +411,19 @@ class ContinuousBatchingScheduler:
         self._future: List[Tuple[float, int, Request]] = []
         self._pending: Deque[Request] = deque()  # arrived, awaiting KV admission
         self._prefill_queue: Deque[_Active] = deque()  # admitted, awaiting prefill
-        self._decoding: List[_Active] = []  # generating, FCFS by admission
+        # ---- struct-of-arrays decode state ----
+        # One slot per in-flight generation, parallel by index, FCFS by
+        # admission (the order the old `_decoding` object list kept).
+        # The hot loop's reductions — deepest context, tokens to the
+        # next completion — are C-level min/max over plain int lists.
+        self._d_req: List[Request] = []  # the request in each slot
+        self._d_admit: List[float] = []  # admit instant
+        self._d_kv: List[int] = []  # ADMIT-time KV reservation (bytes)
+        self._d_ctx: List[int] = []  # tokens resident in KV
+        self._d_left: List[int] = []  # output tokens still owed
+        self._d_first: List[float] = []  # first-token instant
+        self._d_last: List[float] = []  # previous-token instant
+        self._d_tbt: List[List[float]] = []  # inter-token gaps so far
         self._kv_reserved = 0
         self._peak_kv = 0
         self._max_queue_depth = 0
@@ -425,8 +441,14 @@ class ContinuousBatchingScheduler:
         self._kv_bytes_cache: Dict[int, int] = {}  # token count -> KV bytes
         self._waiting_kv = 0  # worst-case KV over future + pending
         self._waiting_prompts: Dict[int, int] = {}  # prompt len -> count waiting
-        self._remaining_decode = 0  # tokens left across self._decoding
-        self._decode_ctx = 0  # max context across self._decoding
+        self._remaining_decode = 0  # tokens left across the decode slots
+        self._decode_ctx = 0  # max context across the decode slots
+        # Version-cached sorted histogram tuple: rebuilt only when the
+        # waiting-prompt aggregate actually mutated, so back-to-back
+        # routing snapshots of an untouched shard reuse one tuple.
+        self._hist_version = 0
+        self._hist_cache: Tuple[Tuple[int, int], ...] = ()
+        self._hist_cached_version = -1
 
     # ------------------------------------------------------------- helpers
     @property
@@ -494,6 +516,7 @@ class ContinuousBatchingScheduler:
         self._waiting_kv += need
         prompts = self._waiting_prompts
         prompts[request.prompt_tokens] = prompts.get(request.prompt_tokens, 0) + 1
+        self._hist_version += 1
 
     def submit(self, request: Request) -> None:
         """Queue one request for its arrival time (validates feasibility).
@@ -511,14 +534,19 @@ class ContinuousBatchingScheduler:
         """Capture the live state routing policies key on.
 
         O(1) in queue depth: every field is an incrementally maintained
-        aggregate (the prompt histogram is sized by distinct lengths).
+        aggregate (the prompt histogram is sized by distinct lengths,
+        and its sorted tuple is version-cached — rebuilt only when the
+        waiting set actually changed since the last snapshot).
         """
+        if self._hist_cached_version != self._hist_version:
+            self._hist_cache = tuple(sorted(self._waiting_prompts.items()))
+            self._hist_cached_version = self._hist_version
         return SchedulerSnapshot(
             shard_id=shard_id,
             clock_s=self._clock,
             n_waiting=len(self._future) + len(self._pending) + len(self._prefill_queue),
-            n_decoding=len(self._decoding),
-            waiting_prompt_hist=tuple(sorted(self._waiting_prompts.items())),
+            n_decoding=len(self._d_req),
+            waiting_prompt_hist=self._hist_cache,
             remaining_decode_tokens=self._remaining_decode,
             decode_context=self._decode_ctx,
             kv_reserved_bytes=self._kv_reserved,
@@ -545,7 +573,7 @@ class ContinuousBatchingScheduler:
         shard therefore executes fleet iterations in exactly the order
         the per-iteration reference walk does.
         """
-        if self._prefill_queue or self._decoding or self._pending:
+        if self._prefill_queue or self._d_req or self._pending:
             return self._clock
         if self._future:
             return max(self._clock, self._future[0][0])
@@ -585,6 +613,7 @@ class ContinuousBatchingScheduler:
             self._waiting_prompts[request.prompt_tokens] = count
         else:
             del self._waiting_prompts[request.prompt_tokens]
+        self._hist_version += 1
 
     def withdraw(self, request_id: int) -> Request:
         """Remove a not-yet-prefilled request (the work-stealing donor op).
@@ -651,15 +680,26 @@ class ContinuousBatchingScheduler:
             self.withdraw(req.request_id) for req in self.steal_candidates()
         ]
         inflight: List[Tuple[Request, int]] = []
-        for active in self._decoding:
-            self._kv_reserved -= active.kv_reserved_bytes
-            self._known_ids.discard(active.request.request_id)
-            self._log(EventKind.WITHDRAW, active.request.request_id)
-            inflight.append((active.request, active.generated))
-        self._decoding = []
+        for i, req in enumerate(self._d_req):
+            self._kv_reserved -= self._d_kv[i]
+            self._known_ids.discard(req.request_id)
+            self._log(EventKind.WITHDRAW, req.request_id)
+            inflight.append((req, req.output_tokens - self._d_left[i]))
+        self._permute_decode(())
         self._remaining_decode = 0
         self._decode_ctx = 0
         return waiting, inflight
+
+    def _permute_decode(self, order: Tuple[int, ...]) -> None:
+        """Rebuild every decode array in ``order`` (drops absent slots)."""
+        self._d_req = [self._d_req[i] for i in order]
+        self._d_admit = [self._d_admit[i] for i in order]
+        self._d_kv = [self._d_kv[i] for i in order]
+        self._d_ctx = [self._d_ctx[i] for i in order]
+        self._d_left = [self._d_left[i] for i in order]
+        self._d_first = [self._d_first[i] for i in order]
+        self._d_last = [self._d_last[i] for i in order]
+        self._d_tbt = [self._d_tbt[i] for i in order]
 
     # ----------------------------------------------------------- internals
     def _log(self, kind: EventKind, request_id: int) -> None:
@@ -702,19 +742,26 @@ class ContinuousBatchingScheduler:
             )
             self._log(EventKind.ADMIT, req.request_id)
 
-    def _complete(self, active: _Active) -> None:
-        self._kv_reserved -= active.kv_reserved_bytes
-        self._log(EventKind.COMPLETE, active.request.request_id)
-        self._records[active.request.request_id] = RequestRecord(
-            request=active.request,
-            admit_s=active.admit_s,
-            first_token_s=active.first_token_s,
+    def _complete(
+        self,
+        request: Request,
+        admit_s: float,
+        kv_reserved_bytes: int,
+        first_token_s: float,
+        tbt_s: List[float],
+    ) -> None:
+        self._kv_reserved -= kv_reserved_bytes
+        self._log(EventKind.COMPLETE, request.request_id)
+        self._records[request.request_id] = RequestRecord(
+            request=request,
+            admit_s=admit_s,
+            first_token_s=first_token_s,
             finish_s=self._clock,
-            tbt_s=tuple(active.tbt_s),
+            tbt_s=tuple(tbt_s),
         )
         if self._on_complete is None:
             return
-        follow_up = self._on_complete(active.request, self._clock)
+        follow_up = self._on_complete(request, self._clock)
         if follow_up is not None:
             # Open-loop traces fail fast at start-up; a closed-loop
             # follow-up drawn mid-run must not abort the simulation
@@ -738,90 +785,101 @@ class ContinuousBatchingScheduler:
         self._clock += point.latency_s * self.latency_scale
         self._energy_uj += point.energy_uj
         self._n_prefills += 1
-        count = self._waiting_prompts[req.prompt_tokens] - 1
-        if count:
-            self._waiting_prompts[req.prompt_tokens] = count
-        else:
-            del self._waiting_prompts[req.prompt_tokens]
-        active.context = req.prompt_tokens
-        active.generated = 1  # prefill emits the first token
-        active.first_token_s = self._clock
-        active.last_token_s = self._clock
+        self._forget_waiting(req)
         if self.token_events:
             self._log(EventKind.FIRST_TOKEN, req.request_id)
         obs = self._obs
         if obs is not None:
             obs.first_token(self._clock, req.request_id)
             obs.step(t0, self._clock, "prefill", 1, 1, req.request_id)
-        if active.generated >= req.output_tokens:
-            self._complete(active)
+        if req.output_tokens <= 1:  # prefill emits the first token
+            self._complete(
+                req, active.admit_s, active.kv_reserved_bytes, self._clock, []
+            )
         else:
-            self._decoding.append(active)
+            self._d_req.append(req)
+            self._d_admit.append(active.admit_s)
+            self._d_kv.append(active.kv_reserved_bytes)
+            self._d_ctx.append(req.prompt_tokens)
+            self._d_left.append(req.output_tokens - 1)
+            self._d_first.append(self._clock)
+            self._d_last.append(self._clock)
+            self._d_tbt.append([])
             self._remaining_decode += req.output_tokens - 1
-            if active.context > self._decode_ctx:
-                self._decode_ctx = active.context
+            if req.prompt_tokens > self._decode_ctx:
+                self._decode_ctx = req.prompt_tokens
         if obs is not None:
             obs.sample(
                 self._clock, self._kv_reserved, len(self._pending),
-                len(self._decoding), len(self._prefill_queue) + len(self._pending),
+                len(self._d_req), len(self._prefill_queue) + len(self._pending),
             )
 
     def _decode_step(self) -> None:
         """One batched decode iteration — the per-token reference path."""
-        batch = self._decoding[: self.max_batch]
+        d_req = self._d_req
+        d_ctx = self._d_ctx
+        d_left = self._d_left
+        d_last = self._d_last
+        d_tbt = self._d_tbt
+        n = min(len(d_req), self.max_batch)
         # The batch decodes at the deepest member's context; a
         # conservative (upper-bound) latency for the shallower ones.
-        raw_ctx = max(a.context + 1 for a in batch)
+        raw_ctx = max(d_ctx[:n]) + 1
         point = self.engine.surface.decode(
-            self._bucket_ctx(raw_ctx), batch=len(batch),
+            self._bucket_ctx(raw_ctx), batch=n,
             interpolate=self.interpolate,
         )
         t0 = self._clock
         self._clock += point.latency_s * self.latency_scale
         self._energy_uj += point.energy_uj
         self._n_decodes += 1
-        self._remaining_decode -= len(batch)
-        survivors: List[_Active] = []
-        finished: List[_Active] = []
+        self._remaining_decode -= n
+        c = self._clock
         log_tokens = self.token_events
-        for active in batch:
-            active.context += 1
-            active.generated += 1
+        any_finished = False
+        for i in range(n):
+            d_ctx[i] += 1
+            d_left[i] -= 1
             # Wall-clock gap since the previous token: includes any
             # prefill iterations that stalled this request's stream,
             # not just this decode step's latency.
-            active.tbt_s.append(self._clock - active.last_token_s)
-            active.last_token_s = self._clock
+            d_tbt[i].append(c - d_last[i])
+            d_last[i] = c
             if log_tokens:
-                self._log(EventKind.DECODE_STEP, active.request.request_id)
-            if active.generated >= active.request.output_tokens:
-                finished.append(active)
+                self._log(EventKind.DECODE_STEP, d_req[i].request_id)
+            if d_left[i] <= 0:
+                any_finished = True
+        # The batch is a prefix of the slots; completions run in batch
+        # order, then the oversubscribed-batch round-robin rotates
+        # requests beyond max_batch in so nobody is starved.
+        total = len(d_req)
+        if any_finished:
+            finished = [
+                (d_req[i], self._d_admit[i], self._d_kv[i],
+                 self._d_first[i], d_tbt[i])
+                for i in range(n) if d_left[i] <= 0
+            ]
+            survivors = [i for i in range(n) if d_left[i] > 0]
+            waiting = range(n, total)
+            if len(survivors) + (total - n) > self.max_batch:
+                order = (*waiting, *survivors)
             else:
-                survivors.append(active)
-        # The batch is a prefix of ``decoding``, so one slice +
-        # partition replaces per-element list removal and
-        # membership scans (O(batch) instead of O(batch^2)).
-        waiting = self._decoding[len(batch):]
-        for active in finished:
-            self._complete(active)
-        # Round-robin the survivors of an oversubscribed batch so
-        # requests beyond max_batch are not starved.
-        if len(survivors) + len(waiting) > self.max_batch:
-            self._decoding = waiting + survivors
+                order = (*survivors, *waiting)
+            for args in finished:
+                self._complete(*args)
+            self._permute_decode(order)
+            self._decode_ctx = max(self._d_ctx, default=0)
         else:
-            self._decoding = survivors + waiting
-        if finished:
-            self._decode_ctx = max(
-                (a.context for a in self._decoding), default=0
-            )
-        elif raw_ctx > self._decode_ctx:
-            self._decode_ctx = raw_ctx
+            if total > self.max_batch:
+                self._permute_decode((*range(n, total), *range(n)))
+            if raw_ctx > self._decode_ctx:
+                self._decode_ctx = raw_ctx
         obs = self._obs
         if obs is not None:
-            obs.step(t0, self._clock, "decode", 1, len(batch))
+            obs.step(t0, self._clock, "decode", 1, n)
             obs.sample(
                 self._clock, self._kv_reserved, len(self._pending),
-                len(self._decoding), len(self._prefill_queue) + len(self._pending),
+                len(self._d_req), len(self._prefill_queue) + len(self._pending),
             )
 
     def _decode_run(self, t_s: float) -> None:
@@ -838,85 +896,92 @@ class ContinuousBatchingScheduler:
         reference walk performs, so every timestamp, TBT gap and
         accumulator matches bit for bit.
         """
-        decoding = self._decoding
-        if len(decoding) > self.max_batch:
+        d_req = self._d_req
+        n = len(d_req)
+        if n > self.max_batch:
             # Oversubscribed: survivor rotation changes the batch every
             # iteration — nothing to coalesce.
             self._decode_step()
             return
-        batch = decoding
-        n = len(batch)
-        raw_ctx = max(a.context for a in batch) + 1
-        point, bucket_run = self.engine.surface.decode_run(
-            raw_ctx, batch=n, ctx_bucket=self.ctx_bucket,
+        d_ctx = self._d_ctx
+        d_left = self._d_left
+        point, bucket_run = self.engine.surface.decode_run_many(
+            d_ctx, batch=n, ctx_bucket=self.ctx_bucket,
             interpolate=self.interpolate,
         )
-        to_complete = min(a.request.output_tokens - a.generated for a in batch)
+        to_complete = min(d_left)
         k_cap = min(to_complete, bucket_run)
         next_arrival = self._future[0][0] if self._future else math.inf
         lat = point.latency_s * self.latency_scale
-        step_energy = point.energy_uj
-        # Reproduce the reference walk's clock/energy series exactly:
+        # Reproduce the reference walk's clock/energy series exactly —
         # sequential float addition is order-sensitive, so k*lat would
-        # drift in the last bits where lat+lat+... does not.
-        clocks: List[float] = []
-        c = self._clock
-        energy = self._energy_uj
-        while len(clocks) < k_cap and c < t_s:
-            c += lat
-            energy += step_energy
-            clocks.append(c)
-            if c >= next_arrival:
-                break
-        k = len(clocks)
+        # drift in the last bits where lat+lat+... does not. accumulate
+        # performs the identical additions at C speed; the run's cut
+        # points fall out of bisection (lat > 0 keeps the series
+        # non-decreasing): a step runs while the pre-step clock is
+        # before the horizon, and the run breaks after the step that
+        # reaches the next submitted arrival.
+        full = list(accumulate(repeat(lat, k_cap), initial=self._clock))
+        k = min(
+            bisect_left(full, t_s, 0, k_cap),
+            bisect_left(full, next_arrival, 1, k_cap + 1),
+        )
+        clocks = full[1 : k + 1]
+        c = full[k]
         t0 = self._clock
         self._clock = c
-        self._energy_uj = energy
+        self._energy_uj = reduce(
+            _float_add, repeat(point.energy_uj, k), self._energy_uj
+        )
         self._n_decodes += k
         self._remaining_decode -= k * n
         # Inter-token gaps: the first gap of the run is member-specific
         # (it includes any stall since that member's previous token);
         # gaps 2..k are the shared consecutive-clock deltas.
         shared = [b - a for a, b in zip(clocks, clocks[1:])]
-        finished: List[_Active] = []
-        for active in batch:
-            active.context += k
-            active.generated += k
-            active.tbt_s.append(clocks[0] - active.last_token_s)
+        c0 = clocks[0]
+        d_last = self._d_last
+        d_tbt = self._d_tbt
+        for i in range(n):
+            gaps = d_tbt[i]
+            gaps.append(c0 - d_last[i])
             if shared:
-                active.tbt_s.extend(shared)
-            active.last_token_s = c
-            if active.generated >= active.request.output_tokens:
-                finished.append(active)
+                gaps.extend(shared)
+            d_last[i] = c
+        self._d_ctx = d_ctx = [x + k for x in d_ctx]
+        self._d_left = d_left = [x - k for x in d_left]
         if self.token_events:
             events = self._events
             kv = self._kv_reserved
             depth = len(self._pending)
             for t in clocks:
-                for active in batch:
+                for req in d_req:
                     events.append(
                         SchedulerEvent(
                             t,
                             EventKind.DECODE_STEP,
-                            active.request.request_id,
+                            req.request_id,
                             kv,
                             depth,
                         )
                     )
-        if finished:
+        if k == to_complete:
             # Completions only happen on the run's final iteration (the
             # run length is capped at tokens-to-next-completion), so one
             # partition reproduces the reference step's reordering.
-            self._decoding = [
-                a for a in batch if a.generated < a.request.output_tokens
+            finished = [
+                (d_req[i], self._d_admit[i], self._d_kv[i],
+                 self._d_first[i], d_tbt[i])
+                for i in range(n) if d_left[i] <= 0
             ]
-            for active in finished:
-                self._complete(active)
-            self._decode_ctx = max(
-                (a.context for a in self._decoding), default=0
+            self._permute_decode(
+                tuple(i for i in range(n) if d_left[i] > 0)
             )
+            for args in finished:
+                self._complete(*args)
+            self._decode_ctx = max(self._d_ctx, default=0)
         else:
-            end_ctx = raw_ctx + k - 1
+            end_ctx = max(d_ctx)
             if end_ctx > self._decode_ctx:
                 self._decode_ctx = end_ctx
         obs = self._obs
@@ -924,7 +989,7 @@ class ContinuousBatchingScheduler:
             obs.step(t0, c, "decode", k, n)
             obs.sample(
                 c, self._kv_reserved, len(self._pending),
-                len(self._decoding), len(self._prefill_queue) + len(self._pending),
+                len(self._d_req), len(self._prefill_queue) + len(self._pending),
             )
 
     # ---------------------------------------------------------------- run
@@ -932,7 +997,7 @@ class ContinuousBatchingScheduler:
     def idle(self) -> bool:
         """True when nothing is queued, admitted or in flight."""
         return not (
-            self._future or self._pending or self._prefill_queue or self._decoding
+            self._future or self._pending or self._prefill_queue or self._d_req
         )
 
     def advance_one(self) -> bool:
@@ -954,7 +1019,7 @@ class ContinuousBatchingScheduler:
             if self._prefill_queue:
                 self._prefill_step()
                 return True
-            elif self._decoding:
+            elif self._d_req:
                 self._decode_step()
                 return True
             elif self._pending:
@@ -1001,15 +1066,21 @@ class ContinuousBatchingScheduler:
                 return
             if interrupt is not None and interrupt():
                 return
-            self._ingest_arrivals()
-            self._admit()
-            # Depth is measured after admission: only requests the KV
-            # budget actually held back count as queued.
-            self._max_queue_depth = max(self._max_queue_depth, len(self._pending))
+            # Inlined fast-path guards: the ingest/admit bodies are
+            # no-ops on the (dominant) iterations where nothing is due,
+            # so skip the calls outright — identical state transitions.
+            if self._future and self._future[0][0] <= self._clock:
+                self._ingest_arrivals()
+            if self._pending:
+                self._admit()
+                # Depth is measured after admission: only requests the
+                # KV budget actually held back count as queued.
+                if len(self._pending) > self._max_queue_depth:
+                    self._max_queue_depth = len(self._pending)
 
             if self._prefill_queue:
                 self._prefill_step()
-            elif self._decoding:
+            elif self._d_req:
                 if coalesce:
                     self._decode_run(t_s)
                 else:

@@ -18,6 +18,7 @@ from .metrics import (
 from .pipeline_sim import simulate_linear_pipeline, stage_occupancy
 from .roofline import RooflinePoint, roofline_curve, roofline_point, workload_roofline
 from .surface import LatencySurface, SurfacePoint
+from .surface_store import SurfaceStore, engine_fingerprint
 from .tiling import TiledGemm, TileShape, plan_tiled_gemm
 from .trace import TraceEvent, build_trace, render_gantt, trace_to_csv, trace_to_json
 from .tphs_executor import (
@@ -47,6 +48,8 @@ __all__ = [
     "stage_occupancy",
     "LatencySurface",
     "SurfacePoint",
+    "SurfaceStore",
+    "engine_fingerprint",
     "RooflinePoint",
     "roofline_point",
     "roofline_curve",

@@ -37,7 +37,17 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import SimulationError
 from ..models import Stage, Workload, decode_workload, prefill_workload
@@ -115,6 +125,11 @@ class LatencySurface:
         # of whether anyone interpolated.
         self._interp_cache: Dict[Tuple[Stage, int, int], SurfacePoint] = {}
         self.interp_rel_err = interp_rel_err
+        #: Points filled by *running the simulator* since construction
+        #: (loads and merges do not count). The surface store's
+        #: warm-start guarantee is phrased in this counter: a run whose
+        #: every operating point came off disk reports 0.
+        self.n_simulated = 0
 
     def __len__(self) -> int:
         return len(self._points)
@@ -132,6 +147,7 @@ class LatencySurface:
         self._interp_cache.pop(key, None)
 
     def _insert(self, workload: Workload) -> SurfacePoint:
+        self.n_simulated += 1
         report = self._sim.simulate(workload)
         point = SurfacePoint(
             stage=workload.stage,
@@ -260,6 +276,62 @@ class LatencySurface:
             return point, max_len - context_len + 1
         point = self.decode(bucketed, batch=batch, interpolate=interpolate)
         return point, bucketed - context_len + 1
+
+    def decode_run_many(
+        self,
+        contexts: Sequence[int],
+        batch: int,
+        ctx_bucket: int = 1,
+        interpolate: bool = False,
+    ) -> Tuple[SurfacePoint, int]:
+        """One coalesced decode-run query for a whole stable batch.
+
+        ``contexts`` holds each member's current context length; the
+        batch decodes at the deepest member's context plus one (the
+        scheduler's conservative heterogeneous-batch charge), bucketed
+        like :meth:`decode_run`. Answers with a *single* hash probe for
+        the shared ``(bucketed context, batch)`` key — the max, the
+        bucket arithmetic and the table lookup all happen here, in one
+        pass, instead of per batch member in the scheduler's hot loop.
+        Returns the shared point and the run length it covers.
+        Bit-identical to ``decode_run(max(contexts) + 1, ...)``.
+        """
+        if ctx_bucket < 1:
+            raise SimulationError(f"ctx_bucket must be >= 1, got {ctx_bucket}")
+        if not contexts:
+            raise SimulationError("decode_run_many needs a non-empty batch")
+        context_len = max(contexts) + 1
+        max_len = self._sim.model.max_seq_len
+        bucketed = ceil_div(context_len, ctx_bucket) * ctx_bucket
+        if bucketed >= max_len:
+            bucketed = max_len
+        point = self._points.get((Stage.DECODE, bucketed, batch))
+        if point is None:
+            point = self.decode(bucketed, batch=batch, interpolate=interpolate)
+        return point, bucketed - context_len + 1
+
+    def queued_prefill_s(
+        self,
+        hist: Iterable[Tuple[int, int]],
+        interpolate: bool = False,
+    ) -> float:
+        """Total prefill latency of a waiting-prompt histogram.
+
+        ``hist`` is ``(prompt_tokens, count)`` pairs — the shape of
+        :attr:`~repro.serving.SchedulerSnapshot.waiting_prompt_hist`.
+        One direct table probe per *distinct* length, accumulated in
+        iteration order with the same float additions as
+        ``sum(count * prefill(tokens).latency_s for ...)``, so
+        predictive routers get the bulk answer bit-identically.
+        """
+        total = 0.0
+        points = self._points
+        for tokens, count in hist:
+            point = points.get((Stage.PREFILL, tokens, 1))
+            if point is None:
+                point = self.prefill(tokens, interpolate=interpolate)
+            total += count * point.latency_s
+        return total
 
     def point(self, workload: Workload) -> SurfacePoint:
         """Point for an arbitrary workload of the surface's model."""

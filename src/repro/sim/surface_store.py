@@ -1,0 +1,253 @@
+"""Persistent, engine-fingerprint-keyed store of latency surfaces.
+
+Every fresh CLI invocation or sweep used to re-simulate operating
+points a previous run had already computed. The store makes surfaces
+outlive the process: one JSON file per *engine fingerprint* — a hash of
+everything that determines the numbers (model, hardware config,
+execution plan, packing-planner signature, schema versions) — holding
+that engine's exact-point table. Callers warm-start by merging the
+file's points into a fresh surface and append new discoveries back
+with an atomic read-merge-replace, so concurrent writers can only lose
+a few freshly simulated points, never corrupt the file.
+
+Failure policy: the store is a cache, not a source of truth. *Every*
+failure path — unreadable directory, corrupt or truncated JSON, schema
+version drift, a file whose fingerprint does not match its name,
+read-only store directory — degrades to in-memory simulation with a
+:class:`RuntimeWarning`; nothing here ever raises into the serving
+path. Numbers are unaffected either way: stored points were produced
+by the same simulator and round-trip exactly through JSON, so a
+warm-started run is bit-identical to a cold one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .surface import SURFACE_SCHEMA_VERSION
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "DEFAULT_STORE_DIR",
+    "SurfaceStore",
+    "engine_fingerprint",
+]
+
+#: Version of the per-file store envelope (not the surface dump inside
+#: it — that carries its own ``SURFACE_SCHEMA_VERSION``). Bump on any
+#: envelope change so stale files are skipped, not misread.
+STORE_SCHEMA_VERSION = 1
+
+#: Where the CLIs put the store when ``--surface-store`` is passed
+#: without a directory.
+DEFAULT_STORE_DIR = ".repro-surface-store"
+
+
+def _canon(value: Any) -> Any:
+    """Canonicalize configs for hashing: dataclasses/enums -> plain JSON."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canon(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in value.items()}
+    return value
+
+
+def engine_fingerprint(engine) -> str:
+    """Hex digest naming everything that determines an engine's numbers.
+
+    Two engines share a fingerprint iff their surfaces are
+    interchangeable: same model, same hardware config, same execution
+    plan, same packing-planner signature (``depth_buckets`` changes the
+    modeled numbers, so a custom planner changes the fingerprint), and
+    same schema versions. Truncated to 16 hex chars — collision odds
+    are negligible at fleet scale and the filenames stay readable.
+    """
+    planner = engine.planner
+    payload = {
+        "store_version": STORE_SCHEMA_VERSION,
+        "surface_version": SURFACE_SCHEMA_VERSION,
+        "model": _canon(engine.model),
+        "hardware": _canon(engine.config),
+        "plan": _canon(engine.plan),
+        "planner": None if planner is None else {
+            "type": type(planner).__name__,
+            "depth_buckets": planner.depth_buckets,
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class SurfaceStore:
+    """One directory of ``surface-<fingerprint>.json`` files.
+
+    The directory is created lazily on first save. All methods are
+    total: failures warn and return a harmless value instead of
+    raising (see the module docstring for the policy).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        """The store file backing one engine fingerprint."""
+        return self.root / f"surface-{fingerprint}.json"
+
+    # --------------------------------------------------------------- load
+    def _read(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Validated store envelope for a fingerprint, or None.
+
+        Warns and returns None on any defect: unreadable file, corrupt
+        JSON, a non-object payload, envelope version drift, or a
+        foreign fingerprint (a file copied or renamed across engines
+        must not leak another deployment's numbers).
+        """
+        path = self.path_for(fingerprint)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._warn(f"cannot read {path}: {exc}")
+            return None
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            self._warn(f"corrupt surface store file {path}: {exc}")
+            return None
+        if not isinstance(doc, dict):
+            self._warn(f"surface store file {path} is not a JSON object")
+            return None
+        if doc.get("store_version") != STORE_SCHEMA_VERSION:
+            self._warn(
+                f"surface store file {path} has version "
+                f"{doc.get('store_version')!r}, expected {STORE_SCHEMA_VERSION}"
+            )
+            return None
+        if doc.get("fingerprint") != fingerprint:
+            self._warn(
+                f"surface store file {path} carries fingerprint "
+                f"{doc.get('fingerprint')!r}, expected {fingerprint!r}"
+            )
+            return None
+        if not isinstance(doc.get("surface"), dict):
+            self._warn(f"surface store file {path} has no surface payload")
+            return None
+        return doc
+
+    def load(self, engine) -> int:
+        """Warm-start an engine's surface from the store.
+
+        Merges the stored exact points into ``engine.surface`` (the
+        incumbent wins on key collisions — both sides simulated the
+        same numbers) and returns how many points were added; 0 on a
+        cold store or any failure. Never touches
+        ``LatencySurface.n_simulated``: loaded points do not count as
+        simulation, which is exactly what the warm-start CI assertion
+        measures.
+        """
+        fingerprint = engine_fingerprint(engine)
+        doc = self._read(fingerprint)
+        if doc is None:
+            return 0
+        dump = doc["surface"]
+        points = dump.get("points")
+        if not isinstance(points, list):
+            self._warn(
+                f"surface store file {self.path_for(fingerprint)} has no "
+                f"point table"
+            )
+            return 0
+        expected = dump.get("n_points")
+        if expected is not None and expected != len(points):
+            self._warn(
+                f"surface store file {self.path_for(fingerprint)} is "
+                f"truncated: header says {expected} points, {len(points)} "
+                f"present"
+            )
+            return 0
+        try:
+            return engine.surface.merge_points(points)
+        except Exception as exc:  # malformed entries — fall back cold
+            self._warn(
+                f"surface store file {self.path_for(fingerprint)} has "
+                f"malformed points: {exc}"
+            )
+            return 0
+
+    # --------------------------------------------------------------- save
+    def save(self, engine) -> int:
+        """Append an engine's exact points to its store file atomically.
+
+        Read-merge-union: the current file's points are folded into the
+        engine's surface first, so a concurrent writer's discoveries
+        survive (last-writer-wins only over the few points both
+        simulated — which are identical anyway). The union is written
+        to a temp file and moved over the target with ``os.replace``,
+        so readers never observe a partial file. Returns the number of
+        points written; 0 (with a warning) when the directory cannot be
+        created or written.
+        """
+        fingerprint = engine_fingerprint(engine)
+        doc = self._read(fingerprint)
+        if doc is not None:
+            points = doc["surface"].get("points")
+            if isinstance(points, list):
+                try:
+                    engine.surface.merge_points(points)
+                except Exception as exc:
+                    self._warn(
+                        f"discarding malformed points in "
+                        f"{self.path_for(fingerprint)}: {exc}"
+                    )
+        envelope = {
+            "store_version": STORE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "model": engine.model.name,
+            "plan": engine.plan.name,
+            "surface": engine.surface.to_json(),
+        }
+        path = self.path_for(fingerprint)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(envelope, fh, indent=1)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self._warn(f"cannot write surface store file {path}: {exc}")
+            return 0
+        return envelope["surface"]["n_points"]
+
+    @staticmethod
+    def _warn(message: str) -> None:
+        warnings.warn(
+            f"surface store: {message}; falling back to in-memory "
+            f"simulation",
+            RuntimeWarning,
+            stacklevel=3,
+        )

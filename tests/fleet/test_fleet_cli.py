@@ -177,3 +177,47 @@ class TestFleetChaosFlags:
         assert main(argv) == 0
         doc = json.loads(out_path.read_text())
         assert sorted(p["faults"] for p in doc["points"]) == ["crash", "none"]
+
+
+class TestFleetSurfaceStore:
+    def test_sweep_warm_start_simulates_zero_points(self, capsys, tmp_path):
+        """The CI warm-start assertion, in-process: an identical second
+        sweep against the same store simulates nothing new and reports
+        an identical Pareto table."""
+        argv = [
+            "fleet", "--bandwidths", "12", "1", "--requests", "8",
+            "--arrival", "bursty", "--seed", "0",
+            "--sweep", "--num-engines", "1", "2",
+            "--policies", "round-robin",
+            "--workers", "1",
+            "--surface-store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "(0 warm-started)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "surface store: simulated 0 new points" in warm
+        assert cold.split("surface store")[0] == warm.split("surface store")[0]
+
+    def test_single_run_warm_starts_across_invocations(self, capsys, tmp_path):
+        argv = [
+            "fleet", "--bandwidths", "12", "1", "--requests", "8",
+            "--arrival", "bursty", "--seed", "0",
+            "--surface-store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "simulated 0 new points" in capsys.readouterr().out
+
+    def test_plan_uses_store(self, capsys, tmp_path):
+        argv = [
+            "plan", "--bandwidths", "12", "1", "--rate", "4",
+            "--engines", "2", "--samples", "32",
+            "--surface-store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "simulated 0 new points" in capsys.readouterr().out

@@ -234,12 +234,10 @@ def _recomputed_snapshot(scheduler, shard_id=0):
 
     return dict(
         n_waiting=len(s._future) + len(s._pending) + len(s._prefill_queue),
-        n_decoding=len(s._decoding),
+        n_decoding=len(s._d_req),
         waiting_prompt_hist=tuple(sorted(prompts.items())),
-        remaining_decode_tokens=sum(
-            a.request.output_tokens - a.generated for a in s._decoding
-        ),
-        decode_context=max((a.context for a in s._decoding), default=0),
+        remaining_decode_tokens=sum(s._d_left),
+        decode_context=max(s._d_ctx, default=0),
         kv_reserved_bytes=s._kv_reserved,
         waiting_kv_bytes=sum(kv(req.total_tokens) for _, _, req in s._future)
         + sum(kv(req.total_tokens) for req in s._pending),

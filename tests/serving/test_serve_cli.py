@@ -124,3 +124,48 @@ class TestFidelitySpeedKnobs:
             ["serve", "--requests", "4", "--plan", "gemm", "--ctx-bucket", "0"]
         ) == 2
         assert capsys.readouterr().err.startswith("error: ctx_bucket")
+
+
+class TestSurfaceStoreFlags:
+    def test_store_off_by_default(self, capsys):
+        assert main(["serve", "--requests", "4", "--plan", "gemm"]) == 0
+        assert "surface store" not in capsys.readouterr().out
+
+    def test_warm_start_round_trip(self, tmp_path, capsys):
+        """Second identical run warm-starts fully: 0 new points, and the
+        report itself is byte-identical to the cold run's."""
+        argv = [
+            "serve", "--requests", "6", "--seed", "1", "--plan", "gemm",
+            "--surface-store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "surface store: simulated" in cold
+        assert "(0 warm-started)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "surface store: simulated 0 new points" in warm
+        assert cold.split("surface store")[0] == warm.split("surface store")[0]
+
+    def test_no_surface_store_forces_off(self, tmp_path, capsys):
+        assert main([
+            "serve", "--requests", "4", "--plan", "gemm",
+            "--surface-store", str(tmp_path / "store"), "--no-surface-store",
+        ]) == 0
+        assert "surface store" not in capsys.readouterr().out
+        assert not (tmp_path / "store").exists()
+
+    def test_corrupt_store_degrades_to_cold_run(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        argv = [
+            "serve", "--requests", "4", "--seed", "2", "--plan", "gemm",
+            "--surface-store", str(store),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        for f in store.glob("surface-*.json"):
+            f.write_text("{corrupt", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="surface store"):
+            assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(0 warm-started)" in out  # cold, but the run succeeded

@@ -407,3 +407,80 @@ class TestInterpolation:
                 assert rel_err <= guard / (1.0 - guard) + 1e-12
 
         check()
+
+
+class TestBatchedKernels:
+    """The bulk lookups answer exactly like their scalar equivalents."""
+
+    def test_decode_run_many_empty_batch_rejected(self, surface):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            surface.decode_run_many([], batch=1)
+
+    def test_decode_run_many_single_probe_on_hit(self, surface):
+        surface.decode_run_many([100, 120, 140], batch=3, ctx_bucket=64)
+        before = surface.n_simulated
+        point, run = surface.decode_run_many(
+            [100, 120, 140], batch=3, ctx_bucket=64
+        )
+        assert surface.n_simulated == before  # pure dict hit
+        assert point.tokens == 192 and run == 192 - 141 + 1
+
+    def test_property_decode_run_many_matches_decode_run(self, surface):
+        """For any batch of contexts and any bucket, the bulk query is
+        the scalar ``decode_run(max(contexts) + 1, ...)`` — same point
+        object, same run length — including at max_seq_len saturation.
+
+        Shapes with ``batch > max(contexts) + 1`` are out of the model's
+        domain (the TPHS planner requires ``kv_len >= n_tokens``) and are
+        rejected identically by both paths, so the strategy skips them."""
+        from hypothesis import assume, given, settings, strategies as st
+
+        max_ctx = surface.simulator.model.max_seq_len - 1
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            contexts=st.lists(
+                st.integers(min_value=1, max_value=max_ctx),
+                min_size=1, max_size=8,
+            ),
+            ctx_bucket=st.sampled_from([1, 7, 64, 256, 1024]),
+        )
+        def check(contexts, ctx_bucket) -> None:
+            batch = len(contexts)
+            assume(max(contexts) + 1 >= batch)
+            many_point, many_run = surface.decode_run_many(
+                contexts, batch=batch, ctx_bucket=ctx_bucket
+            )
+            one_point, one_run = surface.decode_run(
+                max(contexts) + 1, batch=batch, ctx_bucket=ctx_bucket
+            )
+            assert many_point is one_point
+            assert many_run == one_run
+
+        check()
+
+    def test_property_queued_prefill_matches_plain_sum(self, surface):
+        """The histogram kernel accumulates the exact same floats, in
+        the same order, as the scalar per-length loop it replaced."""
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            hist=st.lists(
+                st.tuples(
+                    st.integers(min_value=1, max_value=192),
+                    st.integers(min_value=1, max_value=9),
+                ),
+                max_size=6,
+            ),
+        )
+        def check(hist) -> None:
+            bulk = surface.queued_prefill_s(hist)
+            scalar = 0.0
+            for tokens, count in hist:
+                scalar += count * surface.prefill(tokens).latency_s
+            assert bulk == scalar
+
+        check()

@@ -56,3 +56,77 @@ class TestCommands:
     def test_unknown_model_errors(self):
         with pytest.raises(KeyError):
             main(["ttft", "--model", "nonexistent"])
+
+
+class TestBenchCommand:
+    """The perf-trajectory aggregator: list and tolerance-gate records."""
+
+    @staticmethod
+    def _record(path, schema, speedup):
+        import json
+
+        path.write_text(json.dumps({
+            "meta": {"schema": schema, "schema_version": 1,
+                     "git_sha": "deadbeef", "python_version": "3.12.0"},
+            "speedup": speedup,
+        }), encoding="utf-8")
+
+    def test_bench_registered(self):
+        args = build_parser().parse_args(["bench", "--tolerance", "0.25"])
+        assert args.command == "bench" and args.tolerance == 0.25
+
+    def test_lists_committed_records(self, capsys, tmp_path):
+        self._record(tmp_path / "BENCH_a.json", "repro.bench.a", 6.0)
+        assert main(["bench", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_a.json" in out and "6.00x" in out
+
+    def test_empty_root_reports_cleanly(self, capsys, tmp_path):
+        assert main(["bench", "--root", str(tmp_path)]) == 0
+        assert "no BENCH_*.json records" in capsys.readouterr().out
+
+    def test_check_within_tolerance_passes(self, capsys, tmp_path):
+        self._record(tmp_path / "BENCH_a.json", "repro.bench.a", 10.0)
+        self._record(tmp_path / "fresh.json", "repro.bench.a", 6.0)
+        assert main([
+            "bench", "--root", str(tmp_path),
+            "--check", str(tmp_path / "fresh.json"),
+        ]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_regression_exits_2(self, capsys, tmp_path):
+        self._record(tmp_path / "BENCH_a.json", "repro.bench.a", 10.0)
+        self._record(tmp_path / "fresh.json", "repro.bench.a", 4.0)
+        assert main([
+            "bench", "--root", str(tmp_path),
+            "--check", str(tmp_path / "fresh.json"),
+        ]) == 2
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_check_without_baseline_errors(self, capsys, tmp_path):
+        self._record(tmp_path / "fresh.json", "repro.bench.orphan", 4.0)
+        assert main([
+            "bench", "--root", str(tmp_path),
+            "--check", str(tmp_path / "fresh.json"),
+        ]) == 2
+        assert "no committed BENCH_" in capsys.readouterr().err
+
+    def test_unstamped_record_errors(self, capsys, tmp_path):
+        import json
+
+        (tmp_path / "BENCH_a.json").write_text(
+            json.dumps({"speedup": 3.0}), encoding="utf-8"
+        )
+        assert main(["bench", "--root", str(tmp_path)]) == 2
+        assert "meta stamp" in capsys.readouterr().err
+
+    def test_committed_records_are_valid(self, capsys):
+        """The repo-root BENCH_*.json records list without error."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        assert sorted(root.glob("BENCH_*.json")), "no committed records"
+        assert main(["bench", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.bench.serving_throughput" in out
+        assert "repro.bench.fleet_throughput" in out
